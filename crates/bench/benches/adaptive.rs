@@ -1,0 +1,116 @@
+//! Criterion benchmarks for the adaptive machinery itself: corrective
+//! execution end to end (Figure 2's axes at reduced scale), the stitch-up
+//! phase, and optimizer/re-optimizer latency (the paper's 1-second polling
+//! budget assumes re-optimization is cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tukwila_core::{CorrectiveConfig, CorrectiveExec};
+use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
+use tukwila_exec::CpuCostModel;
+use tukwila_optimizer::{Optimizer, OptimizerContext};
+use tukwila_source::{MemSource, Source};
+
+fn sources_for(
+    d: &Dataset,
+    q: &tukwila_optimizer::LogicalQuery,
+) -> Vec<Box<dyn Source>> {
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| {
+            Box::new(MemSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+            )) as Box<dyn Source>
+        })
+        .collect()
+}
+
+fn bench_corrective(c: &mut Criterion) {
+    let d = Dataset::generate(DatasetConfig::uniform(0.005));
+    let mut g = c.benchmark_group("corrective");
+    g.sample_size(10);
+
+    g.bench_function("static_q10a", |b| {
+        b.iter(|| {
+            let q = queries::q10a();
+            let mut s = sources_for(&d, &q);
+            tukwila_core::run_static(
+                &q,
+                &mut s,
+                OptimizerContext::no_statistics(),
+                1024,
+                CpuCostModel::Zero,
+            )
+            .unwrap()
+            .rows
+            .len()
+        })
+    });
+
+    g.bench_function("adaptive_q10a_single_phase", |b| {
+        b.iter(|| {
+            let q = queries::q10a();
+            let exec = CorrectiveExec::new(
+                q.clone(),
+                CorrectiveConfig {
+                    batch_size: 1024,
+                    cpu: CpuCostModel::Zero,
+                    switch_threshold: 0.0, // never switch: pure monitoring overhead
+                    ..Default::default()
+                },
+            );
+            let mut s = sources_for(&d, &q);
+            exec.run(&mut s).unwrap().rows.len()
+        })
+    });
+
+    g.bench_function("adaptive_q10a_forced_switch", |b| {
+        b.iter(|| {
+            let q = queries::q10a();
+            let exec = CorrectiveExec::new(
+                q.clone(),
+                CorrectiveConfig {
+                    batch_size: 1024,
+                    cpu: CpuCostModel::Zero,
+                    poll_every_batches: 4,
+                    switch_threshold: 100.0,
+                    max_phases: 3,
+                    warmup_batches: 2,
+                    min_remaining_fraction: 0.0,
+                    initial_order: Some(vec![
+                        TableId::Orders.rel_id(),
+                        TableId::Lineitem.rel_id(),
+                        TableId::Customer.rel_id(),
+                        TableId::Nation.rel_id(),
+                    ]),
+                    ..Default::default()
+                },
+            );
+            let mut s = sources_for(&d, &q);
+            exec.run(&mut s).unwrap().rows.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.bench_function("optimize_q5_six_relations", |b| {
+        let q = queries::q5();
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        b.iter(|| opt.optimize(&q).unwrap().est_cost)
+    });
+    g.bench_function("recost_q5", |b| {
+        let q = queries::q5();
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+        b.iter(|| opt.recost(&q, &plan, true).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_corrective, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Criterion microbenchmarks for the engine's operators and state
+//! structures: the per-tuple costs behind every experiment (join
+//! algorithms at the heart of Figure 5, pre-aggregation behind Figure 6,
+//! histogram maintenance behind §4.5's overhead numbers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use tukwila_core::{ComplementaryJoinPair, RouterKind};
+use tukwila_datagen::{Dataset, DatasetConfig, TableId};
+use tukwila_exec::agg::{AggSpec, GroupSpec, PreAggOp, WindowPolicy};
+use tukwila_exec::join::{MergeJoin, PipelinedHashJoin};
+use tukwila_exec::op::IncOp;
+use tukwila_relation::agg::AggFunc;
+use tukwila_relation::{Tuple, Value};
+use tukwila_stats::DynamicHistogram;
+use tukwila_storage::btree::BPlusTree;
+use tukwila_storage::{StateStructure, TupleHashTable};
+
+fn dataset() -> Dataset {
+    Dataset::generate(DatasetConfig::uniform(0.005))
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let d = dataset();
+    let orders = &d.orders;
+    let lineitem = &d.lineitem;
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+
+    g.bench_function("pipelined_hash", |b| {
+        b.iter_batched(
+            || {
+                PipelinedHashJoin::new(
+                    Dataset::schema(TableId::Orders),
+                    Dataset::schema(TableId::Lineitem),
+                    0,
+                    0,
+                )
+            },
+            |mut j| {
+                let mut out = Vec::new();
+                for chunk in orders.chunks(1024) {
+                    j.push(0, chunk, &mut out).unwrap();
+                }
+                for chunk in lineitem.chunks(1024) {
+                    j.push(1, chunk, &mut out).unwrap();
+                }
+                out.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("merge_sorted", |b| {
+        b.iter_batched(
+            || {
+                MergeJoin::new(
+                    Dataset::schema(TableId::Orders),
+                    Dataset::schema(TableId::Lineitem),
+                    0,
+                    0,
+                )
+            },
+            |mut j| {
+                let mut out = Vec::new();
+                for chunk in orders.chunks(1024) {
+                    j.push(0, chunk, &mut out).unwrap();
+                }
+                for chunk in lineitem.chunks(1024) {
+                    j.push(1, chunk, &mut out).unwrap();
+                }
+                j.finish_input(0, &mut out).unwrap();
+                j.finish_input(1, &mut out).unwrap();
+                out.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("complementary_sorted", |b| {
+        b.iter_batched(
+            || {
+                ComplementaryJoinPair::new(
+                    Dataset::schema(TableId::Orders),
+                    Dataset::schema(TableId::Lineitem),
+                    0,
+                    0,
+                    RouterKind::Naive,
+                )
+            },
+            |mut j| {
+                let mut out = Vec::new();
+                for chunk in orders.chunks(1024) {
+                    j.push(0, chunk, &mut out).unwrap();
+                }
+                for chunk in lineitem.chunks(1024) {
+                    j.push(1, chunk, &mut out).unwrap();
+                }
+                j.finish_input(0, &mut out).unwrap();
+                j.finish_input(1, &mut out).unwrap();
+                j.finish(&mut out).unwrap();
+                out.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_preagg(c: &mut Criterion) {
+    let d = dataset();
+    let lineitem = &d.lineitem;
+    let spec = || {
+        GroupSpec::new(
+            vec![0],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                col: 9,
+            }],
+        )
+    };
+    let schema = Dataset::schema(TableId::Lineitem);
+    let mut g = c.benchmark_group("preagg");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("adaptive_window", WindowPolicy::default_adaptive()),
+        ("pseudogroup", WindowPolicy::Fixed(1)),
+        ("traditional", WindowPolicy::Fixed(usize::MAX)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || PreAggOp::new(spec(), &schema, policy),
+                |mut op| {
+                    let mut out = Vec::new();
+                    for chunk in lineitem.chunks(1024) {
+                        op.push(0, chunk, &mut out).unwrap();
+                    }
+                    op.finish(&mut out).unwrap();
+                    out.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_state_structures(c: &mut Criterion) {
+    let rows: Vec<Tuple> = (0..50_000i64)
+        .map(|i| Tuple::new(vec![Value::Int((i * 7919) % 10_000), Value::Int(i)]))
+        .collect();
+    let mut g = c.benchmark_group("state");
+    g.sample_size(10);
+    g.bench_function("hash_table_build", |b| {
+        b.iter(|| {
+            let mut t = TupleHashTable::new(0);
+            for r in &rows {
+                t.insert(r.clone()).unwrap();
+            }
+            t.len()
+        })
+    });
+    g.bench_function("btree_build", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new(0);
+            for r in &rows {
+                t.insert(r.clone());
+            }
+            t.len()
+        })
+    });
+    let mut table = TupleHashTable::new(0);
+    for r in &rows {
+        table.insert(r.clone()).unwrap();
+    }
+    g.bench_function("hash_table_probe", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in 0..10_000i64 {
+                hits += table.probe(&Value::Int(k).to_key()).len();
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let vals: Vec<f64> = (0..100_000).map(|i| ((i * 31) % 5000) as f64).collect();
+    let mut g = c.benchmark_group("histogram");
+    g.sample_size(10);
+    g.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut h = DynamicHistogram::new(50);
+            for v in &vals {
+                h.insert(*v);
+            }
+            h.total()
+        })
+    });
+    let mut h = DynamicHistogram::new(50);
+    for v in &vals {
+        h.insert(*v);
+    }
+    g.bench_function("join_estimate", |b| b.iter(|| h.estimate_join(&h)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_joins,
+    bench_preagg,
+    bench_state_structures,
+    bench_histogram
+);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale SF] [--runs N] [--batch N] [--bps BYTES_PER_SEC] <cmd>
+//!
+//!   fig2     Figure 2  (static vs corrective vs plan partitioning, local)
+//!   table1   Table 1   (phases / stitch-up / reuse breakdown, local)
+//!   fig3     Figure 3  (same comparison over the bursty wireless model)
+//!   table2   Table 2   (phase breakdown, wireless)
+//!   fig5     Figure 5  (pipelined hash join vs complementary joins)
+//!   table3   Table 3   (hash/merge/stitch processing distribution)
+//!   fig6     Figure 6  (pre-aggregation strategies)
+//!   sec45    §4.5      (join-size predictability + histogram overhead)
+//!   ablation stitch-up reuse on/off; polling-interval sweep
+//!   all      everything above
+//! ```
+//!
+//! Results are printed and mirrored into `results/` next to the manifest.
+
+use std::io::Write;
+
+use tukwila_bench::experiments;
+use tukwila_bench::ExpConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] \
+         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|all>"
+    );
+    std::process::exit(2);
+}
+
+fn save(name: &str, content: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(content.as_bytes());
+        }
+    }
+}
+
+fn main() {
+    const KNOWN: [&str; 10] = [
+        "fig2", "table1", "fig3", "table2", "fig5", "table3", "fig6", "sec45", "ablation",
+        "all",
+    ];
+    let mut cfg = ExpConfig::default();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                cfg.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--batch" => {
+                cfg.batch_size =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--bps" => {
+                cfg.wireless_bps =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            other if KNOWN.contains(&other) => cmds.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if cmds.is_empty() {
+        usage();
+    }
+
+    println!(
+        "# tukwila repro — scale factor {}, {} runs, batch {}\n",
+        cfg.scale, cfg.runs, cfg.batch_size
+    );
+
+    let all = cmds.iter().any(|c| c == "all");
+    let want = |x: &str| all || cmds.iter().any(|c| c == x);
+
+    if want("fig2") || want("table1") {
+        println!("== Figure 2 / Table 1: corrective query processing, local sources ==");
+        println!("   (running times in seconds; lower is better)\n");
+        let (fig, tab) = experiments::corrective_suite(&cfg, false);
+        if want("fig2") {
+            println!("Figure 2:\n{fig}");
+            save("fig2", &fig);
+        }
+        if want("table1") {
+            println!("Table 1:\n{tab}");
+            save("table1", &tab);
+        }
+    }
+    if want("fig3") || want("table2") {
+        println!("== Figure 3 / Table 2: corrective query processing, bursty wireless ==");
+        println!("   (virtual completion times in seconds)\n");
+        let (fig, tab) = experiments::corrective_suite(&cfg, true);
+        if want("fig3") {
+            println!("Figure 3:\n{fig}");
+            save("fig3", &fig);
+        }
+        if want("table2") {
+            println!("Table 2:\n{tab}");
+            save("table2", &tab);
+        }
+    }
+    if want("fig5") || want("table3") {
+        println!("== Figure 5 / Table 3: complementary join pairs, LINEITEM ⋈ ORDERS ==\n");
+        let (fig, tab) = experiments::complementary_suite(&cfg);
+        if want("fig5") {
+            println!("Figure 5:\n{fig}");
+            save("fig5", &fig);
+        }
+        if want("table3") {
+            println!("Table 3:\n{tab}");
+            save("table3", &tab);
+        }
+    }
+    if want("fig6") {
+        println!("== Figure 6: pre-aggregation strategies ==\n");
+        let fig = experiments::preagg_suite(&cfg);
+        println!("Figure 6:\n{fig}");
+        save("fig6", &fig);
+    }
+    if want("ablation") {
+        println!("== Ablations: stitch-up reuse, polling interval ==\n");
+        let out = experiments::ablation_suite(&cfg);
+        println!("{out}");
+        save("ablation", &out);
+    }
+    if want("sec45") {
+        println!("== §4.5: evidence that selectivity is predictable ==\n");
+        let out = experiments::selectivity_suite(&cfg);
+        println!("{out}");
+        save("sec45", &out);
+    }
+    if all {
+        println!("== Example 2.1 sanity run ==\n");
+        print!("{}", experiments::flights_recovery(&cfg));
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared experiment infrastructure for the `repro` harness and the
+//! Criterion benches: dataset/source construction, strategy runners, and
+//! plain-text table formatting.
+//!
+//! Every table and figure of the paper maps to one function in
+//! [`experiments`]; the `repro` binary is a thin CLI over them. See
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+//! results.
+
+pub mod experiments;
+pub mod fmt;
+pub mod setup;
+
+pub use setup::{ExpConfig, WorkloadQuery};

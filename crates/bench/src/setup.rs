@@ -1,0 +1,229 @@
+//! Experiment configuration, datasets, sources, and workload wiring.
+
+use std::collections::HashMap;
+
+use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
+use tukwila_optimizer::LogicalQuery;
+use tukwila_source::{DelayModel, DelayedSource, MemSource, Source};
+
+/// Global experiment knobs (CLI-settable).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// TPC-H scale factor; the paper uses 0.1, our default budget-friendly
+    /// scale is 0.01 (the Q5 given-cardinalities trap plan is
+    /// intentionally quadratic — see EXPERIMENTS.md — so large scales need
+    /// large memory).
+    pub scale: f64,
+    /// Repetitions per measurement (paper: minimum 4).
+    pub runs: usize,
+    pub batch_size: usize,
+    /// Wireless model bandwidth (bytes/sec) for Figure 3 / Table 2.
+    pub wireless_bps: f64,
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.01,
+            runs: 3,
+            batch_size: 1024,
+            wireless_bps: 1.5e6,
+            seed: 7,
+        }
+    }
+}
+
+/// The four queries of the paper's Figure 2/3/6 workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadQuery {
+    Q3A,
+    Q10,
+    Q10A,
+    Q5,
+}
+
+impl WorkloadQuery {
+    pub fn all() -> [WorkloadQuery; 4] {
+        [
+            WorkloadQuery::Q3A,
+            WorkloadQuery::Q10,
+            WorkloadQuery::Q10A,
+            WorkloadQuery::Q5,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadQuery::Q3A => "3A",
+            WorkloadQuery::Q10 => "10",
+            WorkloadQuery::Q10A => "10A",
+            WorkloadQuery::Q5 => "5",
+        }
+    }
+
+    pub fn query(self) -> LogicalQuery {
+        match self {
+            WorkloadQuery::Q3A => queries::q3a(),
+            WorkloadQuery::Q10 => queries::q10(),
+            WorkloadQuery::Q10A => queries::q10a(),
+            WorkloadQuery::Q5 => queries::q5(),
+        }
+    }
+
+    /// The phase-0 plan the paper's no-statistics optimizer landed on.
+    ///
+    /// Our reimplemented estimator does not reproduce the original
+    /// optimizer's specific mis-estimates, so the no-statistics experiments
+    /// pin phase 0 to the orderings the paper reports: for 3A/10/10A "the
+    /// optimizer generally picks an ordering that yields an expensive
+    /// intermediate result" (ORDERS ⋈ LINEITEM first); for Q5 the
+    /// no-statistics behaviour needs no pinning: our enumerator's
+    /// tie-breaking walks into the CUSTOMER ⋈ SUPPLIER nationkey trap on
+    /// its own — the same "very large subresult" the paper describes for
+    /// Q5 (there triggered in the given-cardinalities mode; here in the
+    /// no-statistics mode). Either way, the experiment's subject — a
+    /// running plan with a blowing-up intermediate, and corrective
+    /// processing escaping it — is preserved. See EXPERIMENTS.md.
+    pub fn paper_nostats_order(self) -> Option<Vec<u32>> {
+        let o = TableId::Orders.rel_id();
+        let l = TableId::Lineitem.rel_id();
+        let c = TableId::Customer.rel_id();
+        let n = TableId::Nation.rel_id();
+        let s = TableId::Supplier.rel_id();
+        let r = TableId::Region.rel_id();
+        match self {
+            WorkloadQuery::Q3A => Some(vec![o, l, c]),
+            WorkloadQuery::Q10 | WorkloadQuery::Q10A => Some(vec![o, l, c, n]),
+            WorkloadQuery::Q5 => {
+                let _ = (s, r);
+                None
+            }
+        }
+    }
+}
+
+/// Generate the paper's two datasets at the configured scale.
+pub fn datasets(cfg: &ExpConfig) -> [(String, Dataset); 2] {
+    [
+        (
+            "uniform".into(),
+            Dataset::generate(DatasetConfig {
+                scale: cfg.scale,
+                zipf_z: None,
+                seed: cfg.seed,
+            }),
+        ),
+        (
+            "skewed".into(),
+            Dataset::generate(DatasetConfig {
+                scale: cfg.scale,
+                zipf_z: Some(0.5),
+                seed: cfg.seed,
+            }),
+        ),
+    ]
+}
+
+/// Local (in-memory) sources for a query.
+pub fn local_sources(d: &Dataset, q: &LogicalQuery) -> Vec<Box<dyn Source>> {
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| {
+            Box::new(MemSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+            )) as Box<dyn Source>
+        })
+        .collect()
+}
+
+/// Bursty-wireless sources for a query (DESIGN.md substitution S3).
+pub fn wireless_sources(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+) -> Vec<Box<dyn Source>> {
+    let model = DelayModel::Wireless {
+        bytes_per_sec: cfg.wireless_bps,
+        burst_ms: 40.0,
+        gap_ms: 60.0,
+        seed: cfg.seed,
+    };
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| {
+            Box::new(DelayedSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+                &model,
+            )) as Box<dyn Source>
+        })
+        .collect()
+}
+
+/// True per-relation cardinalities ("Given cardinalities" mode).
+pub fn true_cards(d: &Dataset, q: &LogicalQuery) -> HashMap<u32, u64> {
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| (t.rel_id(), d.table(t).len() as u64))
+        .collect()
+}
+
+/// Mean and half-width of the 95% confidence interval.
+pub fn mean_ci(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    // t-value for small samples ≈ 2.78 (df=4) .. 4.3 (df=2); use 2.78 as a
+    // serviceable constant for the 3-5 run regime.
+    let t = 2.78;
+    (mean, t * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_queries_resolve() {
+        for w in WorkloadQuery::all() {
+            w.query().validate().unwrap();
+        }
+        assert!(WorkloadQuery::Q3A.paper_nostats_order().is_some());
+        assert!(WorkloadQuery::Q5.paper_nostats_order().is_none());
+    }
+
+    #[test]
+    fn mean_ci_behaves() {
+        let (m, ci) = mean_ci(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(ci, 0.0);
+        let (m2, ci2) = mean_ci(&[1.0, 3.0]);
+        assert_eq!(m2, 2.0);
+        assert!(ci2 > 0.0);
+        assert_eq!(mean_ci(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn sources_cover_query_tables() {
+        let cfg = ExpConfig {
+            scale: 0.001,
+            ..Default::default()
+        };
+        let [(_, d), _] = datasets(&cfg);
+        let q = WorkloadQuery::Q10.query();
+        assert_eq!(local_sources(&d, &q).len(), 4);
+        assert_eq!(true_cards(&d, &q).len(), 4);
+    }
+}

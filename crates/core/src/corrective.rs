@@ -1,0 +1,621 @@
+//! Corrective query processing (paper §4): execute, monitor, re-optimize,
+//! switch plans in mid-pipeline, stitch up at the end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tukwila_exec::{Batch, CpuCostModel, ExecReport};
+use tukwila_optimizer::{
+    LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig,
+};
+use tukwila_relation::{Result, Tuple};
+use tukwila_source::{Poll, Source};
+use tukwila_stats::selectivity::SourceProgress;
+use tukwila_stats::SelectivityCatalog;
+use tukwila_storage::registry::ReuseStats;
+use tukwila_storage::StateRegistry;
+
+use crate::lowering::{apply_post_project, lower_plan, LoweredPlan};
+use crate::stitchup::{StitchUp, StitchUpStats};
+
+/// Configuration of the corrective executor.
+#[derive(Debug, Clone)]
+pub struct CorrectiveConfig {
+    pub batch_size: usize,
+    pub cpu: CpuCostModel,
+    /// Re-optimizer polling interval in source batches. The paper polls
+    /// every second at SF 0.1; per DESIGN.md S5 we scale by data volume.
+    pub poll_every_batches: u64,
+    /// Switch when `candidate cost < threshold × current remaining cost`.
+    pub switch_threshold: f64,
+    /// Upper bound on phases (the paper's executions settle at 2–4).
+    pub max_phases: usize,
+    /// Don't consider switching before this many batches (warm-up: early
+    /// selectivities are noise).
+    pub warmup_batches: u64,
+    /// Pre-aggregation policy passed through to the optimizer.
+    pub preagg: PreAggConfig,
+    /// Source cardinalities given to the optimizer up front ("Given
+    /// cardinalities" mode); `None` reproduces the paper's "No statistics"
+    /// mode (every relation defaults to 20 000 tuples).
+    pub given_cards: Option<HashMap<u32, u64>>,
+    /// Force the phase-0 plan to a left-deep join in this relation order
+    /// (experiments that study recovery from a specific bad plan).
+    pub initial_order: Option<Vec<u32>>,
+    /// Only switch while the current plan's estimated *remaining* work
+    /// exceeds this fraction of its estimated total — switching near the
+    /// end buys little and inflates stitch-up (the paper's executions
+    /// "switch only a few times").
+    pub min_remaining_fraction: f64,
+    /// Stitch-up reuses registered intermediates (§3.4.2). `false` only in
+    /// the reuse ablation.
+    pub stitch_reuse: bool,
+}
+
+impl Default for CorrectiveConfig {
+    fn default() -> Self {
+        CorrectiveConfig {
+            batch_size: 1024,
+            cpu: CpuCostModel::Measured,
+            poll_every_batches: 8,
+            switch_threshold: 0.6,
+            max_phases: 8,
+            warmup_batches: 4,
+            preagg: PreAggConfig::Off,
+            given_cards: None,
+            initial_order: None,
+            min_remaining_fraction: 0.3,
+            stitch_reuse: true,
+        }
+    }
+}
+
+/// Per-phase record for reporting (Table 1/2).
+#[derive(Debug, Clone)]
+pub struct PhaseInfo {
+    pub plan: String,
+    pub batches: u64,
+    /// Tuples of each source consumed during this phase.
+    pub consumed: HashMap<u32, u64>,
+}
+
+/// Outcome of a corrective execution.
+pub struct CorrectiveReport {
+    pub phases: Vec<PhaseInfo>,
+    pub exec: ExecReport,
+    /// Virtual time spent in the stitch-up phase.
+    pub stitch_us: u64,
+    pub stitch: StitchUpStats,
+    pub reuse: ReuseStats,
+    pub rows: Vec<Tuple>,
+}
+
+impl CorrectiveReport {
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+/// The corrective query processing executor.
+pub struct CorrectiveExec {
+    pub q: LogicalQuery,
+    pub config: CorrectiveConfig,
+}
+
+impl CorrectiveExec {
+    pub fn new(q: LogicalQuery, config: CorrectiveConfig) -> CorrectiveExec {
+        CorrectiveExec { q, config }
+    }
+
+    fn make_ctx(
+        &self,
+        catalog: &Arc<SelectivityCatalog>,
+        consumed: &HashMap<u32, u64>,
+    ) -> OptimizerContext {
+        let mut ctx = match &self.config.given_cards {
+            Some(cards) => OptimizerContext::with_cards(cards.clone()),
+            None => OptimizerContext::no_statistics(),
+        };
+        ctx.catalog = Some(catalog.clone());
+        ctx.consumed = consumed.clone();
+        ctx.preagg = self.config.preagg;
+        ctx
+    }
+
+    /// Signatures materialized so far: every node of the running plan plus
+    /// everything registered by earlier phases — the §4.3 sunk-cost set.
+    fn sunk_sigs(
+        current: &PhysPlan,
+        registry: &StateRegistry,
+    ) -> Vec<tukwila_storage::ExprSig> {
+        fn walk(node: &tukwila_optimizer::PhysNode, out: &mut Vec<tukwila_storage::ExprSig>) {
+            out.push(node.sig.clone());
+            if let tukwila_optimizer::PhysKind::Join { left, right, .. } = &node.kind {
+                walk(left, out);
+                walk(right, out);
+            }
+            if let tukwila_optimizer::PhysKind::PreAgg { child, .. } = &node.kind {
+                walk(child, out);
+            }
+        }
+        let mut sigs = Vec::new();
+        walk(&current.root, &mut sigs);
+        for e in registry.entries() {
+            sigs.push(e.sig.clone());
+        }
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs
+    }
+
+    /// Run to completion over the given sources.
+    pub fn run(&self, sources: &mut [Box<dyn Source>]) -> Result<CorrectiveReport> {
+        let catalog = Arc::new(SelectivityCatalog::new());
+        let registry = StateRegistry::new();
+        let cfg = &self.config;
+
+        let mut consumed_total: HashMap<u32, u64> = HashMap::new();
+        let mut consumed_phase: HashMap<u32, u64> = HashMap::new();
+
+        // Phase 0 plan.
+        let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total));
+        let mut current_phys: PhysPlan = match &cfg.initial_order {
+            Some(order) => optimizer.plan_with_order(&self.q, order)?,
+            None => optimizer.optimize(&self.q)?,
+        };
+        let mut lowered: LoweredPlan = lower_plan(&current_phys, None, false)?;
+        let shared = lowered.table.clone();
+        let post_project = lowered.post_project.clone();
+
+        let mut phases: Vec<PhaseInfo> = Vec::new();
+        let mut phase_batches: u64 = 0;
+        let mut total_batches: u64 = 0;
+        let mut next_poll_at: u64 = cfg.warmup_batches.max(cfg.poll_every_batches);
+        let mut phase = 0usize;
+
+        let mut answers: Batch = Vec::new();
+        let mut clock_us: f64 = 0.0;
+        let mut cpu_us: f64 = 0.0;
+        let mut idle_us: f64 = 0.0;
+        let mut eof: Vec<bool> = vec![false; sources.len()];
+
+        loop {
+            let mut any_ready = false;
+            let mut next_ready: Option<u64> = None;
+            let mut all_done = true;
+            for (i, src) in sources.iter_mut().enumerate() {
+                if eof[i] {
+                    continue;
+                }
+                all_done = false;
+                match src.poll(clock_us as u64, cfg.batch_size) {
+                    Poll::Ready(batch) => {
+                        any_ready = true;
+                        total_batches += 1;
+                        phase_batches += 1;
+                        let rel = src.rel_id();
+                        *consumed_total.entry(rel).or_insert(0) += batch.len() as u64;
+                        *consumed_phase.entry(rel).or_insert(0) += batch.len() as u64;
+                        let cost = charged(cfg.cpu, batch.len(), || {
+                            lowered.pipeline.push_source(rel, &batch, &mut answers)
+                        })?;
+                        clock_us += cost;
+                        cpu_us += cost;
+                    }
+                    Poll::Pending { next_ready_us } => {
+                        next_ready = Some(match next_ready {
+                            Some(n) => n.min(next_ready_us),
+                            None => next_ready_us,
+                        });
+                    }
+                    Poll::Eof => {
+                        eof[i] = true;
+                        let rel = src.rel_id();
+                        catalog.observe_source(
+                            rel,
+                            SourceProgress {
+                                tuples_read: consumed_total.get(&rel).copied().unwrap_or(0),
+                                fraction_read: Some(1.0),
+                                eof: true,
+                            },
+                        );
+                        let cost = charged(cfg.cpu, 0, || {
+                            lowered.pipeline.finish_source(rel, &mut answers)
+                        })?;
+                        clock_us += cost;
+                        cpu_us += cost;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !any_ready {
+                if let Some(n) = next_ready {
+                    let target = (n as f64).max(clock_us);
+                    idle_us += target - clock_us;
+                    clock_us = target;
+                }
+                continue;
+            }
+
+            // Monitor: poll the re-optimizer on schedule. (The batch
+            // counter advances by up-to-#sources per sweep, so the
+            // schedule is a moving threshold, not a divisibility test.)
+            if total_batches >= next_poll_at && phase + 1 < cfg.max_phases {
+                next_poll_at = total_batches + cfg.poll_every_batches;
+                self.update_catalog(&catalog, &lowered, sources, &consumed_total, &consumed_phase);
+                let mut ctx = self.make_ctx(&catalog, &consumed_total);
+                ctx.sunk_sigs = Self::sunk_sigs(&current_phys, &registry);
+                let reopt = Optimizer::new(ctx);
+                let start = Instant::now();
+                let candidate = reopt.reoptimize_remaining(&self.q)?;
+                let current_cost = reopt.recost(&self.q, &current_phys, true)?;
+                let current_total = reopt.recost(&self.q, &current_phys, false)?;
+                // Re-optimization runs in a background thread in Tukwila; we
+                // charge its cost to the clock but not to query CPU.
+                let reopt_us = start.elapsed().as_secs_f64() * 1e6;
+                if matches!(cfg.cpu, CpuCostModel::Measured) {
+                    clock_us += reopt_us;
+                }
+                if std::env::var_os("TUKWILA_DEBUG").is_some() {
+                    eprintln!(
+                        "[monitor] batch {total_batches}: current {} cost {current_cost:.0}                          (total {current_total:.0}); candidate {} cost {:.0}",
+                        current_phys.describe(),
+                        candidate.describe(),
+                        candidate.est_cost
+                    );
+                }
+                if candidate.est_cost < cfg.switch_threshold * current_cost
+                    && current_cost > cfg.min_remaining_fraction * current_total
+                    && candidate.describe() != current_phys.describe()
+                {
+                    // Switch: seal the current phase, register its state,
+                    // resume into the new plan.
+                    let fresh = lower_plan(&candidate, shared.clone(), false)?;
+                    let old = std::mem::replace(&mut lowered, fresh);
+                    for state in old.pipeline.seal() {
+                        if let Some(sig) = state.sig {
+                            registry.register(sig, phase, state.schema, state.structure);
+                        }
+                    }
+                    phases.push(PhaseInfo {
+                        plan: current_phys.describe(),
+                        batches: phase_batches,
+                        consumed: consumed_phase.clone(),
+                    });
+                    current_phys = candidate;
+                    phase += 1;
+                    phase_batches = 0;
+                    consumed_phase.clear();
+                    // Sources already at EOF must close their ports in the
+                    // new plan too.
+                    let mut sink = Batch::new();
+                    for (i, src) in sources.iter().enumerate() {
+                        if eof[i] {
+                            lowered.pipeline.finish_source(src.rel_id(), &mut sink)?;
+                        }
+                    }
+                    answers.extend(sink);
+                }
+            }
+        }
+
+        // Seal the final phase.
+        let nphases = phase + 1;
+        let final_lowered = lowered;
+        for state in final_lowered.pipeline.seal() {
+            if let Some(sig) = state.sig {
+                registry.register(sig, phase, state.schema, state.structure);
+            }
+        }
+        phases.push(PhaseInfo {
+            plan: current_phys.describe(),
+            batches: phase_batches,
+            consumed: consumed_phase.clone(),
+        });
+
+        // Stitch-up phase.
+        let stitch_start_clock = clock_us;
+        let mut stitch = StitchUpStats::default();
+        if nphases > 1 {
+            let stitcher =
+                StitchUp::new(&self.q, &registry, nphases).with_reuse(cfg.stitch_reuse);
+            let canonical = crate::lowering::canonical_agg(&current_phys);
+            let wall = Instant::now();
+            let table = shared.clone();
+            let mut sink = |batch: &[Tuple]| -> Result<()> {
+                match (&table, &canonical) {
+                    (Some(t), Some((exprs, _, _))) => {
+                        let mut projected = Vec::with_capacity(batch.len());
+                        for tu in batch {
+                            let mut vals = Vec::with_capacity(exprs.len());
+                            for e in exprs {
+                                vals.push(e.eval(tu)?);
+                            }
+                            projected.push(Tuple::new(vals));
+                        }
+                        t.update(&projected)
+                    }
+                    _ => {
+                        answers.extend_from_slice(batch);
+                        Ok(())
+                    }
+                }
+            };
+            stitch = stitcher.run(&current_phys.root, &mut sink)?;
+            let cost = match cfg.cpu {
+                CpuCostModel::Measured => wall.elapsed().as_secs_f64() * 1e6,
+                CpuCostModel::PerTupleNs(ns) => {
+                    stitch.join.probes as f64 * ns as f64 / 1000.0
+                }
+                CpuCostModel::Zero => 0.0,
+            };
+            clock_us += cost;
+            cpu_us += cost;
+        }
+        let stitch_us = (clock_us - stitch_start_clock) as u64;
+
+        // Finalize.
+        let rows = match &shared {
+            Some(t) => apply_post_project(t.finalize(), &post_project)?,
+            None => std::mem::take(&mut answers),
+        };
+
+        let reuse = if nphases > 1 {
+            registry.reuse_stats()
+        } else {
+            ReuseStats::default()
+        };
+        Ok(CorrectiveReport {
+            phases,
+            exec: ExecReport {
+                virtual_us: clock_us as u64,
+                cpu_us: cpu_us as u64,
+                idle_us: idle_us as u64,
+                tuples_out: rows.len() as u64,
+                batches: total_batches,
+            },
+            stitch_us,
+            stitch,
+            reuse,
+            rows,
+        })
+    }
+
+    /// Push the current plan's observations into the shared catalog
+    /// (paper §3.3 / §4.2).
+    fn update_catalog(
+        &self,
+        catalog: &Arc<SelectivityCatalog>,
+        lowered: &LoweredPlan,
+        sources: &[Box<dyn Source>],
+        consumed_total: &HashMap<u32, u64>,
+        consumed_phase: &HashMap<u32, u64>,
+    ) {
+        for src in sources.iter() {
+            let p = src.progress();
+            catalog.observe_source(
+                src.rel_id(),
+                SourceProgress {
+                    tuples_read: consumed_total.get(&src.rel_id()).copied().unwrap_or(0),
+                    fraction_read: p.fraction_read,
+                    eof: p.eof,
+                },
+            );
+        }
+        // Observed selectivity per logical signature: output cardinality
+        // over the product of raw inputs consumed *this phase* (phase
+        // counters reset at each switch). Later nodes override earlier ones
+        // with the same signature (the node nearest the join is the
+        // effective producer).
+        let mut per_sig: HashMap<tukwila_storage::ExprSig, (u64, f64)> = HashMap::new();
+        for obs in lowered.pipeline.observations() {
+            let Some(sig) = obs.output_sig.clone() else {
+                continue;
+            };
+            let mut product = 1.0;
+            let mut any = false;
+            for rel in sig.rels() {
+                let c = consumed_phase.get(rel).copied().unwrap_or(0);
+                if c == 0 {
+                    any = false;
+                    break;
+                }
+                any = true;
+                product *= c as f64;
+            }
+            if !any {
+                continue;
+            }
+            per_sig.insert(sig, (obs.counters.tuples_out(), product));
+        }
+        for (sig, (out, product)) in per_sig {
+            catalog.observe_subexpr(sig, out, product);
+        }
+        // Multiplicative-join flags.
+        for obs in lowered.pipeline.observations() {
+            if let Some((_, pred_id)) = lowered
+                .join_nodes
+                .iter()
+                .find(|(node, _)| *node == obs.node)
+            {
+                let tin = obs.counters.tuples_in();
+                let tout = obs.counters.tuples_out();
+                if tin > 0 && tout > tin {
+                    catalog.flag_multiplicative(*pred_id, tout as f64 / tin as f64);
+                }
+            }
+        }
+    }
+}
+
+fn charged(cpu: CpuCostModel, tuples: usize, f: impl FnOnce() -> Result<()>) -> Result<f64> {
+    match cpu {
+        CpuCostModel::Measured => {
+            let start = Instant::now();
+            f()?;
+            Ok(start.elapsed().as_secs_f64() * 1e6)
+        }
+        CpuCostModel::PerTupleNs(ns) => {
+            f()?;
+            Ok(tuples as f64 * ns as f64 / 1000.0)
+        }
+        CpuCostModel::Zero => {
+            f()?;
+            Ok(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
+    use tukwila_exec::reference::canonicalize_approx;
+    use tukwila_source::MemSource;
+
+    fn sources_for(d: &Dataset, q: &LogicalQuery) -> Vec<Box<dyn Source>> {
+        queries::tables_of(q)
+            .into_iter()
+            .map(|t| {
+                Box::new(MemSource::new(
+                    t.rel_id(),
+                    t.name(),
+                    Dataset::schema(t),
+                    d.table(t).to_vec(),
+                )) as Box<dyn Source>
+            })
+            .collect()
+    }
+
+    fn static_answer(d: &Dataset, q: &LogicalQuery) -> Vec<String> {
+        let mut s = sources_for(d, q);
+        let run = crate::baselines::run_static(
+            q,
+            &mut s,
+            OptimizerContext::no_statistics(),
+            256,
+            CpuCostModel::Zero,
+        )
+        .unwrap();
+        canonicalize_approx(&run.rows)
+    }
+
+    fn corrective_config(force_switch: bool) -> CorrectiveConfig {
+        CorrectiveConfig {
+            batch_size: 256,
+            cpu: CpuCostModel::Zero,
+            poll_every_batches: 2,
+            // A threshold above 1 forces a switch whenever the re-optimizer
+            // proposes any structurally different plan — the adversarial
+            // case for stitch-up correctness.
+            switch_threshold: if force_switch { 100.0 } else { 0.0 },
+            max_phases: 4,
+            warmup_batches: 2,
+            preagg: PreAggConfig::Off,
+            given_cards: None,
+            initial_order: None,
+            min_remaining_fraction: 0.0,
+            stitch_reuse: true,
+        }
+    }
+
+    #[test]
+    fn single_phase_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(false));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(report.phase_count(), 1);
+        assert_eq!(report.stitch.mixed_tuples, 0);
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn forced_multi_phase_q3a_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let mut cfg = corrective_config(true);
+        // Start from a deliberately poor ordering so the re-optimizer has
+        // something to correct.
+        cfg.initial_order = Some(vec![
+            TableId::Orders.rel_id(),
+            TableId::Lineitem.rel_id(),
+            TableId::Customer.rel_id(),
+        ]);
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(
+            report.phase_count() > 1,
+            "expected a forced switch, got {} phase(s)",
+            report.phase_count()
+        );
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+        assert!(report.reuse.reused_tuples > 0 || report.stitch.recomputed_pure > 0);
+    }
+
+    #[test]
+    fn forced_multi_phase_q10a_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q10a();
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(true));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(report.phase_count() > 1);
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn forced_multi_phase_q5_with_cycle_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q5();
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(true));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(report.phase_count() > 1);
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn multi_phase_skewed_data_matches_static() {
+        let d = Dataset::generate(DatasetConfig::skewed(0.002));
+        let q = queries::q10a();
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(true));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn corrective_with_preagg_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let mut cfg = corrective_config(true);
+        cfg.preagg = PreAggConfig::Insert(tukwila_optimizer::PreAggMode::AdaptiveWindow);
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn given_cards_mode_runs() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q10();
+        let mut cfg = corrective_config(false);
+        let mut cards = HashMap::new();
+        for t in queries::tables_of(&q) {
+            cards.insert(t.rel_id(), d.table(t).len() as u64);
+        }
+        let _ = TableId::Orders;
+        cfg.given_cards = Some(cards);
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+}

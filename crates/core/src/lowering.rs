@@ -1,0 +1,434 @@
+//! Lowers optimizer output ([`PhysPlan`]) onto the pipelined execution
+//! engine, wiring in the cross-phase machinery: every phase plan ends with
+//! a *canonical answer projection* (fixed column order derived from the
+//! query, not the plan shape — the §3.2 schema-compatibility discipline)
+//! feeding the shared group-by table of Figure 1.
+
+use std::sync::Arc;
+
+use tukwila_exec::agg::{AggSpec, GroupSpec, PreAggOp, SharedGroupOp, SharedGroupTable, WindowPolicy};
+use tukwila_exec::filter::FilterOp;
+use tukwila_exec::join::{HybridHashJoin, MergeJoin, NestedLoopsJoin, PipelinedHashJoin};
+use tukwila_exec::project::ProjectOp;
+use tukwila_exec::{IncOp, PipelinePlan, PlanBuilder};
+use tukwila_optimizer::{PhysAgg, PhysJoinAlgo, PhysKind, PhysNode, PhysPlan, PreAggMode};
+use tukwila_relation::{Error, Expr, Result, Schema};
+
+/// A lowered, executable plan plus the metadata the corrective executor
+/// needs.
+pub struct LoweredPlan {
+    pub pipeline: PipelinePlan,
+    /// `(pipeline node index, join predicate id)` for multiplicative-flag
+    /// detection.
+    pub join_nodes: Vec<(usize, u64)>,
+    /// The shared group table (when the query aggregates).
+    pub table: Option<Arc<SharedGroupTable>>,
+    /// Post-aggregation projection (`avg` reassembly), applied by whoever
+    /// finalizes the table.
+    pub post_project: Option<(Vec<Expr>, Schema)>,
+}
+
+/// The canonical answer projection and group spec for a plan: answer
+/// tuples are `[group columns in query order, then aggregate inputs in
+/// query order]`, regardless of the plan's join order. Every phase of a
+/// corrective execution must produce this same layout.
+pub fn canonical_agg(plan: &PhysPlan) -> Option<(Vec<Expr>, Schema, GroupSpec)> {
+    let agg: &PhysAgg = plan.agg.as_ref()?;
+    let root = &plan.root;
+    let mut exprs = Vec::new();
+    let mut fields = Vec::new();
+    for &c in &agg.group_cols {
+        exprs.push(Expr::Col(c));
+        fields.push(root.schema.field(c).clone());
+    }
+    let g = agg.group_cols.len();
+    let mut specs = Vec::new();
+    for (i, (func, col)) in agg.aggs.iter().enumerate() {
+        exprs.push(Expr::Col(*col));
+        fields.push(root.schema.field(*col).clone());
+        specs.push(AggSpec {
+            func: *func,
+            col: g + i,
+        });
+    }
+    let schema = Schema::new(fields);
+    let spec = GroupSpec::new((0..g).collect(), specs);
+    Some((exprs, schema, spec))
+}
+
+enum Lowered {
+    /// A node in the builder.
+    Node(usize),
+    /// A bare unfiltered scan: the source binds directly to the consumer.
+    Source(u32),
+}
+
+struct LowerCtx<'a> {
+    b: &'a mut PlanBuilder,
+    join_nodes: Vec<(usize, u64)>,
+}
+
+impl<'a> LowerCtx<'a> {
+    fn attach(&mut self, op: Box<dyn IncOp>, children: &[Lowered], sig: &PhysNode) -> Result<usize> {
+        let slots: Vec<Option<usize>> = children
+            .iter()
+            .map(|c| match c {
+                Lowered::Node(n) => Some(*n),
+                Lowered::Source(_) => None,
+            })
+            .collect();
+        let id = self.b.add_op(op, &slots, Some(sig.sig.clone()))?;
+        for (port, c) in children.iter().enumerate() {
+            if let Lowered::Source(rel) = c {
+                self.b.bind_source(*rel, id, port)?;
+            }
+        }
+        Ok(id)
+    }
+
+    fn lower_node(&mut self, node: &PhysNode) -> Result<Lowered> {
+        match &node.kind {
+            PhysKind::Scan { rel, filter, .. } => match filter {
+                None => Ok(Lowered::Source(*rel)),
+                Some(pred) => {
+                    let op = Box::new(FilterOp::new(pred.clone(), node.schema.clone()));
+                    let slots: Vec<Option<usize>> = vec![None];
+                    let id = self.b.add_op(op, &slots, Some(node.sig.clone()))?;
+                    self.b.bind_source(*rel, id, 0)?;
+                    Ok(Lowered::Node(id))
+                }
+            },
+            PhysKind::Join {
+                algo,
+                left,
+                right,
+                left_col,
+                right_col,
+                pred_id,
+                residual,
+            } => {
+                let l = self.lower_node(left)?;
+                let r = self.lower_node(right)?;
+                let op: Box<dyn IncOp> = match algo {
+                    PhysJoinAlgo::PipelinedHash => Box::new(PipelinedHashJoin::new(
+                        left.schema.clone(),
+                        right.schema.clone(),
+                        *left_col,
+                        *right_col,
+                    )),
+                    PhysJoinAlgo::Merge => Box::new(MergeJoin::new(
+                        left.schema.clone(),
+                        right.schema.clone(),
+                        *left_col,
+                        *right_col,
+                    )),
+                    PhysJoinAlgo::HybridHash => Box::new(HybridHashJoin::new(
+                        left.schema.clone(),
+                        right.schema.clone(),
+                        *left_col,
+                        *right_col,
+                    )),
+                    PhysJoinAlgo::NestedLoops => {
+                        let pred = Expr::eq(
+                            Expr::Col(*left_col),
+                            Expr::Col(left.schema.arity() + *right_col),
+                        );
+                        Box::new(NestedLoopsJoin::new(
+                            left.schema.clone(),
+                            right.schema.clone(),
+                            pred,
+                        ))
+                    }
+                };
+                let id = self.attach(op, &[l, r], node)?;
+                self.join_nodes.push((id, *pred_id));
+                if residual.is_empty() {
+                    Ok(Lowered::Node(id))
+                } else {
+                    let pred = Expr::And(
+                        residual
+                            .iter()
+                            .map(|&(a, b)| Expr::eq(Expr::Col(a), Expr::Col(b)))
+                            .collect(),
+                    );
+                    let f = Box::new(FilterOp::new(pred, node.schema.clone()));
+                    let fid = self.b.add_op(f, &[Some(id)], Some(node.sig.clone()))?;
+                    Ok(Lowered::Node(fid))
+                }
+            }
+            PhysKind::PreAgg {
+                child,
+                mode,
+                group_cols,
+                aggs,
+            } => {
+                let c = self.lower_node(child)?;
+                let spec = GroupSpec::new(
+                    group_cols.clone(),
+                    aggs.iter()
+                        .map(|&(func, col)| AggSpec { func, col })
+                        .collect(),
+                );
+                let policy = match mode {
+                    PreAggMode::AdaptiveWindow => WindowPolicy::default_adaptive(),
+                    // Traditional pre-aggregation groups its entire input
+                    // before emitting: a window that never fills.
+                    PreAggMode::Traditional => WindowPolicy::Fixed(usize::MAX),
+                    PreAggMode::Pseudogroup => WindowPolicy::Fixed(1),
+                };
+                let op = Box::new(PreAggOp::new(spec, &child.schema, policy));
+                // Field names differ by convention (the planner prefixes
+                // partials); arity must agree.
+                if op.schema().arity() != node.schema.arity() {
+                    return Err(Error::Plan(format!(
+                        "pre-agg schema mismatch: op {} vs plan {}",
+                        op.schema(),
+                        node.schema
+                    )));
+                }
+                let id = self.attach(op, &[c], node)?;
+                Ok(Lowered::Node(id))
+            }
+        }
+    }
+}
+
+/// Lower a physical plan to an executable pipeline.
+///
+/// When the plan aggregates, the pipeline ends with the canonical
+/// projection feeding a [`SharedGroupTable`]: pass `shared` to reuse a
+/// table across phases (corrective execution), or `None` to create a fresh
+/// one. With `emit_on_finish`, the table finalizes (and post-projects) into
+/// the root output when the last source closes — single-plan use.
+pub fn lower_plan(
+    plan: &PhysPlan,
+    shared: Option<Arc<SharedGroupTable>>,
+    emit_on_finish: bool,
+) -> Result<LoweredPlan> {
+    let mut b = PipelinePlan::builder();
+    let mut ctx = LowerCtx {
+        b: &mut b,
+        join_nodes: Vec::new(),
+    };
+    let rooted = ctx.lower_node(&plan.root)?;
+    let join_nodes = std::mem::take(&mut ctx.join_nodes);
+
+    let mut table = None;
+    let mut post_project = None;
+    match canonical_agg(plan) {
+        Some((exprs, canon_schema, spec)) => {
+            let proj = Box::new(ProjectOp::new(exprs, canon_schema.clone()));
+            let proj_slots = match rooted {
+                Lowered::Node(n) => vec![Some(n)],
+                Lowered::Source(_) => vec![None],
+            };
+            let proj_id = b.add_op(proj, &proj_slots, Some(plan.root.sig.clone()))?;
+            if let Lowered::Source(rel) = rooted {
+                b.bind_source(rel, proj_id, 0)?;
+            }
+            let t = match shared {
+                Some(t) => {
+                    if t.output_schema().arity() != spec.output_schema(&canon_schema).arity() {
+                        return Err(Error::Plan(
+                            "phase plan is not schema-compatible with the shared group table"
+                                .into(),
+                        ));
+                    }
+                    t
+                }
+                None => SharedGroupTable::new(spec, &canon_schema),
+            };
+            let group_op = Box::new(SharedGroupOp::new(t.clone(), emit_on_finish));
+            let gid = b.add_op(group_op, &[Some(proj_id)], None)?;
+            post_project = plan.agg.as_ref().and_then(|a| a.post_project.clone());
+            if emit_on_finish {
+                if let Some((exprs, schema)) = &post_project {
+                    let p = Box::new(ProjectOp::new(exprs.clone(), schema.clone()));
+                    b.add_op(p, &[Some(gid)], None)?;
+                }
+            }
+            table = Some(t);
+        }
+        None => {
+            if let Lowered::Source(rel) = rooted {
+                // Single unfiltered scan as a whole query: wrap in a
+                // pass-through projection so the plan has a root operator.
+                let schema = plan.root.schema.clone();
+                let cols: Vec<usize> = (0..schema.arity()).collect();
+                let p = Box::new(ProjectOp::columns(&cols, &schema));
+                let id = b.add_op(p, &[None], Some(plan.root.sig.clone()))?;
+                b.bind_source(rel, id, 0)?;
+            }
+        }
+    }
+
+    Ok(LoweredPlan {
+        pipeline: b.build()?,
+        join_nodes,
+        table,
+        post_project,
+    })
+}
+
+/// Apply a post-projection to finalized rows.
+pub fn apply_post_project(
+    rows: Vec<tukwila_relation::Tuple>,
+    post: &Option<(Vec<Expr>, Schema)>,
+) -> Result<Vec<tukwila_relation::Tuple>> {
+    match post {
+        None => Ok(rows),
+        Some((exprs, _)) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    vals.push(e.eval(&r)?);
+                }
+                out.push(tukwila_relation::Tuple::new(vals));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_datagen::queries;
+    use tukwila_datagen::{Dataset, DatasetConfig, TableId};
+    use tukwila_exec::{CpuCostModel, SimDriver};
+    use tukwila_optimizer::{Optimizer, OptimizerContext, PreAggConfig};
+    use tukwila_source::{MemSource, Source};
+
+    fn sources_for(
+        d: &Dataset,
+        q: &tukwila_optimizer::LogicalQuery,
+    ) -> Vec<Box<dyn Source>> {
+        queries::tables_of(q)
+            .into_iter()
+            .map(|t| {
+                Box::new(MemSource::new(
+                    t.rel_id(),
+                    t.name(),
+                    Dataset::schema(t),
+                    d.table(t).to_vec(),
+                )) as Box<dyn Source>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lowered_q3a_executes_and_aggregates() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+        let lowered = lower_plan(&plan, None, true).unwrap();
+        let mut pipeline = lowered.pipeline;
+        let mut sources = sources_for(&d, &q);
+        let driver = SimDriver::new(512, CpuCostModel::Zero);
+        let (rows, _) = driver.run(&mut pipeline, &mut sources).unwrap();
+        assert!(!rows.is_empty());
+        // Group key arity: l_orderkey, o_orderdate, o_shippriority + sum.
+        assert_eq!(rows[0].arity(), 4);
+        assert!(!lowered.join_nodes.is_empty());
+    }
+
+    #[test]
+    fn preagg_plan_matches_plain_plan_results() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q10a();
+        let run = |preagg: PreAggConfig| {
+            let mut ctx = OptimizerContext::no_statistics();
+            ctx.preagg = preagg;
+            let opt = Optimizer::new(ctx);
+            let plan = opt.optimize(&q).unwrap();
+            let lowered = lower_plan(&plan, None, true).unwrap();
+            let mut pipeline = lowered.pipeline;
+            let mut sources = sources_for(&d, &q);
+            let driver = SimDriver::new(512, CpuCostModel::Zero);
+            let (rows, _) = driver.run(&mut pipeline, &mut sources).unwrap();
+            tukwila_exec::reference::canonicalize_approx(&rows)
+        };
+        let plain = run(PreAggConfig::Off);
+        let window = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::AdaptiveWindow));
+        let trad = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::Traditional));
+        let pseudo = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::Pseudogroup));
+        assert_eq!(plain, window);
+        assert_eq!(plain, trad);
+        assert_eq!(plain, pseudo);
+        assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn q5_with_cycle_executes() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q5();
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+        let lowered = lower_plan(&plan, None, true).unwrap();
+        let mut pipeline = lowered.pipeline;
+        let mut sources = sources_for(&d, &q);
+        let driver = SimDriver::new(512, CpuCostModel::Zero);
+        let (rows, _) = driver.run(&mut pipeline, &mut sources).unwrap();
+        // Grouped by nation name within ASIA: at most 5 groups.
+        assert!(rows.len() <= 5);
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_oracle_on_q3a() {
+        use tukwila_exec::reference::{canonicalize, RefCol, RefJoin, RefQuery, RefRelation};
+        use tukwila_relation::agg::AggFunc;
+
+        let d = Dataset::generate(DatasetConfig::uniform(0.001));
+        let q = queries::q3a();
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+        let lowered = lower_plan(&plan, None, true).unwrap();
+        let mut pipeline = lowered.pipeline;
+        let mut sources = sources_for(&d, &q);
+        let driver = SimDriver::new(256, CpuCostModel::Zero);
+        let (rows, _) = driver.run(&mut pipeline, &mut sources).unwrap();
+
+        // Reference: customer(0) orders(1) lineitem(2).
+        let mut r = RefQuery::new(vec![
+            RefRelation {
+                schema: Dataset::schema(TableId::Customer),
+                tuples: d.customer.clone(),
+            },
+            RefRelation {
+                schema: Dataset::schema(TableId::Orders),
+                tuples: d.orders.clone(),
+            },
+            RefRelation {
+                schema: Dataset::schema(TableId::Lineitem),
+                tuples: d.lineitem.clone(),
+            },
+        ]);
+        r.filters.push((
+            0,
+            q.rels[0].filter.clone().unwrap(),
+        ));
+        r.joins.push(RefJoin {
+            left_rel: 0,
+            left_col: 0,
+            right_rel: 1,
+            right_col: 1,
+        });
+        r.joins.push(RefJoin {
+            left_rel: 1,
+            left_col: 0,
+            right_rel: 2,
+            right_col: 0,
+        });
+        r.group_cols = vec![
+            RefCol { rel: 2, col: 0 },
+            RefCol { rel: 1, col: 2 },
+            RefCol { rel: 1, col: 3 },
+        ];
+        r.aggs = vec![(AggFunc::Sum, RefCol { rel: 2, col: 9 })];
+        let expected = r.run().unwrap();
+        assert_eq!(canonicalize(&rows), canonicalize(&expected));
+    }
+}

@@ -1,0 +1,351 @@
+//! The stitch-up executor (paper §3.4).
+//!
+//! After the phases finish, the answers still missing are exactly the
+//! cross-phase join combinations (`n^m − n` of them for `m` relations and
+//! `n` phases). We compute them with *partition-labelled sets* over the
+//! final plan's join tree: at each node, results are split into `pure[i]`
+//! (every constituent tuple from phase `i`) and `mixed` (everything else).
+//!
+//! * `pure[i]` is **reused** from the state-structure registry whenever
+//!   phase `i` materialized that logical subexpression (the §3.4.2
+//!   exclusion list, with §3.2's tuple adapters fixing attribute-order
+//!   differences between plans); it is recomputed from the children's pure
+//!   sets otherwise.
+//! * `mixed` at a join node is the union of all cross-phase combinations —
+//!   computed once per node, with the smaller side hashed (the §3.4.3
+//!   stitch-up join, including rehash-on-key-mismatch).
+//! * Only the root's `mixed` tuples are new answers: the diagonal `pure`
+//!   results were already emitted by the phases themselves.
+
+use tukwila_exec::join::batch::BatchJoinStats;
+use tukwila_exec::Batch;
+use tukwila_optimizer::{LogicalQuery, PhysKind, PhysNode};
+use tukwila_relation::{Expr, Result, Tuple};
+use tukwila_storage::{ExprSig, StateRegistry, TupleHashTable};
+
+/// Statistics from one stitch-up execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StitchUpStats {
+    /// New (cross-phase) answer tuples produced at the root.
+    pub mixed_tuples: usize,
+    /// `pure[i]` tuples that had to be recomputed because no phase
+    /// registered the subexpression.
+    pub recomputed_pure: usize,
+    /// Registry entries reused (marked for the Table 1/2 accounting).
+    pub entries_reused: usize,
+    pub join: BatchJoinStats,
+}
+
+/// Partition-labelled result set at one plan node.
+struct Labeled {
+    pure: Vec<Batch>,
+    mixed: Batch,
+}
+
+/// The stitch-up executor.
+pub struct StitchUp<'a> {
+    pub q: &'a LogicalQuery,
+    pub registry: &'a StateRegistry,
+    pub nphases: usize,
+    /// Reuse registered intermediate results (the §3.4.2 exclusion-list
+    /// behaviour). Disabled only by the reuse ablation, which recomputes
+    /// every intermediate from the leaf partitions.
+    pub reuse_intermediates: bool,
+}
+
+impl<'a> StitchUp<'a> {
+    pub fn new(q: &'a LogicalQuery, registry: &'a StateRegistry, nphases: usize) -> Self {
+        StitchUp {
+            q,
+            registry,
+            nphases,
+            reuse_intermediates: true,
+        }
+    }
+
+    /// Ablation switch: when `false`, only leaf partitions are read from
+    /// the registry and every intermediate `pure[i]` is recomputed.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_intermediates = reuse;
+        self
+    }
+
+    /// Evaluate the cross-phase results over `tree` (the final phase's plan
+    /// tree), feeding new answer tuples to `sink`.
+    pub fn run(
+        &self,
+        tree: &PhysNode,
+        sink: &mut dyn FnMut(&[Tuple]) -> Result<()>,
+    ) -> Result<StitchUpStats> {
+        if self.nphases <= 1 {
+            return Ok(StitchUpStats::default());
+        }
+        let mut stats = StitchUpStats::default();
+        let labeled = self.eval(tree, true, &mut stats)?;
+        stats.mixed_tuples = labeled.mixed.len();
+        if !labeled.mixed.is_empty() {
+            sink(&labeled.mixed)?;
+        }
+        Ok(stats)
+    }
+
+    /// Load a registered structure's tuples in the layout of `node`.
+    fn load_adapted(
+        &self,
+        sig: &ExprSig,
+        phase: usize,
+        node: &PhysNode,
+        stats: &mut StitchUpStats,
+    ) -> Result<Option<Batch>> {
+        let entry = match self.registry.lookup(sig, phase) {
+            Some(e) => e,
+            None => return Ok(None),
+        };
+        let adapter = match entry.schema.adapter_to(&node.schema) {
+            Ok(a) => a,
+            // Incompatible layout (e.g. a phase pre-aggregated differently):
+            // treat as unavailable and let the caller recompute.
+            Err(_) => return Ok(None),
+        };
+        entry.mark_reused();
+        stats.entries_reused += 1;
+        let tuples = entry.structure.scan();
+        if adapter.is_identity() {
+            return Ok(Some(tuples));
+        }
+        Ok(Some(tuples.iter().map(|t| adapter.adapt(t)).collect()))
+    }
+
+    fn eval(&self, node: &PhysNode, is_root: bool, stats: &mut StitchUpStats) -> Result<Labeled> {
+        match &node.kind {
+            // Leaf units: a scan, or pre-aggregation directly over a scan
+            // (the registered partition data *is* the pre-aggregated form).
+            PhysKind::Scan { .. } | PhysKind::PreAgg { .. } => {
+                let sig = node.sig.clone();
+                let mut pure = Vec::with_capacity(self.nphases);
+                for i in 0..self.nphases {
+                    match self.load_adapted(&sig, i, node, stats)? {
+                        Some(batch) => pure.push(batch),
+                        // Phase read nothing from this source.
+                        None => pure.push(Vec::new()),
+                    }
+                }
+                Ok(Labeled {
+                    pure,
+                    mixed: Vec::new(),
+                })
+            }
+            PhysKind::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+                residual,
+                ..
+            } => {
+                let l = self.eval(left, false, stats)?;
+                let r = self.eval(right, false, stats)?;
+
+                // Build hash tables over each right-side partition once.
+                let build = |tuples: &Batch| -> Result<TupleHashTable> {
+                    let mut t = TupleHashTable::new(*right_col);
+                    for tu in tuples {
+                        t.insert(tu.clone())?;
+                    }
+                    Ok(t)
+                };
+                let r_pure_tables: Vec<TupleHashTable> =
+                    l_to_r(&r.pure, &build)?;
+                let r_mixed_table = build(&r.mixed)?;
+
+                fn probe(
+                    probes: &Batch,
+                    table: &TupleHashTable,
+                    left_col: usize,
+                    residual: &[(usize, usize)],
+                    stats: &mut StitchUpStats,
+                    out: &mut Batch,
+                ) -> Result<()> {
+                    for t in probes {
+                        stats.join.probes += 1;
+                        for m in table.probe(&t.key(left_col)) {
+                            let joined = t.concat(m);
+                            let keep = residual
+                                .iter()
+                                .all(|&(a, b)| joined.get(a).eq_total(joined.get(b)));
+                            if keep {
+                                out.push(joined);
+                                stats.join.output += 1;
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+
+                // pure[i]: reuse from the registry or recompute from the
+                // children's pure partitions.
+                let mut pure = Vec::with_capacity(self.nphases);
+                for i in 0..self.nphases {
+                    if !is_root && self.reuse_intermediates {
+                        if let Some(batch) = self.load_adapted(&node.sig, i, node, stats)? {
+                            pure.push(batch);
+                            continue;
+                        }
+                    }
+                    if is_root {
+                        // Root diagonals were already answered by the
+                        // phases; never recompute them.
+                        pure.push(Vec::new());
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    probe(&l.pure[i], &r_pure_tables[i], *left_col, residual, stats, &mut out)?;
+                    stats.recomputed_pure += out.len();
+                    pure.push(out);
+                }
+
+                // mixed: all cross-phase combinations.
+                let mut mixed = Vec::new();
+                for a in 0..self.nphases {
+                    for (b, table) in r_pure_tables.iter().enumerate() {
+                        if a != b {
+                            probe(&l.pure[a], table, *left_col, residual, stats, &mut mixed)?;
+                        }
+                    }
+                    probe(&l.pure[a], &r_mixed_table, *left_col, residual, stats, &mut mixed)?;
+                }
+                for table in &r_pure_tables {
+                    probe(&l.mixed, table, *left_col, residual, stats, &mut mixed)?;
+                }
+                probe(&l.mixed, &r_mixed_table, *left_col, residual, stats, &mut mixed)?;
+
+                Ok(Labeled { pure, mixed })
+            }
+        }
+    }
+}
+
+fn l_to_r<T>(
+    items: &[Batch],
+    f: &dyn Fn(&Batch) -> Result<T>,
+) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(items.len());
+    for i in items {
+        out.push(f(i)?);
+    }
+    Ok(out)
+}
+
+/// Convenience for residual-aware equality predicates (used by tests).
+pub fn residual_expr(pairs: &[(usize, usize)]) -> Expr {
+    Expr::And(
+        pairs
+            .iter()
+            .map(|&(a, b)| Expr::eq(Expr::Col(a), Expr::Col(b)))
+            .collect(),
+    )
+}
+
+/// Assert-style helper: ensure a signature exists in the registry for a
+/// phase (used by integration tests to validate registration coverage).
+pub fn registered(registry: &StateRegistry, rels: &[u32], phase: usize) -> bool {
+    registry.lookup(&ExprSig::new(rels.to_vec()), phase).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tukwila_optimizer::{Optimizer, OptimizerContext};
+    use tukwila_relation::{DataType, Field, Schema, Value};
+    use tukwila_storage::TupleList;
+
+    /// Two relations, two phases, everything registered at the leaves:
+    /// stitch-up must produce exactly A0⋈B1 ∪ A1⋈B0.
+    #[test]
+    fn two_rel_two_phase_cross_terms() {
+        let mk_rel = |id: u32, name: &str| {
+            tukwila_optimizer::QueryRel::new(
+                id,
+                name,
+                Schema::new(vec![Field::new(format!("{name}.k"), DataType::Int)]),
+            )
+        };
+        let q = LogicalQuery::new(
+            vec![mk_rel(1, "a"), mk_rel(2, "b")],
+            vec![tukwila_optimizer::JoinPred {
+                id: 1,
+                left_rel: 1,
+                left_col: 0,
+                right_rel: 2,
+                right_col: 0,
+            }],
+        );
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+
+        let registry = StateRegistry::new();
+        let schema = Schema::new(vec![Field::new("a.k", DataType::Int)]);
+        let schema_b = Schema::new(vec![Field::new("b.k", DataType::Int)]);
+        let list_of = |vals: &[i64]| -> Arc<dyn tukwila_storage::StateStructure> {
+            let mut l = TupleList::new();
+            for &v in vals {
+                l.insert(Tuple::new(vec![Value::Int(v)]));
+            }
+            Arc::new(l)
+        };
+        // Phase 0: a={1,2}, b={2}; phase 1: a={3}, b={1,3}.
+        registry.register(ExprSig::single(1), 0, schema.clone(), list_of(&[1, 2]));
+        registry.register(ExprSig::single(2), 0, schema_b.clone(), list_of(&[2]));
+        registry.register(ExprSig::single(1), 1, schema.clone(), list_of(&[3]));
+        registry.register(ExprSig::single(2), 1, schema_b.clone(), list_of(&[1, 3]));
+
+        let stitch = StitchUp::new(&q, &registry, 2);
+        let mut got = Vec::new();
+        let stats = stitch
+            .run(&plan.root, &mut |batch| {
+                got.extend_from_slice(batch);
+                Ok(())
+            })
+            .unwrap();
+        // Cross terms: a0 ⋈ b1 = {1}, a1 ⋈ b0 = {} — diagonal (2,2), (3,3)
+        // excluded.
+        assert_eq!(stats.mixed_tuples, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get(0).as_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn single_phase_is_a_noop() {
+        let mk_rel = |id: u32, name: &str| {
+            tukwila_optimizer::QueryRel::new(
+                id,
+                name,
+                Schema::new(vec![Field::new(format!("{name}.k"), DataType::Int)]),
+            )
+        };
+        let q = LogicalQuery::new(
+            vec![mk_rel(1, "a"), mk_rel(2, "b")],
+            vec![tukwila_optimizer::JoinPred {
+                id: 1,
+                left_rel: 1,
+                left_col: 0,
+                right_rel: 2,
+                right_col: 0,
+            }],
+        );
+        let opt = Optimizer::new(OptimizerContext::no_statistics());
+        let plan = opt.optimize(&q).unwrap();
+        let registry = StateRegistry::new();
+        let stitch = StitchUp::new(&q, &registry, 1);
+        let mut calls = 0;
+        let stats = stitch
+            .run(&plan.root, &mut |_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stats.mixed_tuples, 0);
+        assert_eq!(calls, 0);
+    }
+}

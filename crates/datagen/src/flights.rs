@@ -1,0 +1,155 @@
+//! The flights/travelers/children schema of the paper's Example 2.1:
+//! `F(fid, from, to, when)`, `T(ssn, flight)`, `C(p, num)` and the query
+//! "the flight with the traveler who has the most children":
+//! `Γ[fid, from] max(num) (F ⋈ T ⋈ C)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tukwila_optimizer::{AggRef, JoinPred, LogicalQuery, QueryAgg, QueryRel};
+use tukwila_relation::agg::AggFunc;
+use tukwila_relation::{DataType, Field, Schema, Tuple, Value};
+
+pub const FLIGHTS: u32 = 101;
+pub const TRAVELERS: u32 = 102;
+pub const CHILDREN: u32 = 103;
+
+const CITIES: [&str; 8] = [
+    "SEA", "SFO", "JFK", "ORD", "LAX", "BOS", "PHL", "DEN",
+];
+
+pub fn flights_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("F.fid", DataType::Int),
+        Field::new("F.from", DataType::Str),
+        Field::new("F.to", DataType::Str),
+        Field::new("F.when", DataType::Date),
+    ])
+}
+
+pub fn travelers_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("T.ssn", DataType::Int),
+        Field::new("T.flight", DataType::Int),
+    ])
+}
+
+pub fn children_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("C.p", DataType::Int),
+        Field::new("C.num", DataType::Int),
+    ])
+}
+
+/// Generated Example-2.1 data.
+pub struct FlightsData {
+    pub flights: Vec<Tuple>,
+    pub travelers: Vec<Tuple>,
+    pub children: Vec<Tuple>,
+}
+
+/// `trips_per_traveler` controls whether "a traveler flies multiple times"
+/// (Example 2.3's pre-aggregation discussion).
+pub fn generate(
+    n_flights: usize,
+    n_travelers: usize,
+    trips_per_traveler: usize,
+    seed: u64,
+) -> FlightsData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flights = (0..n_flights as i64)
+        .map(|fid| {
+            Tuple::new(vec![
+                Value::Int(fid),
+                Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::Date(rng.gen_range(0..365)),
+            ])
+        })
+        .collect();
+    let mut travelers = Vec::with_capacity(n_travelers * trips_per_traveler);
+    for ssn in 0..n_travelers as i64 {
+        for _ in 0..trips_per_traveler.max(1) {
+            travelers.push(Tuple::new(vec![
+                Value::Int(ssn),
+                Value::Int(rng.gen_range(0..n_flights as i64)),
+            ]));
+        }
+    }
+    let children = (0..n_travelers as i64)
+        .map(|ssn| Tuple::new(vec![Value::Int(ssn), Value::Int(rng.gen_range(0..6))]))
+        .collect();
+    FlightsData {
+        flights,
+        travelers,
+        children,
+    }
+}
+
+/// The Example 2.1 query as a [`LogicalQuery`].
+pub fn query() -> LogicalQuery {
+    LogicalQuery::new(
+        vec![
+            QueryRel::new(FLIGHTS, "F", flights_schema()),
+            QueryRel::new(TRAVELERS, "T", travelers_schema()),
+            QueryRel::new(CHILDREN, "C", children_schema()),
+        ],
+        vec![
+            JoinPred {
+                id: 9001,
+                left_rel: FLIGHTS,
+                left_col: 0, // fid
+                right_rel: TRAVELERS,
+                right_col: 1, // flight
+            },
+            JoinPred {
+                id: 9002,
+                left_rel: TRAVELERS,
+                left_col: 0, // ssn
+                right_rel: CHILDREN,
+                right_col: 0, // p
+            },
+        ],
+    )
+    .with_agg(QueryAgg {
+        group: vec![
+            AggRef {
+                rel: FLIGHTS,
+                col: 0,
+            },
+            AggRef {
+                rel: FLIGHTS,
+                col: 1,
+            },
+        ],
+        aggs: vec![(
+            AggFunc::Max,
+            AggRef {
+                rel: CHILDREN,
+                col: 1,
+            },
+        )],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_query_validate() {
+        let d = generate(50, 200, 3, 1);
+        assert_eq!(d.flights.len(), 50);
+        assert_eq!(d.travelers.len(), 600);
+        assert_eq!(d.children.len(), 200);
+        query().validate().unwrap();
+    }
+
+    #[test]
+    fn travelers_reference_valid_flights() {
+        let d = generate(10, 50, 2, 2);
+        for t in &d.travelers {
+            let f = t.get(1).as_int().unwrap();
+            assert!(f >= 0 && f < 10);
+        }
+    }
+}

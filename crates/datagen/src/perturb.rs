@@ -1,0 +1,83 @@
+//! Reordering perturbations for the §5 order experiments ("versions of the
+//! data in which we randomly swapped 1%, 10%, or 50% of the data").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tukwila_relation::Tuple;
+
+/// Randomly swap `fraction * n` pairs of positions (seeded).
+pub fn reorder_fraction(tuples: &mut [Tuple], fraction: f64, seed: u64) {
+    let n = tuples.len();
+    if n < 2 {
+        return;
+    }
+    let swaps = ((n as f64) * fraction).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        tuples.swap(i, j);
+    }
+}
+
+/// Fraction of adjacent pairs out of ascending order on `col` — a quick
+/// disorder metric for tests and reports.
+pub fn disorder(tuples: &[Tuple], col: usize) -> f64 {
+    if tuples.len() < 2 {
+        return 0.0;
+    }
+    let violations = tuples
+        .windows(2)
+        .filter(|w| {
+            w[0].get(col).cmp_total(w[1].get(col)) == std::cmp::Ordering::Greater
+        })
+        .count();
+    violations as f64 / (tuples.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::Value;
+
+    fn sorted(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let mut v = sorted(100);
+        reorder_fraction(&mut v, 0.0, 1);
+        assert_eq!(disorder(&v, 0), 0.0);
+    }
+
+    #[test]
+    fn disorder_grows_with_fraction() {
+        let mut d = Vec::new();
+        for f in [0.01, 0.1, 0.5] {
+            let mut v = sorted(10_000);
+            reorder_fraction(&mut v, f, 42);
+            d.push(disorder(&v, 0));
+        }
+        assert!(d[0] > 0.0);
+        assert!(d[0] < d[1] && d[1] < d[2], "{d:?}");
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let mut v = sorted(1000);
+        reorder_fraction(&mut v, 0.5, 9);
+        let mut vals: Vec<i64> = v.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let mut a = sorted(500);
+        let mut b = sorted(500);
+        reorder_fraction(&mut a, 0.2, 7);
+        reorder_fraction(&mut b, 0.2, 7);
+        assert_eq!(a, b);
+    }
+}

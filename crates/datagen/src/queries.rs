@@ -1,0 +1,246 @@
+//! The paper's query workload: TPC-H queries 3, 10, and 5 restricted to
+//! the select-project-join-aggregation model, plus the 3A/10A variants
+//! with date predicates removed (§4.4: "Since query 3 was very inexpensive
+//! to compute... we altered it to be more expensive by removing its
+//! date-based selection predicates").
+
+use tukwila_optimizer::{AggRef, JoinPred, LogicalQuery, QueryAgg, QueryRel};
+use tukwila_relation::agg::AggFunc;
+use tukwila_relation::{CmpOp, Expr, Value};
+
+use crate::tpch::{Dataset, TableId, DATE_MAX};
+
+fn rel(id: TableId) -> QueryRel {
+    QueryRel::new(id.rel_id(), id.name(), Dataset::schema(id))
+}
+
+fn pred(id: u64, l: TableId, lcol: &str, r: TableId, rcol: &str) -> JoinPred {
+    JoinPred {
+        id,
+        left_rel: l.rel_id(),
+        left_col: Dataset::schema(l).index_of(lcol).expect("known column"),
+        right_rel: r.rel_id(),
+        right_col: Dataset::schema(r).index_of(rcol).expect("known column"),
+    }
+}
+
+fn col(t: TableId, name: &str) -> AggRef {
+    AggRef {
+        rel: t.rel_id(),
+        col: Dataset::schema(t).index_of(name).expect("known column"),
+    }
+}
+
+fn eq_str(t: TableId, name: &str, v: &str) -> Expr {
+    let schema = Dataset::schema(t);
+    Expr::eq(
+        Expr::Col(schema.index_of(name).expect("known column")),
+        Expr::Lit(Value::str(v)),
+    )
+}
+
+fn date_cmp(t: TableId, name: &str, op: CmpOp, day: i32) -> Expr {
+    let schema = Dataset::schema(t);
+    Expr::cmp(
+        Expr::Col(schema.index_of(name).expect("known column")),
+        op,
+        Expr::Lit(Value::Date(day)),
+    )
+}
+
+/// TPC-H Q3 (shipping priority): customer ⋈ orders ⋈ lineitem with
+/// segment + date predicates, grouped by order, summing revenue.
+pub fn q3() -> LogicalQuery {
+    let mid = DATE_MAX / 2;
+    let customer = rel(TableId::Customer)
+        .with_filter(eq_str(TableId::Customer, "c_mktsegment", "BUILDING"), 0.2);
+    let orders = rel(TableId::Orders).with_filter(
+        date_cmp(TableId::Orders, "o_orderdate", CmpOp::Lt, mid),
+        0.5,
+    );
+    let lineitem = rel(TableId::Lineitem).with_filter(
+        date_cmp(TableId::Lineitem, "l_shipdate", CmpOp::Gt, mid),
+        0.5,
+    );
+    LogicalQuery::new(
+        vec![customer, orders, lineitem],
+        vec![
+            pred(301, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
+            pred(302, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
+        ],
+    )
+    .with_agg(QueryAgg {
+        group: vec![
+            col(TableId::Lineitem, "l_orderkey"),
+            col(TableId::Orders, "o_orderdate"),
+            col(TableId::Orders, "o_shippriority"),
+        ],
+        aggs: vec![(AggFunc::Sum, col(TableId::Lineitem, "l_revenue"))],
+    })
+}
+
+/// Q3A: Q3 with the date predicates removed (more expensive; the paper's
+/// main 3-relation workload query).
+pub fn q3a() -> LogicalQuery {
+    let mut q = q3();
+    for r in &mut q.rels {
+        if r.rel_id != TableId::Customer.rel_id() {
+            r.filter = None;
+            r.filter_sel = 1.0;
+        }
+    }
+    q
+}
+
+/// TPC-H Q10 (returned items): customer ⋈ orders ⋈ lineitem ⋈ nation,
+/// returnflag = 'R' plus a date window, grouped by customer, summing
+/// revenue.
+pub fn q10() -> LogicalQuery {
+    let d0 = DATE_MAX / 3;
+    let customer = rel(TableId::Customer);
+    let orders = rel(TableId::Orders).with_filter(
+        Expr::And(vec![
+            date_cmp(TableId::Orders, "o_orderdate", CmpOp::Ge, d0),
+            date_cmp(TableId::Orders, "o_orderdate", CmpOp::Lt, d0 + 90),
+        ]),
+        90.0 / DATE_MAX as f64,
+    );
+    let lineitem = rel(TableId::Lineitem)
+        .with_filter(eq_str(TableId::Lineitem, "l_returnflag", "R"), 1.0 / 3.0);
+    let nation = rel(TableId::Nation);
+    LogicalQuery::new(
+        vec![customer, orders, lineitem, nation],
+        vec![
+            pred(1001, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
+            pred(1002, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
+            pred(1003, TableId::Customer, "c_nationkey", TableId::Nation, "n_nationkey"),
+        ],
+    )
+    .with_agg(QueryAgg {
+        group: vec![
+            col(TableId::Customer, "c_custkey"),
+            col(TableId::Customer, "c_name"),
+            col(TableId::Nation, "n_name"),
+        ],
+        aggs: vec![(AggFunc::Sum, col(TableId::Lineitem, "l_revenue"))],
+    })
+}
+
+/// Q10A: Q10 with the date predicates removed.
+pub fn q10a() -> LogicalQuery {
+    let mut q = q10();
+    for r in &mut q.rels {
+        if r.rel_id == TableId::Orders.rel_id() {
+            r.filter = None;
+            r.filter_sel = 1.0;
+        }
+    }
+    q
+}
+
+/// TPC-H Q5 (local supplier volume): customer ⋈ orders ⋈ lineitem ⋈
+/// supplier ⋈ nation ⋈ region, with region-name and date predicates and
+/// the cyclic condition c_nationkey = s_nationkey; grouped by nation,
+/// summing revenue.
+pub fn q5() -> LogicalQuery {
+    let d0 = DATE_MAX / 4;
+    let customer = rel(TableId::Customer);
+    let orders = rel(TableId::Orders).with_filter(
+        Expr::And(vec![
+            date_cmp(TableId::Orders, "o_orderdate", CmpOp::Ge, d0),
+            date_cmp(TableId::Orders, "o_orderdate", CmpOp::Lt, d0 + 365),
+        ]),
+        365.0 / DATE_MAX as f64,
+    );
+    let lineitem = rel(TableId::Lineitem);
+    let supplier = rel(TableId::Supplier);
+    let nation = rel(TableId::Nation);
+    let region =
+        rel(TableId::Region).with_filter(eq_str(TableId::Region, "r_name", "ASIA"), 0.2);
+    LogicalQuery::new(
+        vec![customer, orders, lineitem, supplier, nation, region],
+        vec![
+            pred(501, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
+            pred(502, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
+            pred(503, TableId::Lineitem, "l_suppkey", TableId::Supplier, "s_suppkey"),
+            // The cycle: customers and suppliers in the same nation.
+            pred(504, TableId::Customer, "c_nationkey", TableId::Supplier, "s_nationkey"),
+            pred(505, TableId::Supplier, "s_nationkey", TableId::Nation, "n_nationkey"),
+            pred(506, TableId::Nation, "n_regionkey", TableId::Region, "r_regionkey"),
+        ],
+    )
+    .with_agg(QueryAgg {
+        group: vec![col(TableId::Nation, "n_name")],
+        aggs: vec![(AggFunc::Sum, col(TableId::Lineitem, "l_revenue"))],
+    })
+}
+
+/// Relations a query touches (for wiring up sources).
+pub fn tables_of(q: &LogicalQuery) -> Vec<TableId> {
+    q.rels
+        .iter()
+        .map(|r| {
+            TableId::all()
+                .into_iter()
+                .find(|t| t.rel_id() == r.rel_id)
+                .expect("workload queries only touch TPC tables")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_validate() {
+        for (name, q) in [
+            ("q3", q3()),
+            ("q3a", q3a()),
+            ("q10", q10()),
+            ("q10a", q10a()),
+            ("q5", q5()),
+        ] {
+            q.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn variants_drop_date_filters() {
+        assert!(q3().rels.iter().all(|r| r.filter.is_some()));
+        let a = q3a();
+        let orders = a
+            .rels
+            .iter()
+            .find(|r| r.rel_id == TableId::Orders.rel_id())
+            .unwrap();
+        assert!(orders.filter.is_none());
+        // Customer keeps its segment predicate in 3A.
+        let cust = a
+            .rels
+            .iter()
+            .find(|r| r.rel_id == TableId::Customer.rel_id())
+            .unwrap();
+        assert!(cust.filter.is_some());
+    }
+
+    #[test]
+    fn q5_has_six_relations_and_a_cycle() {
+        let q = q5();
+        assert_eq!(q.rels.len(), 6);
+        assert_eq!(q.preds.len(), 6, "5 spanning edges + 1 cycle edge");
+    }
+
+    #[test]
+    fn tables_of_maps_back() {
+        assert_eq!(
+            tables_of(&q10()),
+            vec![
+                TableId::Customer,
+                TableId::Orders,
+                TableId::Lineitem,
+                TableId::Nation
+            ]
+        );
+    }
+}

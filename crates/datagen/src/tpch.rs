@@ -1,0 +1,437 @@
+//! TPC-H-style table generation, uniform and Zipf-skewed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tukwila_relation::{DataType, Field, Schema, Tuple, Value};
+
+use crate::zipf::Zipf;
+
+/// Stable relation ids used across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableId {
+    Region = 1,
+    Nation = 2,
+    Supplier = 3,
+    Customer = 4,
+    Orders = 5,
+    Lineitem = 6,
+    Part = 7,
+    PartSupp = 8,
+}
+
+impl TableId {
+    pub fn rel_id(self) -> u32 {
+        self as u32
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TableId::Region => "region",
+            TableId::Nation => "nation",
+            TableId::Supplier => "supplier",
+            TableId::Customer => "customer",
+            TableId::Orders => "orders",
+            TableId::Lineitem => "lineitem",
+            TableId::Part => "part",
+            TableId::PartSupp => "partsupp",
+        }
+    }
+
+    pub fn all() -> [TableId; 8] {
+        [
+            TableId::Region,
+            TableId::Nation,
+            TableId::Supplier,
+            TableId::Customer,
+            TableId::Orders,
+            TableId::Lineitem,
+            TableId::Part,
+            TableId::PartSupp,
+        ]
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// TPC-H scale factor (1.0 ≈ 6M lineitems; the paper uses 0.1; our
+    /// default experiments use 0.02–0.05).
+    pub scale: f64,
+    /// Zipf exponent on the major (foreign-key) attributes; `None` =
+    /// uniform. The paper's skewed dataset uses `Some(0.5)`.
+    pub zipf_z: Option<f64>,
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    pub fn uniform(scale: f64) -> DatasetConfig {
+        DatasetConfig {
+            scale,
+            zipf_z: None,
+            seed: 0x7u64,
+        }
+    }
+
+    pub fn skewed(scale: f64) -> DatasetConfig {
+        DatasetConfig {
+            scale,
+            zipf_z: Some(0.5),
+            seed: 0x7u64,
+        }
+    }
+}
+
+/// A generated database: one tuple vector per table.
+pub struct Dataset {
+    pub config: DatasetConfig,
+    pub region: Vec<Tuple>,
+    pub nation: Vec<Tuple>,
+    pub supplier: Vec<Tuple>,
+    pub customer: Vec<Tuple>,
+    pub orders: Vec<Tuple>,
+    pub lineitem: Vec<Tuple>,
+    pub part: Vec<Tuple>,
+    pub partsupp: Vec<Tuple>,
+}
+
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+/// Date domain: days 0..2556 (≈ 1992-01-01 .. 1998-12-31).
+pub const DATE_MAX: i32 = 2556;
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+impl Dataset {
+    /// Table sizes at this scale (TPC-H proportions).
+    pub fn sizes(config: &DatasetConfig) -> [(TableId, usize); 8] {
+        let s = config.scale;
+        [
+            (TableId::Region, 5),
+            (TableId::Nation, 25),
+            (TableId::Supplier, scaled(10_000, s)),
+            (TableId::Customer, scaled(150_000, s)),
+            (TableId::Orders, scaled(1_500_000, s)),
+            (TableId::Lineitem, 0), // derived: ~4 per order
+            (TableId::Part, scaled(200_000, s)),
+            (TableId::PartSupp, 0), // derived: 4 per part
+        ]
+    }
+
+    pub fn generate(config: DatasetConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sizes: std::collections::HashMap<TableId, usize> =
+            Dataset::sizes(&config).into_iter().collect();
+        let n_supp = sizes[&TableId::Supplier];
+        let n_cust = sizes[&TableId::Customer];
+        let n_orders = sizes[&TableId::Orders];
+        let n_part = sizes[&TableId::Part];
+
+        let region: Vec<Tuple> = (0..5)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::str(REGIONS[i as usize])]))
+            .collect();
+
+        let nation: Vec<Tuple> = (0..25)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str(&format!("NATION{i:02}")),
+                    Value::Int(i % 5), // n_regionkey
+                ])
+            })
+            .collect();
+
+        let supplier: Vec<Tuple> = (0..n_supp as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str(&format!("Supplier{i:07}")),
+                    Value::Int(rng.gen_range(0..25)), // s_nationkey
+                    Value::Float(rng.gen_range(-999.0..10_000.0)), // s_acctbal
+                ])
+            })
+            .collect();
+
+        let customer: Vec<Tuple> = (0..n_cust as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str(&format!("Customer{i:09}")),
+                    Value::Int(rng.gen_range(0..25)), // c_nationkey
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                    Value::Float(rng.gen_range(-999.0..10_000.0)), // c_acctbal
+                ])
+            })
+            .collect();
+
+        // Skew applies to the "major attributes": the foreign keys drawn by
+        // the fact tables.
+        let cust_pick = config.zipf_z.map(|z| Zipf::new(n_cust, z));
+        let supp_pick = config.zipf_z.map(|z| Zipf::new(n_supp, z));
+        let part_pick = config.zipf_z.map(|z| Zipf::new(n_part, z));
+
+        // ORDERS: clustered (sorted) by o_orderkey.
+        let mut orders = Vec::with_capacity(n_orders);
+        let mut lineitem = Vec::new();
+        for okey in 0..n_orders as i64 {
+            let custkey = match &cust_pick {
+                Some(z) => z.sample(&mut rng) as i64,
+                None => rng.gen_range(0..n_cust as i64),
+            };
+            let odate = rng.gen_range(0..DATE_MAX);
+            let total: f64 = rng.gen_range(1_000.0..500_000.0);
+            orders.push(Tuple::new(vec![
+                Value::Int(okey),
+                Value::Int(custkey),
+                Value::Date(odate),
+                Value::Int(rng.gen_range(0..5)), // o_shippriority
+                Value::Float(total),
+            ]));
+            // LINEITEM: 1..=7 lines per order (mean ≈ 4), clustered by
+            // l_orderkey.
+            let lines = rng.gen_range(1..=7);
+            for line in 0..lines {
+                let partkey = match &part_pick {
+                    Some(z) => z.sample(&mut rng) as i64,
+                    None => rng.gen_range(0..n_part as i64),
+                };
+                let suppkey = match &supp_pick {
+                    Some(z) => z.sample(&mut rng) as i64,
+                    None => rng.gen_range(0..n_supp as i64),
+                };
+                let qty = rng.gen_range(1..=50) as f64;
+                let price: f64 = rng.gen_range(900.0..100_000.0);
+                let discount: f64 = rng.gen_range(0.0..0.1);
+                let shipdate = (odate + rng.gen_range(1..=121)).min(DATE_MAX + 121);
+                let flag = RETURN_FLAGS[rng.gen_range(0..3)];
+                lineitem.push(Tuple::new(vec![
+                    Value::Int(okey),
+                    Value::Int(line),
+                    Value::Int(partkey),
+                    Value::Int(suppkey),
+                    Value::Float(qty),
+                    Value::Float(price),
+                    Value::Float(discount),
+                    Value::str(flag),
+                    Value::Date(shipdate),
+                    Value::Float(price * (1.0 - discount)), // l_revenue
+                ]));
+            }
+        }
+
+        let part: Vec<Tuple> = (0..n_part as i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str(&format!("Part{i:08}")),
+                    Value::Float(rng.gen_range(900.0..2_000.0)), // p_retailprice
+                ])
+            })
+            .collect();
+
+        let mut partsupp = Vec::with_capacity(n_part * 4);
+        for pkey in 0..n_part as i64 {
+            for _ in 0..4 {
+                let suppkey = match &supp_pick {
+                    Some(z) => z.sample(&mut rng) as i64,
+                    None => rng.gen_range(0..n_supp as i64),
+                };
+                partsupp.push(Tuple::new(vec![
+                    Value::Int(pkey),
+                    Value::Int(suppkey),
+                    Value::Int(rng.gen_range(1..10_000)), // ps_availqty
+                    Value::Float(rng.gen_range(1.0..1_000.0)), // ps_supplycost
+                ]));
+            }
+        }
+
+        Dataset {
+            config,
+            region,
+            nation,
+            supplier,
+            customer,
+            orders,
+            lineitem,
+            part,
+            partsupp,
+        }
+    }
+
+    pub fn table(&self, id: TableId) -> &[Tuple] {
+        match id {
+            TableId::Region => &self.region,
+            TableId::Nation => &self.nation,
+            TableId::Supplier => &self.supplier,
+            TableId::Customer => &self.customer,
+            TableId::Orders => &self.orders,
+            TableId::Lineitem => &self.lineitem,
+            TableId::Part => &self.part,
+            TableId::PartSupp => &self.partsupp,
+        }
+    }
+
+    pub fn schema(id: TableId) -> Schema {
+        match id {
+            TableId::Region => Schema::new(vec![
+                Field::new("region.r_regionkey", DataType::Int),
+                Field::new("region.r_name", DataType::Str),
+            ]),
+            TableId::Nation => Schema::new(vec![
+                Field::new("nation.n_nationkey", DataType::Int),
+                Field::new("nation.n_name", DataType::Str),
+                Field::new("nation.n_regionkey", DataType::Int),
+            ]),
+            TableId::Supplier => Schema::new(vec![
+                Field::new("supplier.s_suppkey", DataType::Int),
+                Field::new("supplier.s_name", DataType::Str),
+                Field::new("supplier.s_nationkey", DataType::Int),
+                Field::new("supplier.s_acctbal", DataType::Float),
+            ]),
+            TableId::Customer => Schema::new(vec![
+                Field::new("customer.c_custkey", DataType::Int),
+                Field::new("customer.c_name", DataType::Str),
+                Field::new("customer.c_nationkey", DataType::Int),
+                Field::new("customer.c_mktsegment", DataType::Str),
+                Field::new("customer.c_acctbal", DataType::Float),
+            ]),
+            TableId::Orders => Schema::new(vec![
+                Field::new("orders.o_orderkey", DataType::Int),
+                Field::new("orders.o_custkey", DataType::Int),
+                Field::new("orders.o_orderdate", DataType::Date),
+                Field::new("orders.o_shippriority", DataType::Int),
+                Field::new("orders.o_totalprice", DataType::Float),
+            ]),
+            TableId::Lineitem => Schema::new(vec![
+                Field::new("lineitem.l_orderkey", DataType::Int),
+                Field::new("lineitem.l_linenumber", DataType::Int),
+                Field::new("lineitem.l_partkey", DataType::Int),
+                Field::new("lineitem.l_suppkey", DataType::Int),
+                Field::new("lineitem.l_quantity", DataType::Float),
+                Field::new("lineitem.l_extendedprice", DataType::Float),
+                Field::new("lineitem.l_discount", DataType::Float),
+                Field::new("lineitem.l_returnflag", DataType::Str),
+                Field::new("lineitem.l_shipdate", DataType::Date),
+                Field::new("lineitem.l_revenue", DataType::Float),
+            ]),
+            TableId::Part => Schema::new(vec![
+                Field::new("part.p_partkey", DataType::Int),
+                Field::new("part.p_name", DataType::Str),
+                Field::new("part.p_retailprice", DataType::Float),
+            ]),
+            TableId::PartSupp => Schema::new(vec![
+                Field::new("partsupp.ps_partkey", DataType::Int),
+                Field::new("partsupp.ps_suppkey", DataType::Int),
+                Field::new("partsupp.ps_availqty", DataType::Int),
+                Field::new("partsupp.ps_supplycost", DataType::Float),
+            ]),
+        }
+    }
+
+    /// Total tuple count across tables.
+    pub fn total_tuples(&self) -> usize {
+        TableId::all().iter().map(|&t| self.table(t).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(DatasetConfig::uniform(0.001))
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let d = tiny();
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.supplier.len(), 10);
+        assert_eq!(d.customer.len(), 150);
+        assert_eq!(d.orders.len(), 1500);
+        let per_order = d.lineitem.len() as f64 / d.orders.len() as f64;
+        assert!(per_order > 3.0 && per_order < 5.0, "{per_order}");
+    }
+
+    #[test]
+    fn schemas_match_tuples() {
+        let d = tiny();
+        for t in TableId::all() {
+            let schema = Dataset::schema(t);
+            for tuple in d.table(t).iter().take(5) {
+                assert_eq!(tuple.arity(), schema.arity(), "table {}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn orders_and_lineitem_sorted_by_orderkey() {
+        let d = tiny();
+        let sorted = |ts: &[Tuple]| {
+            ts.windows(2)
+                .all(|w| w[0].get(0).as_int().unwrap() <= w[1].get(0).as_int().unwrap())
+        };
+        assert!(sorted(&d.orders));
+        assert!(sorted(&d.lineitem));
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let d = tiny();
+        let n_cust = d.customer.len() as i64;
+        for o in &d.orders {
+            let ck = o.get(1).as_int().unwrap();
+            assert!(ck >= 0 && ck < n_cust);
+        }
+        let n_supp = d.supplier.len() as i64;
+        let n_orders = d.orders.len() as i64;
+        for l in &d.lineitem {
+            assert!(l.get(0).as_int().unwrap() < n_orders);
+            let sk = l.get(3).as_int().unwrap();
+            assert!(sk >= 0 && sk < n_supp);
+        }
+    }
+
+    #[test]
+    fn revenue_column_is_consistent() {
+        let d = tiny();
+        for l in d.lineitem.iter().take(100) {
+            let price = l.get(5).as_float().unwrap();
+            let disc = l.get(6).as_float().unwrap();
+            let rev = l.get(9).as_float().unwrap();
+            assert!((rev - price * (1.0 - disc)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_foreign_keys() {
+        let us = Dataset::generate(DatasetConfig::uniform(0.002));
+        let sk = Dataset::generate(DatasetConfig::skewed(0.002));
+        let top_share = |d: &Dataset| {
+            let mut counts = std::collections::HashMap::new();
+            for o in &d.orders {
+                *counts.entry(o.get(1).as_int().unwrap()).or_insert(0usize) += 1;
+            }
+            let max = counts.values().copied().max().unwrap_or(0);
+            max as f64 / d.orders.len() as f64
+        };
+        assert!(
+            top_share(&sk) > 2.0 * top_share(&us),
+            "skewed top customer share {} vs uniform {}",
+            top_share(&sk),
+            top_share(&us)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetConfig::uniform(0.001));
+        let b = Dataset::generate(DatasetConfig::uniform(0.001));
+        assert_eq!(a.orders.len(), b.orders.len());
+        assert_eq!(a.orders[42], b.orders[42]);
+        assert_eq!(a.lineitem[100], b.lineitem[100]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Seeded Zipf sampler over `{0, …, n-1}` with exponent `z`.
+//!
+//! `P(k) ∝ 1 / (k+1)^z`. The inverse-CDF table costs O(n) to build and
+//! O(log n) per sample; the TPC generators draw millions of samples from a
+//! handful of distributions, so the table is built once per attribute.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, z: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn higher_z_skews_toward_zero() {
+        let z = Zipf::new(100, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut count0 = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // Uniform would give 1%; z=0.5 gives ~5-6%.
+        assert!(count0 as f64 / n as f64 > 0.03, "count0={count0}");
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_are_seeded() {
+        let z = Zipf::new(17, 0.5);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert!(x < 17);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Aggregation operators: blocking hash aggregation, the shared group-by
+//! table that persists across ADP phases (Figure 1), and adjustable-window
+//! pre-aggregation with the pseudogroup operator (§3.2, §6).
+
+pub mod hash_agg;
+pub mod preagg;
+pub mod shared_group;
+
+pub use hash_agg::HashAggOp;
+pub use preagg::{PreAggOp, WindowPolicy};
+pub use shared_group::{SharedGroupOp, SharedGroupTable};
+
+use tukwila_relation::agg::AggFunc;
+use tukwila_relation::{DataType, Field, Schema};
+
+/// One aggregate over an input column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub col: usize,
+}
+
+/// A grouping specification: group columns plus aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    pub group_cols: Vec<usize>,
+    pub aggs: Vec<AggSpec>,
+}
+
+impl GroupSpec {
+    pub fn new(group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> GroupSpec {
+        GroupSpec { group_cols, aggs }
+    }
+
+    /// Output schema: group columns (input names preserved) followed by one
+    /// field per aggregate, named `func(col_name)`.
+    pub fn output_schema(&self, input: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self
+            .group_cols
+            .iter()
+            .map(|&c| input.field(c).clone())
+            .collect();
+        for a in &self.aggs {
+            let dtype = match a.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Sum | AggFunc::Avg => DataType::Float,
+                AggFunc::Min | AggFunc::Max => input.field(a.col).dtype,
+            };
+            fields.push(Field::new(
+                format!("{}({})", a.func, input.field(a.col).name),
+                dtype,
+            ));
+        }
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_schema_names_and_types() {
+        let input = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Int),
+        ]);
+        let spec = GroupSpec::new(
+            vec![0],
+            vec![
+                AggSpec {
+                    func: AggFunc::Max,
+                    col: 1,
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: 1,
+                },
+            ],
+        );
+        let out = spec.output_schema(&input);
+        assert_eq!(out.arity(), 3);
+        assert_eq!(out.field(0).name, "g");
+        assert_eq!(out.field(1).name, "max(x)");
+        assert_eq!(out.field(1).dtype, DataType::Int);
+        assert_eq!(out.field(2).dtype, DataType::Int);
+    }
+}

@@ -1,0 +1,188 @@
+//! The shared group-by operator of Figure 1: one aggregate table that
+//! every phase plan and the stitch-up plan feed, so results accumulate
+//! exactly once across the whole adaptively partitioned execution.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tukwila_relation::agg::AggState;
+use tukwila_relation::value::GroupKey;
+use tukwila_relation::{Result, Schema, Tuple};
+use tukwila_stats::OpCounters;
+use tukwila_storage::fx::FxHashMap;
+
+use crate::agg::hash_agg::{group_to_tuple, update_groups};
+use crate::agg::GroupSpec;
+use crate::op::{Batch, IncOp};
+
+/// The shared aggregate table. Lives outside any single plan; phases come
+/// and go, the table persists. Aggregates distribute over union, so feeding
+/// each answer tuple exactly once (phases = diagonal results, stitch-up =
+/// cross results) yields exactly the single-plan answer.
+pub struct SharedGroupTable {
+    spec: GroupSpec,
+    out_schema: Schema,
+    groups: Mutex<FxHashMap<GroupKey, Vec<AggState>>>,
+    tuples_in: OpCounters,
+}
+
+impl SharedGroupTable {
+    pub fn new(spec: GroupSpec, input_schema: &Schema) -> Arc<SharedGroupTable> {
+        let out_schema = spec.output_schema(input_schema);
+        Arc::new(SharedGroupTable {
+            spec,
+            out_schema,
+            groups: Mutex::new(FxHashMap::default()),
+            tuples_in: OpCounters::default(),
+        })
+    }
+
+    pub fn spec(&self) -> &GroupSpec {
+        &self.spec
+    }
+
+    pub fn output_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Fold a batch of answer tuples into the table.
+    pub fn update(&self, batch: &[Tuple]) -> Result<()> {
+        self.tuples_in.add_in(batch.len() as u64);
+        let mut g = self.groups.lock();
+        for t in batch {
+            update_groups(&mut g, &self.spec, t)?;
+        }
+        Ok(())
+    }
+
+    /// Total answer tuples folded in so far.
+    pub fn tuples_in(&self) -> u64 {
+        self.tuples_in.tuples_in()
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.lock().len()
+    }
+
+    /// Finalize into output tuples (call once, at the very end).
+    pub fn finalize(&self) -> Vec<Tuple> {
+        let groups = std::mem::take(&mut *self.groups.lock());
+        groups
+            .iter()
+            .map(|(k, s)| group_to_tuple(k, s))
+            .collect()
+    }
+}
+
+/// Plan-resident handle feeding a [`SharedGroupTable`]. With
+/// `emit_on_finish`, the operator emits the finalized groups when its
+/// inputs close (single-plan use); without it, the table owner finalizes
+/// explicitly after stitch-up (ADP use).
+pub struct SharedGroupOp {
+    table: Arc<SharedGroupTable>,
+    emit_on_finish: bool,
+    counters: Arc<OpCounters>,
+}
+
+impl SharedGroupOp {
+    pub fn new(table: Arc<SharedGroupTable>, emit_on_finish: bool) -> SharedGroupOp {
+        SharedGroupOp {
+            table,
+            emit_on_finish,
+            counters: OpCounters::new(),
+        }
+    }
+}
+
+impl IncOp for SharedGroupOp {
+    fn name(&self) -> &str {
+        "shared-group"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn schema(&self) -> &Schema {
+        self.table.output_schema()
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple], _out: &mut Batch) -> Result<()> {
+        self.counters.add_in(batch.len() as u64);
+        self.counters.add_work(batch.len() as u64);
+        self.table.update(batch)
+    }
+
+    fn finish(&mut self, out: &mut Batch) -> Result<()> {
+        if self.emit_on_finish {
+            let rows = self.table.finalize();
+            self.counters.add_out(rows.len() as u64);
+            out.extend(rows);
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> &Arc<OpCounters> {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+    use tukwila_relation::agg::AggFunc;
+    use tukwila_relation::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("x", DataType::Int),
+        ])
+    }
+
+    fn t(g: i64, x: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(g), Value::Int(x)])
+    }
+
+    fn spec() -> GroupSpec {
+        GroupSpec::new(
+            vec![0],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                col: 1,
+            }],
+        )
+    }
+
+    #[test]
+    fn accumulates_across_feeders() {
+        let table = SharedGroupTable::new(spec(), &schema());
+        // Two "plans" feed the same table.
+        let mut op_a = SharedGroupOp::new(table.clone(), false);
+        let mut op_b = SharedGroupOp::new(table.clone(), false);
+        let mut sink = Vec::new();
+        op_a.push(0, &[t(1, 10), t(2, 5)], &mut sink).unwrap();
+        op_b.push(0, &[t(1, 20)], &mut sink).unwrap();
+        op_a.finish(&mut sink).unwrap();
+        assert!(sink.is_empty(), "non-emitting handle");
+        assert_eq!(table.tuples_in(), 3);
+        let rows = table.finalize();
+        assert_eq!(rows.len(), 2);
+        let g1 = rows
+            .iter()
+            .find(|r| r.get(0).as_int().unwrap() == 1)
+            .unwrap();
+        assert_eq!(g1.get(1).as_float().unwrap(), 30.0);
+    }
+
+    #[test]
+    fn emit_on_finish_for_single_plan_use() {
+        let table = SharedGroupTable::new(spec(), &schema());
+        let mut op = SharedGroupOp::new(table, true);
+        let mut out = Vec::new();
+        op.push(0, &[t(1, 1)], &mut out).unwrap();
+        op.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

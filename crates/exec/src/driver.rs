@@ -1,0 +1,208 @@
+//! Single-plan execution against simulated sources under the virtual
+//! clock. (The adaptive, multi-phase driver lives in `tukwila-core`; this
+//! one runs the static baselines and the inner loop of tests.)
+
+use std::time::Instant;
+
+use tukwila_relation::Result;
+use tukwila_source::{Poll, Source};
+
+use crate::metrics::ExecReport;
+use crate::op::Batch;
+use crate::plan::PipelinePlan;
+
+/// How CPU work advances the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuCostModel {
+    /// Measure actual wall time of each push (realistic benchmarking).
+    Measured,
+    /// Charge a fixed cost per input tuple (deterministic tests).
+    PerTupleNs(u64),
+    /// CPU is free; only source delays advance the clock.
+    Zero,
+}
+
+/// Round-robin batch driver.
+pub struct SimDriver {
+    pub batch_size: usize,
+    pub cpu: CpuCostModel,
+}
+
+impl Default for SimDriver {
+    fn default() -> Self {
+        SimDriver {
+            batch_size: 1024,
+            cpu: CpuCostModel::Measured,
+        }
+    }
+}
+
+impl SimDriver {
+    pub fn new(batch_size: usize, cpu: CpuCostModel) -> SimDriver {
+        SimDriver { batch_size, cpu }
+    }
+
+    /// Run `plan` to completion over `sources`, returning root output and a
+    /// timing report.
+    ///
+    /// The loop models adaptive scheduling's effect at the granularity we
+    /// need: whenever *any* source has data, the CPU works on it; the clock
+    /// only idles forward when every unfinished source is pending.
+    pub fn run(
+        &self,
+        plan: &mut PipelinePlan,
+        sources: &mut [Box<dyn Source>],
+    ) -> Result<(Batch, ExecReport)> {
+        let mut out = Batch::new();
+        let mut report = ExecReport::default();
+        let mut clock_us: f64 = 0.0;
+        let mut cpu_us: f64 = 0.0;
+        let mut idle_us: f64 = 0.0;
+        let mut finished = vec![false; sources.len()];
+
+        loop {
+            let mut any_ready = false;
+            let mut next_ready: Option<u64> = None;
+            let mut all_done = true;
+            for (i, src) in sources.iter_mut().enumerate() {
+                if finished[i] {
+                    continue;
+                }
+                all_done = false;
+                match src.poll(clock_us as u64, self.batch_size) {
+                    Poll::Ready(batch) => {
+                        any_ready = true;
+                        report.batches += 1;
+                        let cost =
+                            self.charged_cost(batch.len(), || plan.push_source(src.rel_id(), &batch, &mut out))?;
+                        clock_us += cost;
+                        cpu_us += cost;
+                    }
+                    Poll::Pending { next_ready_us } => {
+                        next_ready = Some(match next_ready {
+                            Some(n) => n.min(next_ready_us),
+                            None => next_ready_us,
+                        });
+                    }
+                    Poll::Eof => {
+                        finished[i] = true;
+                        let cost =
+                            self.charged_cost(0, || plan.finish_source(src.rel_id(), &mut out))?;
+                        clock_us += cost;
+                        cpu_us += cost;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !any_ready {
+                if let Some(n) = next_ready {
+                    let target = (n as f64).max(clock_us);
+                    idle_us += target - clock_us;
+                    clock_us = target;
+                }
+            }
+        }
+
+        report.virtual_us = clock_us as u64;
+        report.cpu_us = cpu_us as u64;
+        report.idle_us = idle_us as u64;
+        report.tuples_out = out.len() as u64;
+        Ok((out, report))
+    }
+
+    /// Run `f`, returning the virtual-time cost (µs) to charge for it.
+    fn charged_cost(&self, tuples: usize, f: impl FnOnce() -> Result<()>) -> Result<f64> {
+        match self.cpu {
+            CpuCostModel::Measured => {
+                let start = Instant::now();
+                f()?;
+                Ok(start.elapsed().as_secs_f64() * 1e6)
+            }
+            CpuCostModel::PerTupleNs(ns) => {
+                f()?;
+                Ok(tuples as f64 * ns as f64 / 1000.0)
+            }
+            CpuCostModel::Zero => {
+                f()?;
+                Ok(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::pipelined_hash::PipelinedHashJoin;
+    use crate::plan::PipelinePlan;
+    use tukwila_relation::{DataType, Field, Schema, Tuple, Value};
+    use tukwila_source::{DelayModel, DelayedSource, MemSource};
+
+    fn schema(prefix: &str) -> Schema {
+        Schema::new(vec![Field::new(format!("{prefix}.k"), DataType::Int)])
+    }
+
+    fn tuples(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect()
+    }
+
+    fn join_plan() -> PipelinePlan {
+        let mut b = PipelinePlan::builder();
+        let join = Box::new(PipelinedHashJoin::new(schema("l"), schema("r"), 0, 0));
+        let j = b.add_op(join, &[], None).unwrap();
+        b.bind_source(1, j, 0).unwrap();
+        b.bind_source(2, j, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn joins_local_sources() {
+        let mut plan = join_plan();
+        let mut sources: Vec<Box<dyn Source>> = vec![
+            Box::new(MemSource::new(1, "l", schema("l"), tuples(100))),
+            Box::new(MemSource::new(2, "r", schema("r"), tuples(50))),
+        ];
+        let driver = SimDriver::new(16, CpuCostModel::Zero);
+        let (out, report) = driver.run(&mut plan, &mut sources).unwrap();
+        assert_eq!(out.len(), 50);
+        assert_eq!(report.tuples_out, 50);
+        assert_eq!(report.virtual_us, 0, "zero cpu, local sources");
+    }
+
+    #[test]
+    fn delayed_sources_advance_clock() {
+        let mut plan = join_plan();
+        let model = DelayModel::Bandwidth {
+            bytes_per_sec: 1e6,
+            initial_latency_us: 1000,
+        };
+        let mut sources: Vec<Box<dyn Source>> = vec![
+            Box::new(DelayedSource::new(1, "l", schema("l"), tuples(100), &model)),
+            Box::new(DelayedSource::new(2, "r", schema("r"), tuples(100), &model)),
+        ];
+        let driver = SimDriver::new(16, CpuCostModel::Zero);
+        let (out, report) = driver.run(&mut plan, &mut sources).unwrap();
+        assert_eq!(out.len(), 100);
+        assert!(report.virtual_us >= 1000);
+        assert!(report.idle_us > 0);
+    }
+
+    #[test]
+    fn per_tuple_cost_model_is_deterministic() {
+        let mut plan_a = join_plan();
+        let mut plan_b = join_plan();
+        let mk = || -> Vec<Box<dyn Source>> {
+            vec![
+                Box::new(MemSource::new(1, "l", schema("l"), tuples(64))),
+                Box::new(MemSource::new(2, "r", schema("r"), tuples(64))),
+            ]
+        };
+        let driver = SimDriver::new(8, CpuCostModel::PerTupleNs(1000));
+        let (_, ra) = driver.run(&mut plan_a, &mut mk()).unwrap();
+        let (_, rb) = driver.run(&mut plan_b, &mut mk()).unwrap();
+        assert_eq!(ra.virtual_us, rb.virtual_us);
+        assert!(ra.cpu_us > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Pipelined query operators and the incremental, push-based execution
+//! engine (paper §3).
+//!
+//! Tukwila's executor is fully pipelined: joins are symmetric
+//! (data-availability-driven) so that any prefix of the source data leaves
+//! the plan in a *consistent state* — the property adaptive data
+//! partitioning needs in order to suspend one plan mid-stream and route the
+//! remaining source tuples to another. This crate provides:
+//!
+//! * [`op::IncOp`] — the incremental operator protocol (push batches in,
+//!   cascaded outputs come out; every operator maintains the §3.3 counters
+//!   and can expose its state structures for reuse, §3.1).
+//! * [`plan::PipelinePlan`] — an operator tree with leaf bindings to source
+//!   relations, batch cascade, and `seal()` to extract state structures
+//!   into the registry when a phase ends.
+//! * Operators: filter, project, pipelined (symmetric) hash join, merge
+//!   join, (symmetric) nested loops, hybrid hash join, blocking hash
+//!   aggregation, the shared group-by table that survives across plans
+//!   (Figure 1), adjustable-window pre-aggregation and the pseudogroup
+//!   operator (§3.2, §6).
+//! * [`split::Split`] / [`split::combine`] / [`split::Router`] and the
+//!   cross-thread [`queue::queue_pair`] — the special operators for
+//!   sharing data between subplans.
+//! * [`driver::SimDriver`] — single-plan execution against simulated
+//!   sources under the virtual clock.
+//! * [`reference::RefQuery`] — a naive full-materialization executor used
+//!   as a correctness oracle by the test suite.
+
+pub mod agg;
+pub mod driver;
+pub mod filter;
+pub mod join;
+pub mod metrics;
+pub mod op;
+pub mod plan;
+pub mod project;
+pub mod queue;
+pub mod reference;
+pub mod split;
+
+pub use driver::{CpuCostModel, SimDriver};
+pub use metrics::ExecReport;
+pub use op::{Batch, ExtractedState, IncOp};
+pub use plan::{PipelinePlan, PlanBuilder};

@@ -1,0 +1,42 @@
+//! Execution reports.
+
+/// Timing/volume summary of one plan execution under the virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecReport {
+    /// Virtual completion time (includes waiting for source arrivals).
+    pub virtual_us: u64,
+    /// CPU time charged to query processing.
+    pub cpu_us: u64,
+    /// Time spent idle, waiting for sources.
+    pub idle_us: u64,
+    /// Answer tuples produced at the root.
+    pub tuples_out: u64,
+    /// Source batches processed.
+    pub batches: u64,
+}
+
+impl ExecReport {
+    pub fn virtual_secs(&self) -> f64 {
+        self.virtual_us as f64 / 1e6
+    }
+
+    pub fn cpu_secs(&self) -> f64 {
+        self.cpu_us as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_conversions() {
+        let r = ExecReport {
+            virtual_us: 2_500_000,
+            cpu_us: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(r.virtual_secs(), 2.5);
+        assert_eq!(r.cpu_secs(), 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The cross-thread queue operator (paper §3: Tukwila's special operators
+//! include "a queuing operator that supports communication across
+//! concurrent threads").
+//!
+//! The deterministic experiments all run on the single-driver engine, but
+//! the parallel-subplan configuration of §5 (complementary plans running
+//! concurrently) needs a way to ship batches between plan fragments that
+//! execute on different threads. [`queue_pair`] creates a bounded channel
+//! whose producer end is an [`IncOp`] (so a pipeline can *end* in a queue)
+//! and whose consumer end feeds another pipeline (or is drained manually).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, SendError, Sender};
+use tukwila_relation::{Error, Result, Schema, Tuple};
+use tukwila_stats::OpCounters;
+
+use crate::op::{Batch, IncOp};
+
+/// Producer half: a pipeline sink that forwards batches to the channel.
+pub struct QueueWriter {
+    schema: Schema,
+    tx: Option<Sender<Batch>>,
+    counters: Arc<OpCounters>,
+}
+
+/// Consumer half: iterate received batches on another thread.
+pub struct QueueReader {
+    schema: Schema,
+    rx: Receiver<Batch>,
+}
+
+/// Create a connected queue pair with the given batch capacity.
+pub fn queue_pair(schema: Schema, capacity: usize) -> (QueueWriter, QueueReader) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (
+        QueueWriter {
+            schema: schema.clone(),
+            tx: Some(tx),
+            counters: OpCounters::new(),
+        },
+        QueueReader { schema, rx },
+    )
+}
+
+impl IncOp for QueueWriter {
+    fn name(&self) -> &str {
+        "queue"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn push(&mut self, _port: usize, batch: &[Tuple], _out: &mut Batch) -> Result<()> {
+        self.counters.add_in(batch.len() as u64);
+        self.counters.add_out(batch.len() as u64);
+        match &self.tx {
+            Some(tx) => match tx.send(batch.to_vec()) {
+                Ok(()) => Ok(()),
+                Err(SendError(_)) => Err(Error::Exec("queue consumer hung up".into())),
+            },
+            None => Err(Error::Exec("queue already closed".into())),
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Batch) -> Result<()> {
+        // Dropping the sender closes the channel; the reader sees EOF.
+        self.tx = None;
+        Ok(())
+    }
+
+    fn counters(&self) -> &Arc<OpCounters> {
+        &self.counters
+    }
+}
+
+impl QueueReader {
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Receive the next batch; `None` once the producer finished.
+    pub fn recv(&self) -> Option<Batch> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Batch> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything remaining (blocks until producer EOF).
+    pub fn drain(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(b) = self.recv() {
+            out.extend(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("x", DataType::Int)])
+    }
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn ships_batches_across_threads() {
+        let (mut writer, reader) = queue_pair(schema(), 4);
+        let consumer = std::thread::spawn(move || reader.drain());
+        let mut sink = Batch::new();
+        for i in 0..10 {
+            writer
+                .push(0, &[t(i * 2), t(i * 2 + 1)], &mut sink)
+                .unwrap();
+        }
+        writer.finish(&mut sink).unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 20);
+        let vals: Vec<i64> = got.iter().map(|x| x.get(0).as_int().unwrap()).collect();
+        assert_eq!(vals, (0..20).collect::<Vec<_>>(), "order preserved");
+        assert_eq!(writer.counters().tuples_out(), 20);
+    }
+
+    #[test]
+    fn finish_signals_eof() {
+        let (mut writer, reader) = queue_pair(schema(), 2);
+        let mut sink = Batch::new();
+        writer.push(0, &[t(1)], &mut sink).unwrap();
+        writer.finish(&mut sink).unwrap();
+        assert_eq!(reader.recv().unwrap().len(), 1);
+        assert!(reader.recv().is_none(), "closed after finish");
+        // Writing after finish is an error.
+        assert!(writer.push(0, &[t(2)], &mut sink).is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let (mut writer, reader) = queue_pair(schema(), 1);
+        let mut sink = Batch::new();
+        writer.push(0, &[t(1)], &mut sink).unwrap();
+        // Queue full: a second push would block, so consume first.
+        assert_eq!(reader.try_recv().unwrap().len(), 1);
+        writer.push(0, &[t(2)], &mut sink).unwrap();
+        assert_eq!(reader.try_recv().unwrap().len(), 1);
+        assert!(reader.try_recv().is_none());
+    }
+
+    /// A producer pipeline on one thread feeding a consumer join on
+    /// another — the parallel-subplan shape of §5's first implementation.
+    #[test]
+    fn pipeline_to_pipeline_threading() {
+        use crate::join::pipelined_hash::PipelinedHashJoin;
+        let (mut writer, reader) = queue_pair(schema(), 8);
+        let consumer = std::thread::spawn(move || {
+            let mut join = PipelinedHashJoin::new(
+                Schema::new(vec![Field::new("l.x", DataType::Int)]),
+                Schema::new(vec![Field::new("r.x", DataType::Int)]),
+                0,
+                0,
+            );
+            let mut out = Batch::new();
+            // Build side arrives over the queue...
+            while let Some(batch) = reader.recv() {
+                join.push(0, &batch, &mut out).unwrap();
+            }
+            // ...then probe locally.
+            let probes: Vec<Tuple> = (0..50).map(|i| t(i % 10)).collect();
+            join.push(1, &probes, &mut out).unwrap();
+            out.len()
+        });
+        let mut sink = Batch::new();
+        for i in 0..10 {
+            writer.push(0, &[t(i)], &mut sink).unwrap();
+        }
+        writer.finish(&mut sink).unwrap();
+        assert_eq!(consumer.join().unwrap(), 50);
+    }
+}

@@ -1,0 +1,243 @@
+//! The logical query model: select-project-join-aggregate over base
+//! relations (the paper's optimizer "supports
+//! select-project-join-aggregation queries (but not SQL subqueries)").
+
+use tukwila_relation::agg::AggFunc;
+use tukwila_relation::{Error, Expr, Result, Schema};
+
+/// A base relation in the query.
+#[derive(Debug, Clone)]
+pub struct QueryRel {
+    pub rel_id: u32,
+    pub name: String,
+    pub schema: Schema,
+    /// Selection predicate over the base schema, applied at the leaf.
+    pub filter: Option<Expr>,
+    /// Optimizer's default selectivity estimate for `filter` (ignored when
+    /// runtime observations exist).
+    pub filter_sel: f64,
+}
+
+impl QueryRel {
+    pub fn new(rel_id: u32, name: impl Into<String>, schema: Schema) -> QueryRel {
+        QueryRel {
+            rel_id,
+            name: name.into(),
+            schema,
+            filter: None,
+            filter_sel: 1.0,
+        }
+    }
+
+    pub fn with_filter(mut self, filter: Expr, est_sel: f64) -> QueryRel {
+        self.filter = Some(filter);
+        self.filter_sel = est_sel;
+        self
+    }
+}
+
+/// An equi-join predicate between two base relations' columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPred {
+    /// Stable identity, used for multiplicative-join flags (§4.2).
+    pub id: u64,
+    pub left_rel: u32,
+    pub left_col: usize,
+    pub right_rel: u32,
+    pub right_col: usize,
+}
+
+impl JoinPred {
+    pub fn touches(&self, rel: u32) -> bool {
+        self.left_rel == rel || self.right_rel == rel
+    }
+}
+
+/// A column of a base relation, as referenced by grouping/aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggRef {
+    pub rel: u32,
+    pub col: usize,
+}
+
+/// Final grouping/aggregation.
+#[derive(Debug, Clone)]
+pub struct QueryAgg {
+    pub group: Vec<AggRef>,
+    pub aggs: Vec<(AggFunc, AggRef)>,
+}
+
+/// A complete logical query.
+#[derive(Debug, Clone)]
+pub struct LogicalQuery {
+    pub rels: Vec<QueryRel>,
+    pub preds: Vec<JoinPred>,
+    pub agg: Option<QueryAgg>,
+}
+
+impl LogicalQuery {
+    pub fn new(rels: Vec<QueryRel>, preds: Vec<JoinPred>) -> LogicalQuery {
+        LogicalQuery {
+            rels,
+            preds,
+            agg: None,
+        }
+    }
+
+    pub fn with_agg(mut self, agg: QueryAgg) -> LogicalQuery {
+        self.agg = Some(agg);
+        self
+    }
+
+    pub fn rel(&self, rel_id: u32) -> Result<&QueryRel> {
+        self.rels
+            .iter()
+            .find(|r| r.rel_id == rel_id)
+            .ok_or_else(|| Error::Plan(format!("unknown relation {rel_id}")))
+    }
+
+    pub fn rel_index(&self, rel_id: u32) -> Result<usize> {
+        self.rels
+            .iter()
+            .position(|r| r.rel_id == rel_id)
+            .ok_or_else(|| Error::Plan(format!("unknown relation {rel_id}")))
+    }
+
+    /// Validate: predicates reference known relations/columns, the join
+    /// graph is connected, aggregation references are in range.
+    pub fn validate(&self) -> Result<()> {
+        if self.rels.is_empty() {
+            return Err(Error::Plan("query has no relations".into()));
+        }
+        for p in &self.preds {
+            let l = self.rel(p.left_rel)?;
+            let r = self.rel(p.right_rel)?;
+            if p.left_col >= l.schema.arity() || p.right_col >= r.schema.arity() {
+                return Err(Error::Plan(format!(
+                    "predicate {} references out-of-range column",
+                    p.id
+                )));
+            }
+            if p.left_rel == p.right_rel {
+                return Err(Error::Plan("self-join predicates unsupported".into()));
+            }
+        }
+        // Connectivity via union-find.
+        let n = self.rels.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for p in &self.preds {
+            let a = self.rel_index(p.left_rel)?;
+            let b = self.rel_index(p.right_rel)?;
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            if find(&mut parent, i) != root {
+                return Err(Error::Plan(format!(
+                    "relation {} is disconnected from the join graph",
+                    self.rels[i].name
+                )));
+            }
+        }
+        if let Some(agg) = &self.agg {
+            for r in agg
+                .group
+                .iter()
+                .chain(agg.aggs.iter().map(|(_, r)| r))
+            {
+                let rel = self.rel(r.rel)?;
+                if r.col >= rel.schema.arity() {
+                    return Err(Error::Plan(format!(
+                        "aggregation references out-of-range column {} of {}",
+                        r.col, rel.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::{DataType, Field};
+
+    fn rel(id: u32, name: &str) -> QueryRel {
+        QueryRel::new(
+            id,
+            name,
+            Schema::new(vec![
+                Field::new(format!("{name}.k"), DataType::Int),
+                Field::new(format!("{name}.v"), DataType::Int),
+            ]),
+        )
+    }
+
+    fn pred(id: u64, l: u32, r: u32) -> JoinPred {
+        JoinPred {
+            id,
+            left_rel: l,
+            left_col: 0,
+            right_rel: r,
+            right_col: 0,
+        }
+    }
+
+    #[test]
+    fn valid_chain_query() {
+        let q = LogicalQuery::new(
+            vec![rel(1, "a"), rel(2, "b"), rel(3, "c")],
+            vec![pred(1, 1, 2), pred(2, 2, 3)],
+        );
+        q.validate().unwrap();
+        assert_eq!(q.rel_index(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let q = LogicalQuery::new(vec![rel(1, "a"), rel(2, "b")], vec![]);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn bad_column_rejected() {
+        let p = JoinPred {
+            id: 1,
+            left_rel: 1,
+            left_col: 9,
+            right_rel: 2,
+            right_col: 0,
+        };
+        let q = LogicalQuery::new(vec![rel(1, "a"), rel(2, "b")], vec![p]);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn bad_agg_ref_rejected() {
+        use tukwila_relation::agg::AggFunc;
+        let q = LogicalQuery::new(
+            vec![rel(1, "a"), rel(2, "b")],
+            vec![pred(1, 1, 2)],
+        )
+        .with_agg(QueryAgg {
+            group: vec![AggRef { rel: 1, col: 0 }],
+            aggs: vec![(AggFunc::Max, AggRef { rel: 2, col: 99 })],
+        });
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let q = LogicalQuery::new(vec![rel(1, "a"), rel(2, "b")], vec![pred(1, 1, 1)]);
+        assert!(q.validate().is_err());
+    }
+}

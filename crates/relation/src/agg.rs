@@ -1,0 +1,297 @@
+//! Aggregate functions with *mergeable* accumulator state.
+//!
+//! Adaptive data partitioning rests on the algebraic fact that
+//! `min`/`max`/`sum`/`count` distribute over union, and `avg` does after
+//! decomposition into `(sum, count)` (paper §2.2, footnote 1). The
+//! [`AggState`] type makes that property first-class: partial states from
+//! different phases, plans, or pre-aggregation windows merge exactly.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// The aggregate functions supported by the query model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Min,
+    Max,
+    Sum,
+    Count,
+    /// Average, carried as `(sum, count)` so it distributes over union.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A running accumulator for one aggregate over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Sum(f64, bool),
+    Count(i64),
+    /// `(sum, count)`.
+    Avg(f64, i64),
+}
+
+impl AggState {
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Sum => AggState::Sum(0.0, false),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    pub fn func(&self) -> AggFunc {
+        match self {
+            AggState::Min(_) => AggFunc::Min,
+            AggState::Max(_) => AggFunc::Max,
+            AggState::Sum(..) => AggFunc::Sum,
+            AggState::Count(_) => AggFunc::Count,
+            AggState::Avg(..) => AggFunc::Avg,
+        }
+    }
+
+    /// Fold one input value into the accumulator. `Null` inputs are ignored
+    /// (SQL semantics) except for `count`, which counts rows.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                *n += 1;
+                return Ok(());
+            }
+            _ if v.is_null() => return Ok(()),
+            AggState::Min(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.cmp_total(c) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.cmp_total(c) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Sum(s, seen) => {
+                *s += v.as_float()?;
+                *seen = true;
+            }
+            AggState::Avg(s, n) => {
+                *s += v.as_float()?;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial state of the same function into this one.
+    /// This is the distributivity-over-union operation that stitch-up and
+    /// pre-aggregation rely on.
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += *b,
+            (AggState::Sum(a, sa), AggState::Sum(b, sb)) => {
+                *a += *b;
+                *sa |= *sb;
+            }
+            (AggState::Avg(a, na), AggState::Avg(b, nb)) => {
+                *a += *b;
+                *na += *nb;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(av) => bv.cmp_total(av) == std::cmp::Ordering::Less,
+                    };
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(av) => bv.cmp_total(av) == std::cmp::Ordering::Greater,
+                    };
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (a, b) => {
+                return Err(Error::Exec(format!(
+                    "cannot merge aggregate states {:?} and {:?}",
+                    a.func(),
+                    b.func()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize into an output value.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Sum(s, seen) => {
+                if *seen {
+                    Value::Float(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Count(n) => Value::Int(*n),
+            AggState::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*s / *n as f64)
+                }
+            }
+        }
+    }
+
+    /// Re-encode the accumulator as carried values, used when partial
+    /// aggregates flow through a plan (pre-aggregation output schema). For
+    /// `avg` the carried form is the sum; the count rides in a parallel
+    /// `count` accumulator created by the planner.
+    pub fn carried(&self) -> Value {
+        match self {
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Sum(s, seen) => {
+                if *seen {
+                    Value::Float(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Count(n) => Value::Int(*n),
+            AggState::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*s)
+                }
+            }
+        }
+    }
+}
+
+/// How a downstream (final) aggregate consumes the *carried* output of an
+/// upstream partial aggregate: `sum` and `count` become `sum`, `min`/`max`
+/// stay themselves, and `avg` needs `(sum of sums) / (sum of counts)`, which
+/// the planner expresses as two columns.
+pub fn coalesce_func(f: AggFunc) -> AggFunc {
+    match f {
+        AggFunc::Min => AggFunc::Min,
+        AggFunc::Max => AggFunc::Max,
+        AggFunc::Sum => AggFunc::Sum,
+        AggFunc::Count => AggFunc::Sum,
+        AggFunc::Avg => AggFunc::Sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut s = AggState::new(func);
+        for v in vals {
+            s.update(v).unwrap();
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let vals = [Value::Int(3), Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Sum, &vals), Value::Float(6.0));
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(2.0));
+    }
+
+    #[test]
+    fn nulls_ignored_except_count() {
+        let vals = [Value::Null, Value::Int(5), Value::Null];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(5));
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(3));
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(5.0));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+    }
+
+    /// The core ADP property: folding a stream in one pass equals splitting
+    /// it arbitrarily, folding each part, and merging.
+    #[test]
+    fn merge_distributes_over_union() {
+        let vals: Vec<Value> = (0..100).map(|i| Value::Int((i * 37) % 41)).collect();
+        for func in [
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            let whole = run(func, &vals);
+            for split in [1usize, 13, 50, 99] {
+                let mut a = AggState::new(func);
+                let mut b = AggState::new(func);
+                for v in &vals[..split] {
+                    a.update(v).unwrap();
+                }
+                for v in &vals[split..] {
+                    b.update(v).unwrap();
+                }
+                a.merge(&b).unwrap();
+                assert_eq!(a.finish(), whole, "func={func} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_functions() {
+        let mut a = AggState::new(AggFunc::Min);
+        let b = AggState::new(AggFunc::Count);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn coalesce_mapping() {
+        assert_eq!(coalesce_func(AggFunc::Count), AggFunc::Sum);
+        assert_eq!(coalesce_func(AggFunc::Min), AggFunc::Min);
+        assert_eq!(coalesce_func(AggFunc::Avg), AggFunc::Sum);
+    }
+}

@@ -1,0 +1,364 @@
+//! Scalar expressions and predicates for select-project-join-aggregate
+//! queries (the query model of the paper's optimizer, §4.3).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, ord: Ordering, eq: bool) -> bool {
+        match self {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => !eq,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators (used by derived measures such as
+/// `l_extendedprice * (1 - l_discount)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression over one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison; evaluates to `Bool`.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    /// Arithmetic on numerics (result is `Float` unless both are `Int` and
+    /// the op is not `Div`).
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference resolved by name against a schema.
+    pub fn col_named(schema: &Schema, name: &str) -> Result<Expr> {
+        Ok(Expr::Col(schema.index_of(name)?))
+    }
+
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(lhs), CmpOp::Eq, Box::new(rhs))
+    }
+
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Col(i) => {
+                if *i >= t.arity() {
+                    return Err(Error::Exec(format!(
+                        "column {i} out of range for tuple of arity {}",
+                        t.arity()
+                    )));
+                }
+                Ok(t.get(*i).clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(l, op, r) => {
+                let lv = l.eval(t)?;
+                let rv = r.eval(t)?;
+                if lv.is_null() || rv.is_null() {
+                    // SQL three-valued logic collapsed to false for
+                    // filtering purposes.
+                    return Ok(Value::Bool(false));
+                }
+                let ord = lv.cmp_total(&rv);
+                Ok(Value::Bool(op.eval(ord, ord == Ordering::Equal)))
+            }
+            Expr::And(es) => {
+                for e in es {
+                    if !e.eval(t)?.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if e.eval(t)?.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(t)?.as_bool()?)),
+            Expr::Arith(l, op, r) => {
+                let lv = l.eval(t)?;
+                let rv = r.eval(t)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                eval_arith(&lv, *op, &rv)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate.
+    pub fn matches(&self, t: &Tuple) -> Result<bool> {
+        self.eval(t)?.as_bool()
+    }
+
+    /// All column indices referenced by this expression.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(l, _, r) | Expr::Arith(l, _, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Rewrite column indices through a mapping (`new_index = f(old_index)`),
+    /// used when predicates are pushed through projections or when a plan is
+    /// re-rooted over a different physical layout.
+    pub fn remap_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(l, op, r) => Expr::Cmp(
+                Box::new(l.remap_columns(f)),
+                *op,
+                Box::new(r.remap_columns(f)),
+            ),
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.remap_columns(f)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.remap_columns(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(f))),
+            Expr::Arith(l, op, r) => Expr::Arith(
+                Box::new(l.remap_columns(f)),
+                *op,
+                Box::new(r.remap_columns(f)),
+            ),
+        }
+    }
+}
+
+fn eval_arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value> {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        match op {
+            ArithOp::Add => return Ok(Value::Int(a.wrapping_add(*b))),
+            ArithOp::Sub => return Ok(Value::Int(a.wrapping_sub(*b))),
+            ArithOp::Mul => return Ok(Value::Int(a.wrapping_mul(*b))),
+            ArithOp::Div => {} // fall through to float division
+        }
+    }
+    let a = l.as_float()?;
+    let b = r.as_float()?;
+    let v = match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => a / b,
+    };
+    Ok(Value::Float(v))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Arith(l, op, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let row = t(vec![Value::Int(5), Value::str("BUILDING")]);
+        let p = Expr::And(vec![
+            Expr::cmp(Expr::Col(0), CmpOp::Gt, Expr::Lit(Value::Int(3))),
+            Expr::eq(Expr::Col(1), Expr::Lit(Value::str("BUILDING"))),
+        ]);
+        assert!(p.matches(&row).unwrap());
+        let q = Expr::Not(Box::new(p));
+        assert!(!q.matches(&row).unwrap());
+    }
+
+    #[test]
+    fn or_short_circuits_true() {
+        let row = t(vec![Value::Int(1)]);
+        let p = Expr::Or(vec![
+            Expr::eq(Expr::Col(0), Expr::Lit(Value::Int(1))),
+            Expr::eq(Expr::Col(0), Expr::Lit(Value::Int(2))),
+        ]);
+        assert!(p.matches(&row).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let row = t(vec![Value::Null]);
+        let p = Expr::eq(Expr::Col(0), Expr::Lit(Value::Int(1)));
+        assert!(!p.matches(&row).unwrap());
+        let p2 = Expr::cmp(Expr::Col(0), CmpOp::Ne, Expr::Lit(Value::Int(1)));
+        assert!(!p2.matches(&row).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let row = t(vec![Value::Int(10), Value::Float(0.25)]);
+        // 10 * (1 - 0.25) = 7.5
+        let e = Expr::Arith(
+            Box::new(Expr::Col(0)),
+            ArithOp::Mul,
+            Box::new(Expr::Arith(
+                Box::new(Expr::Lit(Value::Float(1.0))),
+                ArithOp::Sub,
+                Box::new(Expr::Col(1)),
+            )),
+        );
+        assert_eq!(e.eval(&row).unwrap().as_float().unwrap(), 7.5);
+        // Int division promotes to float.
+        let d = Expr::Arith(
+            Box::new(Expr::Col(0)),
+            ArithOp::Div,
+            Box::new(Expr::Lit(Value::Int(4))),
+        );
+        assert_eq!(d.eval(&row).unwrap().as_float().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        let row = t(vec![Value::Null]);
+        let e = Expr::Arith(
+            Box::new(Expr::Col(0)),
+            ArithOp::Add,
+            Box::new(Expr::Lit(Value::Int(1))),
+        );
+        assert!(e.eval(&row).unwrap().is_null());
+    }
+
+    #[test]
+    fn columns_are_collected_and_deduped() {
+        let e = Expr::And(vec![
+            Expr::eq(Expr::Col(2), Expr::Col(0)),
+            Expr::cmp(Expr::Col(2), CmpOp::Lt, Expr::Lit(Value::Int(9))),
+        ]);
+        assert_eq!(e.columns(), vec![0, 2]);
+    }
+
+    #[test]
+    fn remap_columns_applies_function() {
+        let e = Expr::eq(Expr::Col(1), Expr::Col(3));
+        let r = e.remap_columns(&|c| c + 10);
+        assert_eq!(r.columns(), vec![11, 13]);
+    }
+
+    #[test]
+    fn out_of_range_column_is_error() {
+        let row = t(vec![Value::Int(1)]);
+        assert!(Expr::Col(5).eval(&row).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::eq(Expr::Col(0), Expr::Lit(Value::Int(7)));
+        assert_eq!(e.to_string(), "($0 = 7)");
+    }
+}

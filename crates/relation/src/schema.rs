@@ -1,0 +1,214 @@
+//! Named, typed attribute lists.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::tuple::TupleAdapter;
+use crate::value::DataType;
+
+/// One attribute of a schema. Names are fully qualified
+/// (`"orders.o_orderkey"`) so that join outputs never collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields. Schemas are shared (`Arc`) between plans,
+/// state structures, and the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    pub fn empty() -> Schema {
+        Schema::new(Vec::new())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Resolve a (qualified or unqualified) name to a column index.
+    /// Unqualified names match when exactly one field's suffix after `.`
+    /// equals the name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            let suffix = f.name.rsplit('.').next().unwrap_or(&f.name);
+            if suffix == name {
+                if found.is_some() {
+                    return Err(Error::Schema(format!("ambiguous column name {name}")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::Schema(format!("no column named {name}")))
+    }
+
+    /// Concatenate two schemas (join output schema).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut f = Vec::with_capacity(self.arity() + other.arity());
+        f.extend_from_slice(&self.fields);
+        f.extend_from_slice(&other.fields);
+        Schema::new(f)
+    }
+
+    /// Project to the given columns.
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema::new(cols.iter().map(|&c| self.fields[c].clone()).collect())
+    }
+
+    /// Build a [`TupleAdapter`] that converts tuples laid out as `self`
+    /// into the layout of `target`. Fails unless the two schemas contain
+    /// exactly the same field names (any order).
+    pub fn adapter_to(&self, target: &Schema) -> Result<TupleAdapter> {
+        if self.arity() != target.arity() {
+            return Err(Error::Schema(format!(
+                "cannot adapt schema of arity {} to arity {}",
+                self.arity(),
+                target.arity()
+            )));
+        }
+        let mut mapping = Vec::with_capacity(target.arity());
+        for f in target.fields.iter() {
+            let i = self
+                .fields
+                .iter()
+                .position(|g| g.name == f.name)
+                .ok_or_else(|| {
+                    Error::Schema(format!("field {} missing from source schema", f.name))
+                })?;
+            mapping.push(i);
+        }
+        Ok(TupleAdapter::new(mapping))
+    }
+
+    /// True if both schemas contain the same set of field names.
+    pub fn same_columns(&self, other: &Schema) -> bool {
+        if self.arity() != other.arity() {
+            return false;
+        }
+        self.fields
+            .iter()
+            .all(|f| other.fields.iter().any(|g| g.name == f.name))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", fld.name, fld.dtype)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("orders.o_orderkey", DataType::Int),
+            Field::new("orders.o_custkey", DataType::Int),
+            Field::new("customer.c_custkey", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("orders.o_custkey").unwrap(), 1);
+    }
+
+    #[test]
+    fn unqualified_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("c_custkey").unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(schema().index_of("nope").is_err());
+    }
+
+    #[test]
+    fn ambiguous_unqualified_errors() {
+        let s = Schema::new(vec![
+            Field::new("a.k", DataType::Int),
+            Field::new("b.k", DataType::Int),
+        ]);
+        assert!(s.index_of("k").is_err());
+        assert_eq!(s.index_of("a.k").unwrap(), 0);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = schema();
+        let t = Schema::new(vec![Field::new("lineitem.l_orderkey", DataType::Int)]);
+        let joined = s.concat(&t);
+        assert_eq!(joined.arity(), 4);
+        let p = joined.project(&[3, 0]);
+        assert_eq!(p.field(0).name, "lineitem.l_orderkey");
+    }
+
+    #[test]
+    fn adapter_between_permuted_schemas() {
+        let s = schema();
+        let permuted = s.project(&[2, 0, 1]);
+        let adapter = s.adapter_to(&permuted).unwrap();
+        assert_eq!(adapter.mapping(), &[2, 0, 1]);
+        // And the reverse direction composes back to identity.
+        let back = permuted.adapter_to(&s).unwrap();
+        let roundtrip = back.compose(&adapter);
+        assert!(roundtrip.is_identity());
+    }
+
+    #[test]
+    fn adapter_rejects_mismatched_schemas() {
+        let s = schema();
+        let other = Schema::new(vec![Field::new("x", DataType::Int)]);
+        assert!(s.adapter_to(&other).is_err());
+    }
+
+    #[test]
+    fn same_columns_ignores_order() {
+        let s = schema();
+        let permuted = s.project(&[1, 2, 0]);
+        assert!(s.same_columns(&permuted));
+        assert!(!s.same_columns(&Schema::empty()));
+    }
+}

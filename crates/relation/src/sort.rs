@@ -1,0 +1,104 @@
+//! Sort keys and tuple ordering, used by merge joins, order detection, and
+//! the complementary-join router.
+
+use std::cmp::Ordering;
+
+use crate::tuple::Tuple;
+
+/// One component of a sort order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub col: usize,
+    pub descending: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: usize) -> SortKey {
+        SortKey {
+            col,
+            descending: false,
+        }
+    }
+
+    pub fn desc(col: usize) -> SortKey {
+        SortKey {
+            col,
+            descending: true,
+        }
+    }
+
+    /// Compare two tuples on this key alone.
+    pub fn cmp(&self, a: &Tuple, b: &Tuple) -> Ordering {
+        let ord = a.get(self.col).cmp_total(b.get(self.col));
+        if self.descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+}
+
+/// Lexicographic comparison over a sequence of sort keys.
+pub fn cmp_tuples(keys: &[SortKey], a: &Tuple, b: &Tuple) -> Ordering {
+    for k in keys {
+        let ord = k.cmp(a, b);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Whether a slice of tuples is sorted under the given keys.
+pub fn is_sorted(keys: &[SortKey], tuples: &[Tuple]) -> bool {
+    tuples
+        .windows(2)
+        .all(|w| cmp_tuples(keys, &w[0], &w[1]) != Ordering::Greater)
+}
+
+/// Sort tuples in place under the given keys (stable).
+pub fn sort_tuples(keys: &[SortKey], tuples: &mut [Tuple]) {
+    tuples.sort_by(|a, b| cmp_tuples(keys, a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(a: i64, b: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn single_key_ordering() {
+        let k = SortKey::asc(0);
+        assert_eq!(k.cmp(&t(1, 0), &t(2, 0)), Ordering::Less);
+        assert_eq!(SortKey::desc(0).cmp(&t(1, 0), &t(2, 0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn lexicographic_ordering() {
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        assert_eq!(cmp_tuples(&keys, &t(1, 5), &t(1, 3)), Ordering::Less);
+        assert_eq!(cmp_tuples(&keys, &t(1, 3), &t(1, 3)), Ordering::Equal);
+        assert_eq!(cmp_tuples(&keys, &t(2, 9), &t(1, 0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn is_sorted_detects_violations() {
+        let keys = [SortKey::asc(0)];
+        assert!(is_sorted(&keys, &[t(1, 0), t(1, 9), t(3, 0)]));
+        assert!(!is_sorted(&keys, &[t(2, 0), t(1, 0)]));
+        assert!(is_sorted(&keys, &[]));
+        assert!(is_sorted(&keys, &[t(5, 5)]));
+    }
+
+    #[test]
+    fn sort_tuples_orders() {
+        let keys = [SortKey::asc(0)];
+        let mut v = vec![t(3, 0), t(1, 0), t(2, 0)];
+        sort_tuples(&keys, &mut v);
+        assert!(is_sorted(&keys, &v));
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated autonomous data sources (paper §3.5).
+//!
+//! Data-integration engines read from remote, autonomous sources with
+//! *sequential access only*, unknown cardinality, and unpredictable
+//! delivery timing. This crate models that environment deterministically:
+//!
+//! * A **virtual clock** (microseconds, `u64`): sources expose *arrival
+//!   schedules*, and the engine driver advances the clock either by doing
+//!   CPU work or by idling until the next tuple arrives. Experiments report
+//!   virtual completion time, which makes network experiments (the paper's
+//!   Figure 3) both fast and reproducible. See DESIGN.md substitution S2/S3.
+//! * [`Source`] — the pull interface: `poll(now, max)` returns tuples that
+//!   have arrived by `now`, a `Pending` instant to retry at, or `Eof`.
+//! * [`mem::MemSource`] — local table, everything available immediately.
+//! * [`delay::DelayedSource`] + [`delay::DelayModel`] — constant-bandwidth
+//!   links and the bursty 802.11b-style wireless model used for Figure 3 /
+//!   Table 2.
+
+pub mod delay;
+pub mod mem;
+pub mod source;
+
+pub use delay::{DelayModel, DelayedSource};
+pub use mem::MemSource;
+pub use source::{Poll, Source, SourceProgressView};

@@ -1,0 +1,59 @@
+//! The sequential-access source interface.
+
+use tukwila_relation::{Schema, Tuple};
+
+/// Result of polling a source at a virtual instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Poll {
+    /// Tuples that had arrived by the poll instant (possibly fewer than
+    /// requested).
+    Ready(Vec<Tuple>),
+    /// Nothing available yet; more data arrives at `next_ready_us`.
+    Pending { next_ready_us: u64 },
+    /// Source exhausted.
+    Eof,
+}
+
+/// Progress a source can report about itself. Cardinality is generally
+/// unknown until EOF (the data-integration reality the paper leans on);
+/// `fraction_read` is `Some` only for sources that advertise a total size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceProgressView {
+    pub tuples_read: u64,
+    pub fraction_read: Option<f64>,
+    pub eof: bool,
+}
+
+/// A sequential-only data source. Implementations must deliver tuples in a
+/// fixed order; reading is destructive (no rewinds), mirroring the paper's
+/// "we limit access to the input relations to be sequential only".
+pub trait Source: Send {
+    /// Stable identifier of the base relation this source serves.
+    fn rel_id(&self) -> u32;
+
+    /// Human-readable name (for plans and reports).
+    fn name(&self) -> &str;
+
+    fn schema(&self) -> &Schema;
+
+    /// Pull up to `max_tuples` tuples that have arrived by virtual time
+    /// `now_us`.
+    fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll;
+
+    /// Progress so far.
+    fn progress(&self) -> SourceProgressView;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_variants_compare() {
+        assert_eq!(Poll::Eof, Poll::Eof);
+        assert_ne!(
+            Poll::Pending { next_ready_us: 5 },
+            Poll::Pending { next_ready_us: 6 }
+        );
+    }
+}

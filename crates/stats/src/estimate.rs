@@ -1,0 +1,154 @@
+//! Mid-stream join-size prediction combining histograms and order
+//! detection — the §4.5 experiment ("Evidence that Selectivity Is
+//! Predictable").
+//!
+//! The paper's finding: histograms alone need randomized arrival order,
+//! order detection alone needs sorted data; *combined*, a near-precise
+//! 2-way join estimate is available by ~75% of the data, and a 3-way
+//! estimate by 50–60%. [`JoinEstimator`] reproduces that combination: each
+//! input column carries a histogram, an order detector, and a uniqueness
+//! detector; estimation extrapolates histograms by fraction read, and when
+//! a side is detected sorted-and-unique (a key), it switches to the exact
+//! key–foreign-key model `|R ⋈ S| = |S|`.
+
+use crate::histogram::DynamicHistogram;
+use crate::order_detect::{OrderDetector, UniquenessDetector};
+use tukwila_relation::Value;
+
+/// Statistics collector for one join column of one input.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub histogram: DynamicHistogram,
+    pub order: OrderDetector,
+    pub unique: UniquenessDetector,
+    rows: u64,
+}
+
+impl ColumnStats {
+    pub fn new(buckets: usize) -> ColumnStats {
+        ColumnStats {
+            histogram: DynamicHistogram::new(buckets),
+            order: OrderDetector::new(),
+            unique: UniquenessDetector::new(),
+            rows: 0,
+        }
+    }
+
+    pub fn observe(&mut self, v: &Value) {
+        self.histogram.insert_value(v);
+        self.order.observe(v);
+        self.unique.observe(v);
+        self.rows += 1;
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Detected as a sorted key column (sorted + no adjacent duplicates)?
+    pub fn is_sorted_key(&self) -> bool {
+        self.order.is_sorted_asc() && self.unique.is_unique() == Some(true)
+    }
+}
+
+/// Two-input equi-join estimator fed by prefixes of both inputs.
+#[derive(Debug, Clone)]
+pub struct JoinEstimator {
+    pub left: ColumnStats,
+    pub right: ColumnStats,
+}
+
+impl JoinEstimator {
+    pub fn new(buckets: usize) -> JoinEstimator {
+        JoinEstimator {
+            left: ColumnStats::new(buckets),
+            right: ColumnStats::new(buckets),
+        }
+    }
+
+    /// Estimate the *full* join output cardinality, given the fraction of
+    /// each input consumed so far.
+    pub fn estimate_full(&self, left_fraction: f64, right_fraction: f64) -> f64 {
+        let lf = left_fraction.clamp(1e-9, 1.0);
+        let rf = right_fraction.clamp(1e-9, 1.0);
+        // Order + uniqueness shortcut: a sorted unique column is a key, so
+        // a key–foreign-key join emits (at most) one row per foreign-key
+        // row. This is what makes prediction work even on sorted inputs,
+        // where histograms alone are biased by the scanned prefix.
+        if self.left.is_sorted_key() {
+            return self.right.rows() as f64 / rf;
+        }
+        if self.right.is_sorted_key() {
+            return self.left.rows() as f64 / lf;
+        }
+        let lh = self.left.histogram.extrapolate(lf);
+        let rh = self.right.histogram.extrapolate(rf);
+        lh.estimate_join(&rh)
+    }
+
+    /// Estimated join selectivity `|out| / (|L| * |R|)` over full inputs.
+    pub fn estimate_selectivity(&self, left_fraction: f64, right_fraction: f64) -> f64 {
+        let lf = left_fraction.clamp(1e-9, 1.0);
+        let rf = right_fraction.clamp(1e-9, 1.0);
+        let l = self.left.rows() as f64 / lf;
+        let r = self.right.rows() as f64 / rf;
+        if l <= 0.0 || r <= 0.0 {
+            return 0.0;
+        }
+        self.estimate_full(left_fraction, right_fraction) / (l * r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_key_detected_and_used() {
+        let mut e = JoinEstimator::new(50);
+        // Left: sorted unique key 0..999 (prefix: first half).
+        for i in 0..500 {
+            e.left.observe(&Value::Int(i));
+        }
+        // Right: foreign keys, random-ish order, 4k of 8k rows seen.
+        for i in 0..4000i64 {
+            e.right.observe(&Value::Int((i * 2654435761) % 1000));
+        }
+        assert!(e.left.is_sorted_key());
+        let est = e.estimate_full(0.5, 0.5);
+        // True output = 8000 (every FK row matches exactly one key).
+        assert!((est - 8000.0).abs() < 1.0, "est={est}");
+    }
+
+    #[test]
+    fn histogram_path_for_random_order() {
+        let mut e = JoinEstimator::new(50);
+        for i in 0..2000i64 {
+            e.left.observe(&Value::Int((i * 7919) % 500));
+        }
+        for i in 0..2000i64 {
+            e.right.observe(&Value::Int((i * 104729) % 500));
+        }
+        assert!(!e.left.is_sorted_key());
+        // True full-size: both 4000 rows over 500 keys -> 8 * 8 * 500 = 32k.
+        let est = e.estimate_full(0.5, 0.5);
+        assert!(est > 8_000.0 && est < 130_000.0, "est={est}");
+    }
+
+    #[test]
+    fn selectivity_bounded() {
+        let mut e = JoinEstimator::new(20);
+        for i in 0..100 {
+            e.left.observe(&Value::Int(i));
+            e.right.observe(&Value::Int(i));
+        }
+        let s = e.estimate_selectivity(1.0, 1.0);
+        assert!(s > 0.0 && s <= 1.0, "s={s}");
+    }
+
+    #[test]
+    fn empty_estimator_is_zero() {
+        let e = JoinEstimator::new(10);
+        assert_eq!(e.estimate_selectivity(1.0, 1.0), 0.0);
+    }
+}

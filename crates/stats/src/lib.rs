@@ -1,0 +1,32 @@
+//! Runtime statistics for adaptive query processing (paper §3.3, §4.2,
+//! §4.5).
+//!
+//! Tukwila's adaptivity is driven by information the executor gathers while
+//! a query runs:
+//!
+//! * [`counters::OpCounters`] — the per-operator output counters every query
+//!   operator maintains ("we found that this had no measurable performance
+//!   penalty", §3.3).
+//! * [`selectivity::SelectivityCatalog`] — observed subexpression
+//!   selectivities, recorded once per *logical* subexpression and shared
+//!   across all plans (§4.2), source-cardinality extrapolation, and the
+//!   "multiplicative join" flags.
+//! * [`histogram::DynamicHistogram`] — incremental histograms in the spirit
+//!   of the Dynamic Compressed histograms the paper cites ([7]): range
+//!   buckets plus exact counts for heavy hitters, maintainable per-tuple.
+//! * [`order_detect::OrderDetector`] / [`order_detect::UniquenessDetector`]
+//!   — streaming detection of sort order and key uniqueness (§4.5).
+//! * [`estimate::JoinEstimator`] — combines histograms and order detection
+//!   to predict join output cardinalities from a prefix of the data, the
+//!   §4.5 experiment.
+
+pub mod counters;
+pub mod estimate;
+pub mod histogram;
+pub mod order_detect;
+pub mod selectivity;
+
+pub use counters::OpCounters;
+pub use histogram::DynamicHistogram;
+pub use order_detect::{OrderDetector, Orderedness, UniquenessDetector};
+pub use selectivity::SelectivityCatalog;

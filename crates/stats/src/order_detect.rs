@@ -1,0 +1,221 @@
+//! Streaming order and uniqueness detection (paper §4.5 and §5).
+//!
+//! The complementary-join router and the §4.5 estimator both need to know,
+//! cheaply and incrementally, whether a source "appears sorted" on an
+//! attribute — and, when it is, whether the attribute is also unique
+//! ("uniqueness can be quickly detected in the special case where the
+//! values are sorted").
+
+use std::cmp::Ordering;
+
+use tukwila_relation::Value;
+
+/// Current belief about a column's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orderedness {
+    /// No data yet or still compatible with both directions.
+    Unknown,
+    Ascending,
+    Descending,
+    /// Violations observed in both directions beyond tolerance.
+    Unordered,
+}
+
+/// Incremental order detector over one attribute.
+#[derive(Debug, Clone)]
+pub struct OrderDetector {
+    prev: Option<Value>,
+    n: u64,
+    asc_violations: u64,
+    desc_violations: u64,
+}
+
+impl Default for OrderDetector {
+    fn default() -> Self {
+        OrderDetector::new()
+    }
+}
+
+impl OrderDetector {
+    pub fn new() -> OrderDetector {
+        OrderDetector {
+            prev: None,
+            n: 0,
+            asc_violations: 0,
+            desc_violations: 0,
+        }
+    }
+
+    /// Feed the next value in arrival order.
+    pub fn observe(&mut self, v: &Value) {
+        if let Some(prev) = &self.prev {
+            match prev.cmp_total(v) {
+                Ordering::Greater => self.asc_violations += 1,
+                Ordering::Less => self.desc_violations += 1,
+                Ordering::Equal => {}
+            }
+        }
+        self.prev = Some(v.clone());
+        self.n += 1;
+    }
+
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+
+    /// Fraction of adjacent pairs violating ascending order.
+    pub fn asc_violation_rate(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.asc_violations as f64 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn desc_violation_rate(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.desc_violations as f64 / (self.n - 1) as f64
+        }
+    }
+
+    /// Classification under a violation tolerance (0 = strict).
+    pub fn orderedness(&self, tolerance: f64) -> Orderedness {
+        if self.n < 2 {
+            return Orderedness::Unknown;
+        }
+        let asc_ok = self.asc_violation_rate() <= tolerance;
+        let desc_ok = self.desc_violation_rate() <= tolerance;
+        match (asc_ok, desc_ok) {
+            (true, true) => Orderedness::Unknown, // constant so far
+            (true, false) => Orderedness::Ascending,
+            (false, true) => Orderedness::Descending,
+            (false, false) => Orderedness::Unordered,
+        }
+    }
+
+    /// Strictly sorted ascending so far?
+    pub fn is_sorted_asc(&self) -> bool {
+        self.asc_violations == 0 && self.n >= 1
+    }
+}
+
+/// Uniqueness detector for *sorted* streams: a duplicate must be adjacent,
+/// so one comparison per tuple suffices. For unsorted streams it reports
+/// `unknown` rather than paying a hash-set per value.
+#[derive(Debug, Clone, Default)]
+pub struct UniquenessDetector {
+    prev: Option<Value>,
+    duplicates: u64,
+    order: OrderDetector,
+}
+
+impl UniquenessDetector {
+    pub fn new() -> UniquenessDetector {
+        UniquenessDetector::default()
+    }
+
+    pub fn observe(&mut self, v: &Value) {
+        if let Some(prev) = &self.prev {
+            if prev.eq_total(v) {
+                self.duplicates += 1;
+            }
+        }
+        self.order.observe(v);
+        self.prev = Some(v.clone());
+    }
+
+    /// `Some(true)` iff the stream is sorted and no adjacent duplicates were
+    /// seen; `Some(false)` iff duplicates were seen; `None` when the stream
+    /// is unsorted (adjacent comparison is inconclusive).
+    pub fn is_unique(&self) -> Option<bool> {
+        if self.duplicates > 0 {
+            return Some(false);
+        }
+        if self.order.is_sorted_asc() || self.order.desc_violation_rate() == 0.0 {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(vals: &[i64]) -> OrderDetector {
+        let mut d = OrderDetector::new();
+        for &v in vals {
+            d.observe(&Value::Int(v));
+        }
+        d
+    }
+
+    #[test]
+    fn detects_ascending() {
+        let d = feed(&[1, 2, 2, 3, 10]);
+        assert_eq!(d.orderedness(0.0), Orderedness::Ascending);
+        assert!(d.is_sorted_asc());
+    }
+
+    #[test]
+    fn detects_descending() {
+        let d = feed(&[10, 8, 8, 3]);
+        assert_eq!(d.orderedness(0.0), Orderedness::Descending);
+        assert!(!d.is_sorted_asc());
+    }
+
+    #[test]
+    fn detects_unordered() {
+        let d = feed(&[1, 5, 2, 9, 0]);
+        assert_eq!(d.orderedness(0.0), Orderedness::Unordered);
+    }
+
+    #[test]
+    fn tolerance_allows_mostly_sorted() {
+        // 1 violation out of 99 pairs ≈ 1%.
+        let mut vals: Vec<i64> = (0..100).collect();
+        vals.swap(40, 41);
+        let d = feed(&vals);
+        assert_eq!(d.orderedness(0.0), Orderedness::Unordered);
+        assert_eq!(d.orderedness(0.05), Orderedness::Ascending);
+    }
+
+    #[test]
+    fn unknown_until_data() {
+        let d = feed(&[]);
+        assert_eq!(d.orderedness(0.0), Orderedness::Unknown);
+        let one = feed(&[5]);
+        assert_eq!(one.orderedness(0.0), Orderedness::Unknown);
+        let constant = feed(&[5, 5, 5]);
+        assert_eq!(constant.orderedness(0.0), Orderedness::Unknown);
+    }
+
+    #[test]
+    fn uniqueness_on_sorted_stream() {
+        let mut u = UniquenessDetector::new();
+        for v in [1, 2, 3, 4] {
+            u.observe(&Value::Int(v));
+        }
+        assert_eq!(u.is_unique(), Some(true));
+        u.observe(&Value::Int(4));
+        assert_eq!(u.is_unique(), Some(false));
+        assert_eq!(u.duplicates(), 1);
+    }
+
+    #[test]
+    fn uniqueness_inconclusive_when_unsorted() {
+        let mut u = UniquenessDetector::new();
+        for v in [3, 1, 2, 1] {
+            // 1 appears twice but never adjacently.
+            u.observe(&Value::Int(v));
+        }
+        assert_eq!(u.is_unique(), None);
+    }
+}

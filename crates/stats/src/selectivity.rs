@@ -1,0 +1,227 @@
+//! Observed selectivities, source-cardinality extrapolation, and
+//! multiplicative-join flags (paper §4.2).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use tukwila_storage::ExprSig;
+
+/// Observation for one logical subexpression: output cardinality over the
+/// product of its input cardinalities. The paper records "only one
+/// subexpression selectivity that is shared across all logically equivalent
+/// subexpressions, regardless of algorithms used".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubexprObs {
+    pub out_card: u64,
+    /// Product of the input relation cardinalities fed so far.
+    pub in_product: f64,
+}
+
+impl SubexprObs {
+    /// Observed selectivity `|out| / Π|in|`, if defined.
+    pub fn selectivity(&self) -> Option<f64> {
+        if self.in_product > 0.0 {
+            Some(self.out_card as f64 / self.in_product)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-source progress used to extrapolate cardinalities: the paper's
+/// heuristic "assume that query performance will be consistent throughout
+/// the lifetime of the query".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceProgress {
+    pub tuples_read: u64,
+    /// Fraction of the source consumed, when the source can report it
+    /// (bytes read / total bytes); `None` for fully opaque sources.
+    pub fraction_read: Option<f64>,
+    pub eof: bool,
+}
+
+impl SourceProgress {
+    /// Best-effort cardinality estimate given what has been read.
+    ///
+    /// A source that has not reached EOF and advertises no total is assumed
+    /// to hold at least 25% more than already read (the paper's "assume
+    /// performance will be consistent throughout the lifetime" heuristic
+    /// needs the remaining-data estimate to stay non-zero until EOF).
+    pub fn extrapolated(&self, default_card: u64) -> u64 {
+        if self.eof {
+            return self.tuples_read;
+        }
+        match self.fraction_read {
+            Some(f) if f > 1e-6 => ((self.tuples_read as f64) / f).round() as u64,
+            _ => default_card.max((self.tuples_read as f64 * 1.25).ceil() as u64),
+        }
+    }
+}
+
+/// The shared, runtime-updated statistics catalog.
+///
+/// Writers: query operators (via the engine). Readers: the re-optimizer.
+#[derive(Default)]
+pub struct SelectivityCatalog {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    subexprs: HashMap<ExprSig, SubexprObs>,
+    sources: HashMap<u32, SourceProgress>,
+    /// Join predicates demonstrated "multiplicative" (output exceeds both
+    /// inputs), keyed by a caller-chosen predicate id, with the observed
+    /// blow-up factor.
+    multiplicative: HashMap<u64, f64>,
+}
+
+impl SelectivityCatalog {
+    pub fn new() -> SelectivityCatalog {
+        SelectivityCatalog::default()
+    }
+
+    /// Record (cumulative) observation for a subexpression.
+    pub fn observe_subexpr(&self, sig: ExprSig, out_card: u64, in_product: f64) {
+        let mut g = self.inner.write();
+        let e = g.subexprs.entry(sig).or_default();
+        e.out_card = out_card;
+        e.in_product = in_product;
+    }
+
+    pub fn subexpr(&self, sig: &ExprSig) -> Option<SubexprObs> {
+        self.inner.read().subexprs.get(sig).copied()
+    }
+
+    /// Observed selectivity for a signature, shared across plans.
+    pub fn selectivity(&self, sig: &ExprSig) -> Option<f64> {
+        self.subexpr(sig).and_then(|o| o.selectivity())
+    }
+
+    pub fn observe_source(&self, rel: u32, progress: SourceProgress) {
+        self.inner.write().sources.insert(rel, progress);
+    }
+
+    pub fn source(&self, rel: u32) -> Option<SourceProgress> {
+        self.inner.read().sources.get(&rel).copied()
+    }
+
+    /// Extrapolated cardinality for a source relation.
+    pub fn source_card(&self, rel: u32, default_card: u64) -> u64 {
+        match self.source(rel) {
+            Some(p) => p.extrapolated(default_card),
+            None => default_card,
+        }
+    }
+
+    /// Flag a join predicate as multiplicative with the observed factor
+    /// (`|out| / max(|in|)`); future estimates for any expression containing
+    /// the predicate multiply it in (§4.2's "conservative" heuristic).
+    pub fn flag_multiplicative(&self, pred_id: u64, factor: f64) {
+        let mut g = self.inner.write();
+        let e = g.multiplicative.entry(pred_id).or_insert(factor);
+        // Keep the largest observed blow-up (conservative).
+        if factor > *e {
+            *e = factor;
+        }
+    }
+
+    pub fn multiplicative_factor(&self, pred_id: u64) -> Option<f64> {
+        self.inner.read().multiplicative.get(&pred_id).copied()
+    }
+
+    /// Number of subexpressions with recorded observations.
+    pub fn observed_count(&self) -> usize {
+        self.inner.read().subexprs.len()
+    }
+
+    /// Clear everything (between queries).
+    pub fn reset(&self) {
+        let mut g = self.inner.write();
+        g.subexprs.clear();
+        g.sources.clear();
+        g.multiplicative.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_ratio() {
+        let c = SelectivityCatalog::new();
+        let sig = ExprSig::new(vec![1, 2]);
+        c.observe_subexpr(sig.clone(), 50, 1000.0);
+        assert_eq!(c.selectivity(&sig), Some(0.05));
+        assert_eq!(c.observed_count(), 1);
+        assert!(c.selectivity(&ExprSig::new(vec![1, 3])).is_none());
+    }
+
+    #[test]
+    fn observation_updates_overwrite() {
+        let c = SelectivityCatalog::new();
+        let sig = ExprSig::new(vec![1, 2]);
+        c.observe_subexpr(sig.clone(), 10, 100.0);
+        c.observe_subexpr(sig.clone(), 80, 200.0);
+        assert_eq!(c.selectivity(&sig), Some(0.4));
+    }
+
+    #[test]
+    fn source_extrapolation() {
+        let p = SourceProgress {
+            tuples_read: 500,
+            fraction_read: Some(0.25),
+            eof: false,
+        };
+        assert_eq!(p.extrapolated(20_000), 2000);
+        let done = SourceProgress {
+            tuples_read: 777,
+            fraction_read: Some(1.0),
+            eof: true,
+        };
+        assert_eq!(done.extrapolated(20_000), 777);
+        let opaque = SourceProgress {
+            tuples_read: 30_000,
+            fraction_read: None,
+            eof: false,
+        };
+        // Not at EOF and no advertised total: assume 25% more is coming.
+        assert_eq!(opaque.extrapolated(20_000), 37_500);
+    }
+
+    #[test]
+    fn catalog_source_roundtrip() {
+        let c = SelectivityCatalog::new();
+        assert_eq!(c.source_card(5, 20_000), 20_000);
+        c.observe_source(
+            5,
+            SourceProgress {
+                tuples_read: 100,
+                fraction_read: Some(0.5),
+                eof: false,
+            },
+        );
+        assert_eq!(c.source_card(5, 20_000), 200);
+    }
+
+    #[test]
+    fn multiplicative_flags_keep_max() {
+        let c = SelectivityCatalog::new();
+        assert!(c.multiplicative_factor(9).is_none());
+        c.flag_multiplicative(9, 2.0);
+        c.flag_multiplicative(9, 5.0);
+        c.flag_multiplicative(9, 3.0);
+        assert_eq!(c.multiplicative_factor(9), Some(5.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let c = SelectivityCatalog::new();
+        c.observe_subexpr(ExprSig::new(vec![1]), 1, 1.0);
+        c.flag_multiplicative(1, 2.0);
+        c.reset();
+        assert_eq!(c.observed_count(), 0);
+        assert!(c.multiplicative_factor(1).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Hash over sorted data: hash buckets whose contents stay sorted, allowing
+//! binary search within a bucket (paper §3.1's "hash over sorted data").
+
+use std::cmp::Ordering;
+
+use tukwila_relation::{cmp_tuples, Key, SortKey, Tuple};
+
+use crate::fx::FxHashMap;
+use crate::state::{StateStructure, StructProps};
+
+/// A hash table keyed on one column whose buckets are kept sorted under a
+/// secondary sort order, so that range/point probes within a key's bucket
+/// binary-search rather than scan. Useful when sources are sorted and the
+/// probe pattern filters within groups.
+pub struct HashSorted {
+    key_col: usize,
+    bucket_sort: Vec<SortKey>,
+    map: FxHashMap<Key, Vec<Tuple>>,
+    n: usize,
+    bytes: usize,
+}
+
+impl HashSorted {
+    pub fn new(key_col: usize, bucket_sort: Vec<SortKey>) -> HashSorted {
+        HashSorted {
+            key_col,
+            bucket_sort,
+            map: FxHashMap::default(),
+            n: 0,
+            bytes: 0,
+        }
+    }
+
+    pub fn insert(&mut self, t: Tuple) {
+        self.bytes += t.approx_bytes();
+        self.n += 1;
+        let bucket = self.map.entry(t.key(self.key_col)).or_default();
+        // Fast path: in-order append (sorted sources).
+        if let Some(last) = bucket.last() {
+            if cmp_tuples(&self.bucket_sort, last, &t) != Ordering::Greater {
+                bucket.push(t);
+                return;
+            }
+        } else {
+            bucket.push(t);
+            return;
+        }
+        let pos = bucket
+            .partition_point(|x| cmp_tuples(&self.bucket_sort, x, &t) != Ordering::Greater);
+        bucket.insert(pos, t);
+    }
+
+    pub fn probe(&self, key: &Key) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Binary search within the bucket for tuples whose first bucket-sort
+    /// column equals `inner`.
+    pub fn probe_within(&self, key: &Key, inner: &Key) -> &[Tuple] {
+        let bucket = match self.map.get(key) {
+            Some(b) => b,
+            None => return &[],
+        };
+        let col = match self.bucket_sort.first() {
+            Some(k) => k.col,
+            None => return bucket,
+        };
+        let lo = bucket.partition_point(|t| t.key(col).cmp(inner) == Ordering::Less);
+        let hi = bucket.partition_point(|t| t.key(col).cmp(inner) != Ordering::Greater);
+        &bucket[lo..hi]
+    }
+}
+
+impl StateStructure for HashSorted {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn props(&self) -> StructProps {
+        StructProps {
+            keyed_on: Some(self.key_col),
+            sorted_by: self.bucket_sort.clone(),
+            requires_sorted_input: false,
+            partially_spilled: false,
+        }
+    }
+
+    fn probe_into(&self, key: &Key, out: &mut Vec<Tuple>) {
+        out.extend_from_slice(self.probe(key));
+    }
+
+    fn scan(&self) -> Vec<Tuple> {
+        self.map.values().flatten().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::Value;
+
+    fn t(k: i64, s: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(s)])
+    }
+
+    fn key(k: i64) -> Key {
+        Value::Int(k).to_key()
+    }
+
+    #[test]
+    fn buckets_stay_sorted() {
+        let mut h = HashSorted::new(0, vec![SortKey::asc(1)]);
+        for s in [5, 1, 9, 2, 2, 7] {
+            h.insert(t(1, s));
+        }
+        let b = h.probe(&key(1));
+        assert_eq!(b.len(), 6);
+        assert!(tukwila_relation::sort::is_sorted(&[SortKey::asc(1)], b));
+    }
+
+    #[test]
+    fn probe_within_binary_searches() {
+        let mut h = HashSorted::new(0, vec![SortKey::asc(1)]);
+        for s in [1, 2, 2, 3, 5, 5, 5, 8] {
+            h.insert(t(7, s));
+        }
+        assert_eq!(h.probe_within(&key(7), &key(5)).len(), 3);
+        assert_eq!(h.probe_within(&key(7), &key(4)).len(), 0);
+        assert_eq!(h.probe_within(&key(9), &key(5)).len(), 0);
+    }
+
+    #[test]
+    fn len_and_scan() {
+        let mut h = HashSorted::new(0, vec![SortKey::asc(1)]);
+        for k in 0..10 {
+            h.insert(t(k % 2, k));
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.scan().len(), 10);
+        assert_eq!(h.props().keyed_on, Some(0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Equi-key hash table with lazy partition-wise spill to disk.
+//!
+//! This is the workhorse structure behind the pipelined hash join, hybrid
+//! hash join, and the complementary join pair. Overflow follows the
+//! XJoin/Tukwila recipe referenced in §5: when memory pressure demands it,
+//! the table lazily splits its keys into `n` partitions (by a hash that is
+//! stable across *all* tables in a join, so co-partitioned tables spill the
+//! same key ranges) and swaps chosen partitions to disk; spilled partitions
+//! can be restored for stitch-up.
+
+use tukwila_relation::{Error, Key, Result, Tuple};
+
+use crate::fx::{hash_one, FxHashMap};
+use crate::spill::{SpillFile, SpillSegment};
+use crate::state::{StateStructure, StructProps};
+
+/// Which partition a key belongs to, given a partition count. Shared so
+/// that the two sides of a join agree (co-partitioning).
+pub fn partition_of(key: &Key, nparts: usize) -> usize {
+    (hash_one(key) as usize) % nparts.max(1)
+}
+
+#[derive(Debug, Default)]
+struct SpilledPartition {
+    segments: Vec<SpillSegment>,
+    count: usize,
+}
+
+/// Hash table keyed on one column.
+pub struct TupleHashTable {
+    key_col: usize,
+    map: FxHashMap<Key, Vec<Tuple>>,
+    resident: usize,
+    bytes: usize,
+    /// Set once the table has been partitioned for spilling.
+    nparts: usize,
+    spilled: Vec<SpilledPartition>,
+    spill_file: Option<SpillFile>,
+    spilled_count: usize,
+}
+
+impl TupleHashTable {
+    pub fn new(key_col: usize) -> TupleHashTable {
+        TupleHashTable {
+            key_col,
+            map: FxHashMap::default(),
+            resident: 0,
+            bytes: 0,
+            nparts: 0,
+            spilled: Vec::new(),
+            spill_file: None,
+            spilled_count: 0,
+        }
+    }
+
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Insert a tuple. If its key's partition is currently spilled, the
+    /// tuple goes straight to disk.
+    pub fn insert(&mut self, t: Tuple) -> Result<()> {
+        let key = t.key(self.key_col);
+        if self.nparts > 0 {
+            let p = partition_of(&key, self.nparts);
+            if !self.spilled[p].segments.is_empty() || self.is_partition_spilled(p) {
+                return self.append_spilled(p, std::slice::from_ref(&t));
+            }
+        }
+        self.bytes += t.approx_bytes();
+        self.resident += 1;
+        self.map.entry(key).or_default().push(t);
+        Ok(())
+    }
+
+    fn is_partition_spilled(&self, p: usize) -> bool {
+        self.nparts > 0 && self.spilled[p].count > 0
+    }
+
+    fn append_spilled(&mut self, p: usize, tuples: &[Tuple]) -> Result<()> {
+        if self.spill_file.is_none() {
+            self.spill_file = Some(SpillFile::create()?);
+        }
+        let seg = self
+            .spill_file
+            .as_mut()
+            .expect("spill file just created")
+            .write_tuples(tuples)?;
+        self.spilled[p].segments.push(seg);
+        self.spilled[p].count += tuples.len();
+        self.spilled_count += tuples.len();
+        Ok(())
+    }
+
+    /// Probe for all in-memory matches of `key`.
+    pub fn probe(&self, key: &Key) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether a probe for this key would need a spilled partition (the
+    /// caller must then defer the probe to stitch-up, as XJoin does).
+    pub fn key_is_spilled(&self, key: &Key) -> bool {
+        self.nparts > 0 && self.spilled[partition_of(key, self.nparts)].count > 0
+    }
+
+    /// Number of in-memory tuples.
+    pub fn resident_len(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of tuples currently on disk.
+    pub fn spilled_len(&self) -> usize {
+        self.spilled_count
+    }
+
+    /// Iterate in-memory tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.map.values().flat_map(|v| v.iter())
+    }
+
+    /// Lazily partition the key space into `nparts` and spill partition `p`
+    /// to disk, freeing its memory (paper §5: "lazily partitions all four
+    /// hash tables along the same boundaries and swaps some of these
+    /// regions to disk").
+    pub fn spill_partition(&mut self, p: usize, nparts: usize) -> Result<usize> {
+        if self.nparts == 0 {
+            self.nparts = nparts;
+            self.spilled = (0..nparts).map(|_| SpilledPartition::default()).collect();
+        } else if self.nparts != nparts {
+            return Err(Error::Exec(format!(
+                "hash table already partitioned into {} (asked for {nparts})",
+                self.nparts
+            )));
+        }
+        if p >= self.nparts {
+            return Err(Error::Exec(format!("partition {p} out of range")));
+        }
+        let mut victims: Vec<Tuple> = Vec::new();
+        let keys: Vec<Key> = self
+            .map
+            .keys()
+            .filter(|k| partition_of(k, nparts) == p)
+            .cloned()
+            .collect();
+        for k in keys {
+            if let Some(rows) = self.map.remove(&k) {
+                for t in &rows {
+                    self.bytes = self.bytes.saturating_sub(t.approx_bytes());
+                }
+                self.resident -= rows.len();
+                victims.extend(rows);
+            }
+        }
+        let n = victims.len();
+        if n > 0 || self.spilled[p].count == 0 {
+            // Mark the partition spilled even if currently empty so future
+            // inserts for it go to disk.
+            self.append_spilled(p, &victims)?;
+            // append_spilled counts only tuples; ensure empty-marker works.
+            if n == 0 {
+                self.spilled[p].count = 0;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Read a spilled partition back into memory (stitch-up time).
+    pub fn restore_partition(&mut self, p: usize) -> Result<Vec<Tuple>> {
+        if self.nparts == 0 || p >= self.nparts {
+            return Ok(Vec::new());
+        }
+        let segs = std::mem::take(&mut self.spilled[p].segments);
+        let mut out = Vec::with_capacity(self.spilled[p].count);
+        if let Some(f) = self.spill_file.as_mut() {
+            for seg in segs {
+                out.extend(f.read_segment(seg)?);
+            }
+        }
+        self.spilled_count -= self.spilled[p].count;
+        self.spilled[p].count = 0;
+        for t in &out {
+            self.bytes += t.approx_bytes();
+            self.resident += 1;
+            self.map.entry(t.key(self.key_col)).or_default().push(t.clone());
+        }
+        Ok(out)
+    }
+
+    /// Distinct in-memory key count (used by selectivity estimation).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl StateStructure for TupleHashTable {
+    fn len(&self) -> usize {
+        self.resident + self.spilled_count
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn props(&self) -> StructProps {
+        StructProps {
+            keyed_on: Some(self.key_col),
+            sorted_by: Vec::new(),
+            requires_sorted_input: false,
+            partially_spilled: self.spilled_count > 0,
+        }
+    }
+
+    fn probe_into(&self, key: &Key, out: &mut Vec<Tuple>) {
+        out.extend_from_slice(self.probe(key));
+    }
+
+    fn scan(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::Value;
+
+    fn t(k: i64, v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(v)])
+    }
+
+    fn key(k: i64) -> Key {
+        Value::Int(k).to_key()
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut h = TupleHashTable::new(0);
+        for i in 0..10 {
+            h.insert(t(i % 3, i)).unwrap();
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.probe(&key(0)).len(), 4); // 0,3,6,9
+        assert_eq!(h.probe(&key(2)).len(), 3);
+        assert!(h.probe(&key(99)).is_empty());
+        assert_eq!(h.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn spill_and_restore_roundtrip() {
+        let mut h = TupleHashTable::new(0);
+        for i in 0..100 {
+            h.insert(t(i, i)).unwrap();
+        }
+        let before: usize = h.len();
+        let mut spilled_total = 0;
+        for p in 0..4 {
+            spilled_total += h.spill_partition(p, 4).unwrap();
+        }
+        assert_eq!(spilled_total, 100);
+        assert_eq!(h.resident_len(), 0);
+        assert_eq!(h.len(), before, "len counts spilled tuples");
+        assert!(h.props().partially_spilled);
+
+        // Inserts while spilled go to disk.
+        h.insert(t(200, 200)).unwrap();
+        assert_eq!(h.resident_len(), 0);
+
+        let mut restored = 0;
+        for p in 0..4 {
+            restored += h.restore_partition(p).unwrap().len();
+        }
+        assert_eq!(restored, 101);
+        assert_eq!(h.resident_len(), 101);
+        assert_eq!(h.probe(&key(200)).len(), 1);
+    }
+
+    #[test]
+    fn partial_spill_keeps_other_partitions_probeable() {
+        let mut h = TupleHashTable::new(0);
+        for i in 0..50 {
+            h.insert(t(i, i)).unwrap();
+        }
+        h.spill_partition(1, 4).unwrap();
+        let mut in_mem = 0;
+        let mut deferred = 0;
+        for i in 0..50 {
+            if h.key_is_spilled(&key(i)) {
+                deferred += 1;
+                assert!(h.probe(&key(i)).is_empty());
+            } else {
+                in_mem += 1;
+                assert_eq!(h.probe(&key(i)).len(), 1);
+            }
+        }
+        assert!(deferred > 0 && in_mem > 0);
+        assert_eq!(in_mem + deferred, 50);
+    }
+
+    #[test]
+    fn co_partitioning_is_stable() {
+        for k in 0..1000i64 {
+            let kk = key(k);
+            assert_eq!(partition_of(&kk, 8), partition_of(&kk, 8));
+        }
+    }
+
+    #[test]
+    fn repartition_with_different_count_is_error() {
+        let mut h = TupleHashTable::new(0);
+        h.insert(t(1, 1)).unwrap();
+        h.spill_partition(0, 4).unwrap();
+        assert!(h.spill_partition(0, 8).is_err());
+    }
+
+    #[test]
+    fn scan_matches_inserts() {
+        let mut h = TupleHashTable::new(0);
+        for i in 0..20 {
+            h.insert(t(i % 5, i)).unwrap();
+        }
+        let mut got: Vec<i64> = h.scan().iter().map(|x| x.get(1).as_int().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

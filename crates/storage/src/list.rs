@@ -1,0 +1,103 @@
+//! Append-only tuple list.
+
+use tukwila_relation::{Key, Tuple};
+
+use crate::state::{StateStructure, StructProps};
+
+/// The simplest state structure: an append-only list. Used for buffering
+/// nested-loops inners and as the fallback when no key column is known.
+#[derive(Debug, Default, Clone)]
+pub struct TupleList {
+    tuples: Vec<Tuple>,
+    bytes: usize,
+}
+
+impl TupleList {
+    pub fn new() -> TupleList {
+        TupleList::default()
+    }
+
+    pub fn with_capacity(n: usize) -> TupleList {
+        TupleList {
+            tuples: Vec::with_capacity(n),
+            bytes: 0,
+        }
+    }
+
+    pub fn insert(&mut self, t: Tuple) {
+        self.bytes += t.approx_bytes();
+        self.tuples.push(t);
+    }
+
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+}
+
+impl StateStructure for TupleList {
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn props(&self) -> StructProps {
+        StructProps::unkeyed()
+    }
+
+    fn probe_into(&self, key: &Key, out: &mut Vec<Tuple>) {
+        // No keyed access: filtered scan over every column is meaningless,
+        // so a keyless list matches nothing on probe. Callers that need
+        // key probes should use a keyed structure.
+        let _ = (key, out);
+    }
+
+    fn scan(&self) -> Vec<Tuple> {
+        self.tuples.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::Value;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut l = TupleList::new();
+        for i in 0..5 {
+            l.insert(t(i));
+        }
+        assert_eq!(l.len(), 5);
+        assert!(!l.is_empty());
+        assert_eq!(l.scan().len(), 5);
+        assert_eq!(l.tuples()[3], t(3));
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let mut l = TupleList::new();
+        assert_eq!(l.approx_bytes(), 0);
+        l.insert(t(1));
+        assert!(l.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn probe_on_unkeyed_matches_nothing() {
+        let mut l = TupleList::new();
+        l.insert(t(1));
+        let mut out = Vec::new();
+        l.probe_into(&Value::Int(1).to_key(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Tuple serialization and spill files.
+//!
+//! Hash tables "provide an external interface by which they can be swapped
+//! to and from disk" (paper §3.3); this module is that interface. Spill
+//! files are append-only; a [`SpillSegment`] names a byte range holding a
+//! run of serialized tuples.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tukwila_relation::{Error, Result, Tuple, Value};
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A byte range within a spill file holding `count` serialized tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillSegment {
+    pub offset: u64,
+    pub len: u64,
+    pub count: usize,
+}
+
+/// An append-only temporary file of serialized tuples, deleted on drop.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    file: File,
+    write_pos: u64,
+}
+
+impl SpillFile {
+    /// Create a fresh spill file in the system temp directory.
+    pub fn create() -> Result<SpillFile> {
+        let n = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "tukwila-spill-{}-{}.bin",
+            std::process::id(),
+            n
+        ));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(SpillFile {
+            path,
+            file,
+            write_pos: 0,
+        })
+    }
+
+    /// Append a run of tuples, returning the segment that names it.
+    pub fn write_tuples(&mut self, tuples: &[Tuple]) -> Result<SpillSegment> {
+        let mut buf = BytesMut::with_capacity(64 * tuples.len());
+        for t in tuples {
+            encode_tuple(&mut buf, t);
+        }
+        let offset = self.write_pos;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&buf)?;
+        self.write_pos += buf.len() as u64;
+        Ok(SpillSegment {
+            offset,
+            len: buf.len() as u64,
+            count: tuples.len(),
+        })
+    }
+
+    /// Read a previously written segment back.
+    pub fn read_segment(&mut self, seg: SpillSegment) -> Result<Vec<Tuple>> {
+        let mut raw = vec![0u8; seg.len as usize];
+        self.file.seek(SeekFrom::Start(seg.offset))?;
+        self.file.read_exact(&mut raw)?;
+        let mut bytes = Bytes::from(raw);
+        let mut out = Vec::with_capacity(seg.count);
+        for _ in 0..seg.count {
+            out.push(decode_tuple(&mut bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.write_pos
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+/// Serialize one tuple (length-prefixed values).
+pub fn encode_tuple(buf: &mut BytesMut, t: &Tuple) {
+    buf.put_u32_le(t.arity() as u32);
+    for v in t.values() {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(*b as u8);
+            }
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64_le(*f);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                buf.put_u8(TAG_DATE);
+                buf.put_i32_le(*d);
+            }
+        }
+    }
+}
+
+/// Deserialize one tuple.
+pub fn decode_tuple(bytes: &mut Bytes) -> Result<Tuple> {
+    if bytes.remaining() < 4 {
+        return Err(Error::Exec("truncated spill tuple header".into()));
+    }
+    let arity = bytes.get_u32_le() as usize;
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        if bytes.remaining() < 1 {
+            return Err(Error::Exec("truncated spill value tag".into()));
+        }
+        let tag = bytes.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(bytes.get_u8() != 0),
+            TAG_INT => Value::Int(bytes.get_i64_le()),
+            TAG_FLOAT => Value::Float(bytes.get_f64_le()),
+            TAG_STR => {
+                let n = bytes.get_u32_le() as usize;
+                if bytes.remaining() < n {
+                    return Err(Error::Exec("truncated spill string".into()));
+                }
+                let raw = bytes.split_to(n);
+                let s = std::str::from_utf8(&raw)
+                    .map_err(|e| Error::Exec(format!("bad utf8 in spill file: {e}")))?;
+                Value::str(s)
+            }
+            TAG_DATE => Value::Date(bytes.get_i32_le()),
+            other => return Err(Error::Exec(format!("bad spill value tag {other}"))),
+        };
+        vals.push(v);
+    }
+    Ok(Tuple::new(vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![
+                Value::Int(42),
+                Value::str("hello"),
+                Value::Float(2.5),
+                Value::Null,
+                Value::Bool(true),
+                Value::Date(9999),
+            ]),
+            Tuple::new(vec![Value::Int(-1)]),
+            Tuple::new(vec![]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let mut buf = BytesMut::new();
+        for t in sample() {
+            encode_tuple(&mut buf, &t);
+        }
+        let mut bytes = buf.freeze();
+        for t in sample() {
+            assert_eq!(decode_tuple(&mut bytes).unwrap(), t);
+        }
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn spill_file_roundtrip() {
+        let mut f = SpillFile::create().unwrap();
+        let a = f.write_tuples(&sample()).unwrap();
+        let more: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::str("x")]))
+            .collect();
+        let b = f.write_tuples(&more).unwrap();
+        assert_eq!(f.read_segment(a).unwrap(), sample());
+        assert_eq!(f.read_segment(b).unwrap(), more);
+        // Segments can be re-read in any order.
+        assert_eq!(f.read_segment(a).unwrap(), sample());
+        assert!(f.bytes_written() > 0);
+    }
+
+    #[test]
+    fn spill_file_removed_on_drop() {
+        let path;
+        {
+            let f = SpillFile::create().unwrap();
+            path = f.path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut bytes = Bytes::from_static(&[9, 9]);
+        assert!(decode_tuple(&mut bytes).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u8(77); // bad tag
+        let mut bytes = buf.freeze();
+        assert!(decode_tuple(&mut bytes).is_err());
+    }
+}

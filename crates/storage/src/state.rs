@@ -1,0 +1,77 @@
+//! The shared read-view trait over all state structures.
+
+use tukwila_relation::{Key, SortKey, Tuple};
+
+/// Properties a state structure advertises (paper §3.1: structures
+/// "advertise certain properties (e.g., supports key-based access, requires
+/// sorted data)"). The re-optimizer and the stitch-up join consult these to
+/// decide how an existing structure can be reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructProps {
+    /// Column on which key-based probes are supported, if any.
+    pub keyed_on: Option<usize>,
+    /// Sort order the scan respects, if any.
+    pub sorted_by: Vec<SortKey>,
+    /// Whether inserts must arrive in sort order.
+    pub requires_sorted_input: bool,
+    /// Whether part of the structure currently lives on disk.
+    pub partially_spilled: bool,
+}
+
+impl StructProps {
+    pub fn unkeyed() -> StructProps {
+        StructProps {
+            keyed_on: None,
+            sorted_by: Vec::new(),
+            requires_sorted_input: false,
+            partially_spilled: false,
+        }
+    }
+
+    pub fn keyed(col: usize) -> StructProps {
+        StructProps {
+            keyed_on: Some(col),
+            ..StructProps::unkeyed()
+        }
+    }
+}
+
+/// Read view shared across plans. Owning operators mutate structures through
+/// their concrete types; once a phase seals, structures are registered as
+/// `Arc<dyn StateStructure>` and other plans (notably stitch-up) read them
+/// through this trait.
+pub trait StateStructure: Send + Sync {
+    /// Number of stored tuples (including spilled ones).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident memory.
+    fn approx_bytes(&self) -> usize;
+
+    /// Advertised properties.
+    fn props(&self) -> StructProps;
+
+    /// Append all in-memory tuples matching `key` to `out`. Structures
+    /// without keyed access fall back to a filtered scan.
+    fn probe_into(&self, key: &Key, out: &mut Vec<Tuple>);
+
+    /// Clone out every in-memory tuple. (Tuple cloning is an `Arc` bump.)
+    fn scan(&self) -> Vec<Tuple>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn props_constructors() {
+        let u = StructProps::unkeyed();
+        assert!(u.keyed_on.is_none());
+        assert!(!u.partially_spilled);
+        let k = StructProps::keyed(3);
+        assert_eq!(k.keyed_on, Some(3));
+    }
+}

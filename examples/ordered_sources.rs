@@ -1,0 +1,103 @@
+//! Exploiting (partial) order with complementary join pairs (paper §5).
+//!
+//! LINEITEM and ORDERS arrive clustered by order key; the complementary
+//! join pair speculates on that order, sending conforming tuples to a
+//! merge join and violators to a pipelined hash join, with a mini
+//! stitch-up at the end. We compare a plain pipelined hash join, the naive
+//! complementary pair, and the priority-queue variant over increasingly
+//! disordered inputs.
+//!
+//! Run with: `cargo run --release --example ordered_sources`
+
+use std::time::Instant;
+
+use tukwila::core::{ComplementaryJoinPair, RouterKind};
+use tukwila::datagen::{perturb, Dataset, DatasetConfig, TableId};
+use tukwila::exec::join::PipelinedHashJoin;
+use tukwila::exec::op::IncOp;
+use tukwila::relation::Tuple;
+
+fn run_hash(orders: &[Tuple], lineitem: &[Tuple]) -> (usize, f64) {
+    let mut j = PipelinedHashJoin::new(
+        Dataset::schema(TableId::Orders),
+        Dataset::schema(TableId::Lineitem),
+        0,
+        0,
+    );
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for chunk in orders.chunks(1024) {
+        j.push(0, chunk, &mut out).unwrap();
+    }
+    for chunk in lineitem.chunks(1024) {
+        j.push(1, chunk, &mut out).unwrap();
+    }
+    (out.len(), start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn run_complementary(
+    orders: &[Tuple],
+    lineitem: &[Tuple],
+    router: RouterKind,
+) -> (usize, f64, tukwila::core::ComplementaryStats) {
+    let mut j = ComplementaryJoinPair::new(
+        Dataset::schema(TableId::Orders),
+        Dataset::schema(TableId::Lineitem),
+        0,
+        0,
+        router,
+    );
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for chunk in orders.chunks(1024) {
+        j.push(0, chunk, &mut out).unwrap();
+    }
+    for chunk in lineitem.chunks(1024) {
+        j.push(1, chunk, &mut out).unwrap();
+    }
+    j.finish_input(0, &mut out).unwrap();
+    j.finish_input(1, &mut out).unwrap();
+    j.finish(&mut out).unwrap();
+    (
+        out.len(),
+        start.elapsed().as_secs_f64() * 1000.0,
+        j.stats(),
+    )
+}
+
+fn main() {
+    let dataset = Dataset::generate(DatasetConfig::uniform(0.01));
+    println!(
+        "joining orders ({}) with lineitem ({}) on orderkey\n",
+        dataset.orders.len(),
+        dataset.lineitem.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>24}",
+        "reordered", "hash ms", "naive ms", "pq ms", "pq routing (mrg/hash)"
+    );
+    for frac in [0.0, 0.01, 0.1, 0.5] {
+        let mut orders = dataset.orders.clone();
+        let mut lineitem = dataset.lineitem.clone();
+        perturb::reorder_fraction(&mut orders, frac, 11);
+        perturb::reorder_fraction(&mut lineitem, frac, 12);
+
+        let (n_hash, t_hash) = run_hash(&orders, &lineitem);
+        let (n_naive, t_naive, _) =
+            run_complementary(&orders, &lineitem, RouterKind::Naive);
+        let (n_pq, t_pq, s_pq) =
+            run_complementary(&orders, &lineitem, RouterKind::PriorityQueue(1024));
+        assert_eq!(n_hash, n_naive);
+        assert_eq!(n_hash, n_pq);
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>12}/{:<12}",
+            format!("{:.0}%", frac * 100.0),
+            t_hash,
+            t_naive,
+            t_pq,
+            s_pq.merge_tuples,
+            s_pq.hash_tuples,
+        );
+    }
+    println!("\nall three strategies produced identical join results");
+}

@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: every execution strategy must produce
+//! the same answers as every other (and as the naive reference executor),
+//! on every workload query, over uniform and skewed data.
+
+use std::collections::HashMap;
+
+use tukwila::core::{
+    run_plan_partitioning, run_static, CorrectiveConfig, CorrectiveExec,
+};
+use tukwila::datagen::{queries, Dataset, DatasetConfig, TableId};
+use tukwila::exec::reference::canonicalize_approx;
+use tukwila::exec::CpuCostModel;
+use tukwila::optimizer::{
+    LogicalQuery, OptimizerContext, PreAggConfig, PreAggMode,
+};
+use tukwila::source::{MemSource, Source};
+
+fn sources_for(d: &Dataset, q: &LogicalQuery) -> Vec<Box<dyn Source>> {
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| {
+            Box::new(MemSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+            )) as Box<dyn Source>
+        })
+        .collect()
+}
+
+fn static_answer(d: &Dataset, q: &LogicalQuery) -> Vec<String> {
+    let mut s = sources_for(d, q);
+    let run = run_static(
+        q,
+        &mut s,
+        OptimizerContext::no_statistics(),
+        512,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    canonicalize_approx(&run.rows)
+}
+
+fn all_queries() -> Vec<(&'static str, LogicalQuery)> {
+    vec![
+        ("q3", queries::q3()),
+        ("q3a", queries::q3a()),
+        ("q10", queries::q10()),
+        ("q10a", queries::q10a()),
+        ("q5", queries::q5()),
+    ]
+}
+
+#[test]
+fn corrective_matches_static_on_all_queries_uniform() {
+    let d = Dataset::generate(DatasetConfig::uniform(0.002));
+    for (name, q) in all_queries() {
+        let expected = static_answer(&d, &q);
+        let exec = CorrectiveExec::new(
+            q.clone(),
+            CorrectiveConfig {
+                batch_size: 300,
+                cpu: CpuCostModel::Zero,
+                poll_every_batches: 3,
+                switch_threshold: 100.0, // force switches aggressively
+                max_phases: 4,
+                warmup_batches: 2,
+                ..Default::default()
+            },
+        );
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(
+            canonicalize_approx(&report.rows),
+            expected,
+            "{name}: corrective ({} phases) disagrees with static",
+            report.phase_count()
+        );
+    }
+}
+
+#[test]
+fn corrective_matches_static_on_all_queries_skewed() {
+    let d = Dataset::generate(DatasetConfig::skewed(0.002));
+    for (name, q) in all_queries() {
+        let expected = static_answer(&d, &q);
+        let exec = CorrectiveExec::new(
+            q.clone(),
+            CorrectiveConfig {
+                batch_size: 450,
+                cpu: CpuCostModel::Zero,
+                poll_every_batches: 2,
+                switch_threshold: 100.0,
+                max_phases: 3,
+                warmup_batches: 2,
+                ..Default::default()
+            },
+        );
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(
+            canonicalize_approx(&report.rows),
+            expected,
+            "{name} (skewed, {} phases)",
+            report.phase_count()
+        );
+    }
+}
+
+#[test]
+fn plan_partitioning_matches_static_on_all_queries() {
+    let d = Dataset::generate(DatasetConfig::uniform(0.002));
+    for (name, q) in all_queries() {
+        let expected = static_answer(&d, &q);
+        let run = run_plan_partitioning(
+            &q,
+            sources_for(&d, &q),
+            OptimizerContext::no_statistics(),
+            512,
+            CpuCostModel::Zero,
+        )
+        .unwrap();
+        assert_eq!(canonicalize_approx(&run.rows), expected, "{name}");
+    }
+}
+
+#[test]
+fn preagg_strategies_match_on_all_queries() {
+    let d = Dataset::generate(DatasetConfig::skewed(0.002));
+    for (name, q) in all_queries() {
+        let expected = static_answer(&d, &q);
+        for mode in [
+            PreAggMode::AdaptiveWindow,
+            PreAggMode::Traditional,
+            PreAggMode::Pseudogroup,
+        ] {
+            let mut ctx = OptimizerContext::no_statistics();
+            ctx.preagg = PreAggConfig::Insert(mode);
+            let mut s = sources_for(&d, &q);
+            let run = run_static(&q, &mut s, ctx, 512, CpuCostModel::Zero).unwrap();
+            assert_eq!(
+                canonicalize_approx(&run.rows),
+                expected,
+                "{name} with {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn given_cardinalities_mode_matches_no_statistics_results() {
+    let d = Dataset::generate(DatasetConfig::uniform(0.002));
+    let q = queries::q5();
+    let expected = static_answer(&d, &q);
+    let mut cards = HashMap::new();
+    for t in queries::tables_of(&q) {
+        cards.insert(t.rel_id(), d.table(t).len() as u64);
+    }
+    let mut s = sources_for(&d, &q);
+    let run = run_static(
+        &q,
+        &mut s,
+        OptimizerContext::with_cards(cards),
+        512,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    assert_eq!(canonicalize_approx(&run.rows), expected);
+}
+
+#[test]
+fn corrective_over_delayed_sources_matches_local() {
+    use tukwila::source::{DelayModel, DelayedSource};
+    let d = Dataset::generate(DatasetConfig::uniform(0.002));
+    let q = queries::q10a();
+    let expected = static_answer(&d, &q);
+    let model = DelayModel::Wireless {
+        bytes_per_sec: 2e6,
+        burst_ms: 10.0,
+        gap_ms: 15.0,
+        seed: 99,
+    };
+    let mut sources: Vec<Box<dyn Source>> = queries::tables_of(&q)
+        .into_iter()
+        .map(|t| {
+            Box::new(DelayedSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+                &model,
+            )) as Box<dyn Source>
+        })
+        .collect();
+    let exec = CorrectiveExec::new(
+        q,
+        CorrectiveConfig {
+            batch_size: 256,
+            cpu: CpuCostModel::Zero,
+            poll_every_batches: 4,
+            switch_threshold: 100.0,
+            max_phases: 3,
+            warmup_batches: 2,
+            ..Default::default()
+        },
+    );
+    let report = exec.run(&mut sources).unwrap();
+    assert_eq!(canonicalize_approx(&report.rows), expected);
+    assert!(
+        report.exec.idle_us > 0,
+        "bursty sources must leave the CPU idle at times"
+    );
+}
+
+#[test]
+fn forced_phase_counts_stay_bounded() {
+    // Even with an absurd switch threshold, max_phases bounds the phase
+    // count and stitch-up still completes.
+    let d = Dataset::generate(DatasetConfig::uniform(0.001));
+    let q = queries::q10a();
+    let expected = static_answer(&d, &q);
+    let exec = CorrectiveExec::new(
+        q.clone(),
+        CorrectiveConfig {
+            batch_size: 64,
+            cpu: CpuCostModel::Zero,
+            poll_every_batches: 1,
+            switch_threshold: 1000.0,
+            max_phases: 5,
+            warmup_batches: 1,
+            initial_order: Some(vec![
+                TableId::Orders.rel_id(),
+                TableId::Lineitem.rel_id(),
+                TableId::Customer.rel_id(),
+                TableId::Nation.rel_id(),
+            ]),
+            ..Default::default()
+        },
+    );
+    let mut sources = sources_for(&d, &q);
+    let report = exec.run(&mut sources).unwrap();
+    assert!(report.phase_count() <= 5);
+    assert_eq!(canonicalize_approx(&report.rows), expected);
+}
