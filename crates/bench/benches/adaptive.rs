@@ -11,10 +11,7 @@ use tukwila_exec::CpuCostModel;
 use tukwila_optimizer::{Optimizer, OptimizerContext};
 use tukwila_source::{MemSource, Source};
 
-fn sources_for(
-    d: &Dataset,
-    q: &tukwila_optimizer::LogicalQuery,
-) -> Vec<Box<dyn Source>> {
+fn sources_for(d: &Dataset, q: &tukwila_optimizer::LogicalQuery) -> Vec<Box<dyn Source>> {
     queries::tables_of(q)
         .into_iter()
         .map(|t| {

@@ -12,6 +12,7 @@
 //!   fig6     Figure 6  (pre-aggregation strategies)
 //!   sec45    §4.5      (join-size predictability + histogram overhead)
 //!   ablation stitch-up reuse on/off; polling-interval sweep
+//!   mirrors  federated mirror failover (online source-permutation scheduling)
 //!   all      everything above
 //! ```
 //!
@@ -25,7 +26,7 @@ use tukwila_bench::ExpConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] \
-         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|all>"
+         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|all>"
     );
     std::process::exit(2);
 }
@@ -41,9 +42,9 @@ fn save(name: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 11] = [
         "fig2", "table1", "fig3", "table2", "fig5", "table3", "fig6", "sec45", "ablation",
-        "all",
+        "mirrors", "all",
     ];
     let mut cfg = ExpConfig::default();
     let mut cmds: Vec<String> = Vec::new();
@@ -51,18 +52,28 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                cfg.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--runs" => {
-                cfg.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--batch" => {
-                cfg.batch_size =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.batch_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--bps" => {
-                cfg.wireless_bps =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.wireless_bps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             other if KNOWN.contains(&other) => cmds.push(other.to_string()),
             _ => usage(),
@@ -135,6 +146,12 @@ fn main() {
         let out = experiments::selectivity_suite(&cfg);
         println!("{out}");
         save("sec45", &out);
+    }
+    if want("mirrors") {
+        println!("== Federated mirrors: online source-permutation scheduling ==\n");
+        let out = experiments::mirror_failover_suite(&cfg);
+        println!("{out}");
+        save("mirrors", &out);
     }
     if all {
         println!("== Example 2.1 sanity run ==\n");

@@ -7,21 +7,24 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tukwila_core::{
-    ComplementaryJoinPair, CorrectiveConfig, CorrectiveExec, RouterKind,
+    run_static, ComplementaryJoinPair, CorrectiveConfig, CorrectiveExec, RouterKind,
 };
 use tukwila_datagen::{perturb, Dataset, TableId, Zipf};
 use tukwila_exec::join::PipelinedHashJoin;
 use tukwila_exec::op::IncOp;
 use tukwila_exec::reference::canonicalize_approx;
 use tukwila_exec::CpuCostModel;
+use tukwila_federation::FederatedSource;
 use tukwila_optimizer::{OptimizerContext, PreAggConfig, PreAggMode};
 use tukwila_relation::{Tuple, Value};
 use tukwila_stats::estimate::JoinEstimator;
 
 use crate::fmt::{count, secs, secs_ci, TextTable};
 use crate::setup::{
-    datasets, local_sources, mean_ci, true_cards, wireless_sources, ExpConfig, WorkloadQuery,
+    datasets, federated_mirror_sources, local_sources, mean_ci, pinned_mirror_sources, true_cards,
+    wireless_sources, ExpConfig, MirrorKind, WorkloadQuery,
 };
+use tukwila_source::Source;
 
 /// Detail captured from an adaptive run (for Tables 1/2).
 #[derive(Debug, Clone, Default)]
@@ -32,8 +35,11 @@ pub struct AdaptiveDetail {
     pub discarded: usize,
 }
 
-fn corrective_cfg(cfg: &ExpConfig, given: Option<std::collections::HashMap<u32, u64>>,
-                  order: Option<Vec<u32>>) -> CorrectiveConfig {
+fn corrective_cfg(
+    cfg: &ExpConfig,
+    given: Option<std::collections::HashMap<u32, u64>>,
+    order: Option<Vec<u32>>,
+) -> CorrectiveConfig {
     CorrectiveConfig {
         batch_size: cfg.batch_size,
         cpu: CpuCostModel::Measured,
@@ -100,7 +106,8 @@ pub fn corrective_suite(cfg: &ExpConfig, wireless: bool) -> (String, String) {
                 match &reference {
                     None => reference = Some(canon),
                     Some(r) => assert_eq!(
-                        r, &canon,
+                        r,
+                        &canon,
                         "strategy {label} disagrees on {}-{dname}",
                         w.name()
                     ),
@@ -148,10 +155,7 @@ pub fn corrective_suite(cfg: &ExpConfig, wireless: bool) -> (String, String) {
             let mut adaptive_ns = Vec::new();
             let mut detail_ns = AdaptiveDetail::default();
             for _ in 0..cfg.runs {
-                let exec = CorrectiveExec::new(
-                    q.clone(),
-                    corrective_cfg(cfg, None, order.clone()),
-                );
+                let exec = CorrectiveExec::new(q.clone(), corrective_cfg(cfg, None, order.clone()));
                 let mut s = make_sources(&q);
                 let report = exec.run(&mut s).expect("adaptive nostats");
                 adaptive_ns.push(metric(&report.exec));
@@ -169,10 +173,8 @@ pub fn corrective_suite(cfg: &ExpConfig, wireless: bool) -> (String, String) {
             let mut adaptive_c = Vec::new();
             let mut detail_c = AdaptiveDetail::default();
             for _ in 0..cfg.runs {
-                let exec = CorrectiveExec::new(
-                    q.clone(),
-                    corrective_cfg(cfg, Some(cards.clone()), None),
-                );
+                let exec =
+                    CorrectiveExec::new(q.clone(), corrective_cfg(cfg, Some(cards.clone()), None));
                 let mut s = make_sources(&q);
                 let report = exec.run(&mut s).expect("adaptive cards");
                 adaptive_c.push(metric(&report.exec));
@@ -267,19 +269,8 @@ fn fmt_ci(samples: &[f64]) -> String {
 /// (naive and priority-queue routers) over LINEITEM ⋈ ORDERS with
 /// increasing disorder.
 pub fn complementary_suite(cfg: &ExpConfig) -> (String, String) {
-    let mut figure = TextTable::new(&[
-        "dataset",
-        "PHJ s",
-        "CompJoin s",
-        "CompJoin+PQ s",
-    ]);
-    let mut table = TextTable::new(&[
-        "dataset",
-        "router",
-        "hash",
-        "merge",
-        "stitch",
-    ]);
+    let mut figure = TextTable::new(&["dataset", "PHJ s", "CompJoin s", "CompJoin+PQ s"]);
+    let mut table = TextTable::new(&["dataset", "router", "hash", "merge", "stitch"]);
 
     // The paper's six data points: uniform, skewed, uniform 1%, skewed 1%,
     // skewed 10%, skewed 50%.
@@ -610,6 +601,120 @@ pub fn flights_recovery(cfg: &ExpConfig) -> String {
     )
 }
 
+/// Mirror-failover scenario (federation layer): every base relation of
+/// Q3A is served by a fast-but-flaky wireless mirror (4× bandwidth, ~10%
+/// duty cycle) and a steady mirror at half bandwidth. Compares the two
+/// static pins against the adaptive permutation scheduler under both
+/// registration orders, all over the identical static plan with a
+/// deterministic per-tuple CPU model, and asserts that (a) every strategy
+/// produces the identical (deduped) answer and (b) the adaptive scheduler
+/// beats the worst static source choice on virtual completion time.
+pub fn mirror_failover_suite(cfg: &ExpConfig) -> String {
+    let [(_, uniform), _] = datasets(cfg);
+    let q = WorkloadQuery::Q3A.query();
+    let run = |mut sources: Vec<Box<dyn Source>>| {
+        let out = run_static(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            cfg.batch_size,
+            CpuCostModel::PerTupleNs(200),
+        )
+        .expect("mirror run");
+        let (mut failovers, mut stalls, mut dupes) = (0u64, 0u64, 0u64);
+        for s in &sources {
+            if let Some(fed) = s.as_any().and_then(|a| a.downcast_ref::<FederatedSource>()) {
+                let r = fed.report();
+                failovers += r.failovers;
+                stalls += r.candidates.iter().map(|c| c.stalls).sum::<u64>();
+                dupes += r.candidates.iter().map(|c| c.duplicates).sum::<u64>();
+            }
+        }
+        (
+            out.exec.virtual_us as f64 / 1e6,
+            canonicalize_approx(&out.rows),
+            failovers,
+            stalls,
+            dupes,
+        )
+    };
+
+    let flaky = run(pinned_mirror_sources(
+        &uniform,
+        &q,
+        cfg,
+        MirrorKind::FastFlaky,
+    ));
+    let steady = run(pinned_mirror_sources(
+        &uniform,
+        &q,
+        cfg,
+        MirrorKind::SteadySlow,
+    ));
+    let fed = run(federated_mirror_sources(
+        &uniform,
+        &q,
+        cfg,
+        &[MirrorKind::FastFlaky, MirrorKind::SteadySlow],
+    ));
+    let fed_rev = run(federated_mirror_sources(
+        &uniform,
+        &q,
+        cfg,
+        &[MirrorKind::SteadySlow, MirrorKind::FastFlaky],
+    ));
+    let fed_again = run(federated_mirror_sources(
+        &uniform,
+        &q,
+        cfg,
+        &[MirrorKind::FastFlaky, MirrorKind::SteadySlow],
+    ));
+
+    // Correctness: identical deduped answers across every source
+    // permutation, and determinism under the per-tuple cost model.
+    assert_eq!(flaky.1, steady.1, "static mirror answers disagree");
+    assert_eq!(fed.1, flaky.1, "federated answer diverged");
+    assert_eq!(fed_rev.1, flaky.1, "permutation changed the answer");
+    assert_eq!(fed.0, fed_again.0, "federated run not deterministic");
+    assert_eq!(fed.1, fed_again.1, "federated rows not deterministic");
+    let worst = flaky.0.max(steady.0);
+    assert!(
+        fed.0 < worst && fed_rev.0 < worst,
+        "adaptive ({:.3}s / {:.3}s) must beat the worst static pin ({worst:.3}s)",
+        fed.0,
+        fed_rev.0
+    );
+
+    let mut t = TextTable::new(&[
+        "strategy",
+        "virtual-s",
+        "rows",
+        "failovers",
+        "stalls",
+        "deduped",
+    ]);
+    for (name, r) in [
+        ("static flaky mirror", &flaky),
+        ("static steady mirror", &steady),
+        ("federated [flaky,steady]", &fed),
+        ("federated [steady,flaky]", &fed_rev),
+    ] {
+        t.row(vec![
+            name.into(),
+            secs(r.0),
+            count(r.1.len()),
+            r.2.to_string(),
+            r.3.to_string(),
+            r.4.to_string(),
+        ]);
+    }
+    format!(
+        "{}\nadaptive vs worst static: {:.2}× faster (identical answers, deterministic)\n",
+        t.render(),
+        worst / fed.0.max(1e-9)
+    )
+}
+
 /// Ablations over the design choices DESIGN.md calls out: the value of
 /// stitch-up's registry reuse, and the sensitivity of corrective query
 /// processing to the polling interval (the paper's 1-second choice).
@@ -635,9 +740,9 @@ pub fn ablation_suite(cfg: &ExpConfig) -> String {
         for _ in 0..cfg.runs {
             let mut c = corrective_cfg(cfg, None, order.clone());
             c.switch_threshold = 100.0; // force a switch
-            // Two phases: the stitch tree is the (large) final phase's
-            // tree, so its registered intermediates are exactly what
-            // reuse saves.
+                                        // Two phases: the stitch tree is the (large) final phase's
+                                        // tree, so its registered intermediates are exactly what
+                                        // reuse saves.
             c.max_phases = 2;
             c.stitch_reuse = reuse;
             let exec = CorrectiveExec::new(q.clone(), c);

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
+use tukwila_federation::{FederatedCatalog, FederationConfig};
 use tukwila_optimizer::LogicalQuery;
 use tukwila_source::{DelayModel, DelayedSource, MemSource, Source};
 
@@ -141,11 +142,7 @@ pub fn local_sources(d: &Dataset, q: &LogicalQuery) -> Vec<Box<dyn Source>> {
 }
 
 /// Bursty-wireless sources for a query (DESIGN.md substitution S3).
-pub fn wireless_sources(
-    d: &Dataset,
-    q: &LogicalQuery,
-    cfg: &ExpConfig,
-) -> Vec<Box<dyn Source>> {
+pub fn wireless_sources(d: &Dataset, q: &LogicalQuery, cfg: &ExpConfig) -> Vec<Box<dyn Source>> {
     let model = DelayModel::Wireless {
         bytes_per_sec: cfg.wireless_bps,
         burst_ms: 40.0,
@@ -164,6 +161,79 @@ pub fn wireless_sources(
             )) as Box<dyn Source>
         })
         .collect()
+}
+
+/// Which mirror a pinned (non-adaptive) run reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorKind {
+    /// Fast in bursts, long outages (802.11b-style wireless at 4× the
+    /// configured bandwidth, ~10% duty cycle).
+    FastFlaky,
+    /// Steady bandwidth at half the configured rate.
+    SteadySlow,
+}
+
+fn mirror_model(kind: MirrorKind, cfg: &ExpConfig, rel: u32) -> DelayModel {
+    match kind {
+        MirrorKind::FastFlaky => DelayModel::Wireless {
+            bytes_per_sec: cfg.wireless_bps * 4.0,
+            burst_ms: 30.0,
+            gap_ms: 300.0,
+            seed: cfg.seed ^ (rel as u64) << 8,
+        },
+        MirrorKind::SteadySlow => DelayModel::Bandwidth {
+            bytes_per_sec: cfg.wireless_bps * 0.5,
+            initial_latency_us: 2_000,
+        },
+    }
+}
+
+fn mirror(d: &Dataset, t: TableId, kind: MirrorKind, cfg: &ExpConfig) -> Box<dyn Source> {
+    let suffix = match kind {
+        MirrorKind::FastFlaky => "flaky",
+        MirrorKind::SteadySlow => "steady",
+    };
+    Box::new(DelayedSource::new(
+        t.rel_id(),
+        format!("{}-{suffix}", t.name()),
+        Dataset::schema(t),
+        d.table(t).to_vec(),
+        &mirror_model(kind, cfg, t.rel_id()),
+    ))
+}
+
+/// Every relation pinned to a single mirror kind (the static baseline of
+/// the mirror-failover experiment).
+pub fn pinned_mirror_sources(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    kind: MirrorKind,
+) -> Vec<Box<dyn Source>> {
+    queries::tables_of(q)
+        .into_iter()
+        .map(|t| mirror(d, t, kind, cfg))
+        .collect()
+}
+
+/// Every relation served by both mirrors behind the federation layer's
+/// online permutation scheduler. `order` controls registration order (the
+/// initial permutation) so permutation-invariance can be benched.
+pub fn federated_mirror_sources(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    order: &[MirrorKind],
+) -> Vec<Box<dyn Source>> {
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    for t in queries::tables_of(q) {
+        for &kind in order {
+            catalog
+                .register(t.key_cols(), mirror(d, t, kind, cfg))
+                .expect("uniform mirrors");
+        }
+    }
+    catalog.into_sources().expect("valid catalog")
 }
 
 /// True per-relation cardinalities ("Given cardinalities" mode).

@@ -157,8 +157,9 @@ fn find_with_join_count(node: &PhysNode, target: usize) -> Option<&PhysNode> {
         return Some(node);
     }
     match &node.kind {
-        PhysKind::Join { left, right, .. } => find_with_join_count(left, target)
-            .or_else(|| find_with_join_count(right, target)),
+        PhysKind::Join { left, right, .. } => {
+            find_with_join_count(left, target).or_else(|| find_with_join_count(right, target))
+        }
         PhysKind::PreAgg { child, .. } => find_with_join_count(child, target),
         PhysKind::Scan { .. } => None,
     }
@@ -342,10 +343,7 @@ mod tests {
             CpuCostModel::Zero,
         )
         .unwrap();
-        assert_eq!(
-            canonicalize(&static_run.rows),
-            canonicalize(&pp_run.rows)
-        );
+        assert_eq!(canonicalize(&static_run.rows), canonicalize(&pp_run.rows));
         assert!(pp_run.plan.contains("mat["), "{}", pp_run.plan);
     }
 

@@ -28,9 +28,7 @@ impl RouterKind {
     fn build(self, key_col: usize) -> Box<dyn Router> {
         match self {
             RouterKind::Naive => Box::new(OrderRouter::new(key_col)),
-            RouterKind::PriorityQueue(cap) => {
-                Box::new(PriorityQueueRouter::new(key_col, cap))
-            }
+            RouterKind::PriorityQueue(cap) => Box::new(PriorityQueueRouter::new(key_col, cap)),
         }
     }
 }
@@ -284,10 +282,7 @@ mod tests {
         assert_eq!(stats.hash_tuples, 0);
         assert_eq!(stats.merge_tuples, 300);
         assert_eq!(stats.stitch_tuples, 0);
-        assert_eq!(
-            canonicalize(&out),
-            canonicalize(&reference(&left, &right))
-        );
+        assert_eq!(canonicalize(&out), canonicalize(&reference(&left, &right)));
     }
 
     #[test]
@@ -330,10 +325,7 @@ mod tests {
         tukwila_datagen::perturb::reorder_fraction(&mut left, 0.5, 11);
         tukwila_datagen::perturb::reorder_fraction(&mut right, 0.5, 12);
         let (out, _) = run_pair(&left, &right, RouterKind::PriorityQueue(128));
-        assert_eq!(
-            canonicalize(&out),
-            canonicalize(&reference(&left, &right))
-        );
+        assert_eq!(canonicalize(&out), canonicalize(&reference(&left, &right)));
     }
 
     #[test]

@@ -6,9 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tukwila_exec::{Batch, CpuCostModel, ExecReport};
-use tukwila_optimizer::{
-    LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig,
-};
+use tukwila_optimizer::{LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig};
 use tukwila_relation::{Result, Tuple};
 use tukwila_source::{Poll, Source};
 use tukwila_stats::selectivity::SourceProgress;
@@ -125,10 +123,7 @@ impl CorrectiveExec {
 
     /// Signatures materialized so far: every node of the running plan plus
     /// everything registered by earlier phases — the §4.3 sunk-cost set.
-    fn sunk_sigs(
-        current: &PhysPlan,
-        registry: &StateRegistry,
-    ) -> Vec<tukwila_storage::ExprSig> {
+    fn sunk_sigs(current: &PhysPlan, registry: &StateRegistry) -> Vec<tukwila_storage::ExprSig> {
         fn walk(node: &tukwila_optimizer::PhysNode, out: &mut Vec<tukwila_storage::ExprSig>) {
             out.push(node.sig.clone());
             if let tukwila_optimizer::PhysKind::Join { left, right, .. } = &node.kind {
@@ -245,7 +240,13 @@ impl CorrectiveExec {
             // schedule is a moving threshold, not a divisibility test.)
             if total_batches >= next_poll_at && phase + 1 < cfg.max_phases {
                 next_poll_at = total_batches + cfg.poll_every_batches;
-                self.update_catalog(&catalog, &lowered, sources, &consumed_total, &consumed_phase);
+                self.update_catalog(
+                    &catalog,
+                    &lowered,
+                    sources,
+                    &consumed_total,
+                    &consumed_phase,
+                );
                 let mut ctx = self.make_ctx(&catalog, &consumed_total);
                 ctx.sunk_sigs = Self::sunk_sigs(&current_phys, &registry);
                 let reopt = Optimizer::new(ctx);
@@ -320,8 +321,7 @@ impl CorrectiveExec {
         let stitch_start_clock = clock_us;
         let mut stitch = StitchUpStats::default();
         if nphases > 1 {
-            let stitcher =
-                StitchUp::new(&self.q, &registry, nphases).with_reuse(cfg.stitch_reuse);
+            let stitcher = StitchUp::new(&self.q, &registry, nphases).with_reuse(cfg.stitch_reuse);
             let canonical = crate::lowering::canonical_agg(&current_phys);
             let wall = Instant::now();
             let table = shared.clone();
@@ -347,9 +347,7 @@ impl CorrectiveExec {
             stitch = stitcher.run(&current_phys.root, &mut sink)?;
             let cost = match cfg.cpu {
                 CpuCostModel::Measured => wall.elapsed().as_secs_f64() * 1e6,
-                CpuCostModel::PerTupleNs(ns) => {
-                    stitch.join.probes as f64 * ns as f64 / 1000.0
-                }
+                CpuCostModel::PerTupleNs(ns) => stitch.join.probes as f64 * ns as f64 / 1000.0,
                 CpuCostModel::Zero => 0.0,
             };
             clock_us += cost;
@@ -404,6 +402,12 @@ impl CorrectiveExec {
                     eof: p.eof,
                 },
             );
+            // Self-profiling sources (the federation adapter) also publish
+            // their observed delivery rate, so re-optimization prices plans
+            // with observed rather than assumed source speeds.
+            if let Some(rate) = src.observed_rate() {
+                catalog.observe_source_rate(src.rel_id(), rate);
+            }
         }
         // Observed selectivity per logical signature: output cardinality
         // over the product of raw inputs consumed *this phase* (phase

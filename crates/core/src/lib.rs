@@ -35,8 +35,8 @@ pub mod lowering;
 pub mod stitchup;
 
 pub use baselines::{
-    race_plans, run_plan_partitioning, run_plan_partitioning_from, run_static,
-    run_static_from, StaticRun,
+    race_plans, run_plan_partitioning, run_plan_partitioning_from, run_static, run_static_from,
+    StaticRun,
 };
 pub use complementary::{ComplementaryJoinPair, ComplementaryStats, RouterKind};
 pub use corrective::{CorrectiveConfig, CorrectiveExec, CorrectiveReport, PhaseInfo};

@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use tukwila_exec::agg::{AggSpec, GroupSpec, PreAggOp, SharedGroupOp, SharedGroupTable, WindowPolicy};
+use tukwila_exec::agg::{
+    AggSpec, GroupSpec, PreAggOp, SharedGroupOp, SharedGroupTable, WindowPolicy,
+};
 use tukwila_exec::filter::FilterOp;
 use tukwila_exec::join::{HybridHashJoin, MergeJoin, NestedLoopsJoin, PipelinedHashJoin};
 use tukwila_exec::project::ProjectOp;
@@ -69,7 +71,12 @@ struct LowerCtx<'a> {
 }
 
 impl<'a> LowerCtx<'a> {
-    fn attach(&mut self, op: Box<dyn IncOp>, children: &[Lowered], sig: &PhysNode) -> Result<usize> {
+    fn attach(
+        &mut self,
+        op: Box<dyn IncOp>,
+        children: &[Lowered],
+        sig: &PhysNode,
+    ) -> Result<usize> {
         let slots: Vec<Option<usize>> = children
             .iter()
             .map(|c| match c {
@@ -300,10 +307,7 @@ mod tests {
     use tukwila_optimizer::{Optimizer, OptimizerContext, PreAggConfig};
     use tukwila_source::{MemSource, Source};
 
-    fn sources_for(
-        d: &Dataset,
-        q: &tukwila_optimizer::LogicalQuery,
-    ) -> Vec<Box<dyn Source>> {
+    fn sources_for(d: &Dataset, q: &tukwila_optimizer::LogicalQuery) -> Vec<Box<dyn Source>> {
         queries::tables_of(q)
             .into_iter()
             .map(|t| {
@@ -351,9 +355,15 @@ mod tests {
             tukwila_exec::reference::canonicalize_approx(&rows)
         };
         let plain = run(PreAggConfig::Off);
-        let window = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::AdaptiveWindow));
-        let trad = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::Traditional));
-        let pseudo = run(PreAggConfig::Insert(tukwila_optimizer::PreAggMode::Pseudogroup));
+        let window = run(PreAggConfig::Insert(
+            tukwila_optimizer::PreAggMode::AdaptiveWindow,
+        ));
+        let trad = run(PreAggConfig::Insert(
+            tukwila_optimizer::PreAggMode::Traditional,
+        ));
+        let pseudo = run(PreAggConfig::Insert(
+            tukwila_optimizer::PreAggMode::Pseudogroup,
+        ));
         assert_eq!(plain, window);
         assert_eq!(plain, trad);
         assert_eq!(plain, pseudo);
@@ -406,10 +416,7 @@ mod tests {
                 tuples: d.lineitem.clone(),
             },
         ]);
-        r.filters.push((
-            0,
-            q.rels[0].filter.clone().unwrap(),
-        ));
+        r.filters.push((0, q.rels[0].filter.clone().unwrap()));
         r.joins.push(RefJoin {
             left_rel: 0,
             left_col: 0,

@@ -123,6 +123,9 @@ impl<'a> StitchUp<'a> {
             PhysKind::Scan { .. } | PhysKind::PreAgg { .. } => {
                 let sig = node.sig.clone();
                 let mut pure = Vec::with_capacity(self.nphases);
+                // `i` is the phase id, indexing `l.pure`, `r_pure_tables`,
+                // and the registry lookups in parallel.
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..self.nphases {
                     match self.load_adapted(&sig, i, node, stats)? {
                         Some(batch) => pure.push(batch),
@@ -154,8 +157,7 @@ impl<'a> StitchUp<'a> {
                     }
                     Ok(t)
                 };
-                let r_pure_tables: Vec<TupleHashTable> =
-                    l_to_r(&r.pure, &build)?;
+                let r_pure_tables: Vec<TupleHashTable> = l_to_r(&r.pure, &build)?;
                 let r_mixed_table = build(&r.mixed)?;
 
                 fn probe(
@@ -185,6 +187,9 @@ impl<'a> StitchUp<'a> {
                 // pure[i]: reuse from the registry or recompute from the
                 // children's pure partitions.
                 let mut pure = Vec::with_capacity(self.nphases);
+                // `i` is the phase id, indexing `l.pure`, `r_pure_tables`,
+                // and the registry lookups in parallel.
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..self.nphases {
                     if !is_root && self.reuse_intermediates {
                         if let Some(batch) = self.load_adapted(&node.sig, i, node, stats)? {
@@ -199,7 +204,14 @@ impl<'a> StitchUp<'a> {
                         continue;
                     }
                     let mut out = Vec::new();
-                    probe(&l.pure[i], &r_pure_tables[i], *left_col, residual, stats, &mut out)?;
+                    probe(
+                        &l.pure[i],
+                        &r_pure_tables[i],
+                        *left_col,
+                        residual,
+                        stats,
+                        &mut out,
+                    )?;
                     stats.recomputed_pure += out.len();
                     pure.push(out);
                 }
@@ -212,12 +224,26 @@ impl<'a> StitchUp<'a> {
                             probe(&l.pure[a], table, *left_col, residual, stats, &mut mixed)?;
                         }
                     }
-                    probe(&l.pure[a], &r_mixed_table, *left_col, residual, stats, &mut mixed)?;
+                    probe(
+                        &l.pure[a],
+                        &r_mixed_table,
+                        *left_col,
+                        residual,
+                        stats,
+                        &mut mixed,
+                    )?;
                 }
                 for table in &r_pure_tables {
                     probe(&l.mixed, table, *left_col, residual, stats, &mut mixed)?;
                 }
-                probe(&l.mixed, &r_mixed_table, *left_col, residual, stats, &mut mixed)?;
+                probe(
+                    &l.mixed,
+                    &r_mixed_table,
+                    *left_col,
+                    residual,
+                    stats,
+                    &mut mixed,
+                )?;
 
                 Ok(Labeled { pure, mixed })
             }
@@ -225,10 +251,7 @@ impl<'a> StitchUp<'a> {
     }
 }
 
-fn l_to_r<T>(
-    items: &[Batch],
-    f: &dyn Fn(&Batch) -> Result<T>,
-) -> Result<Vec<T>> {
+fn l_to_r<T>(items: &[Batch], f: &dyn Fn(&Batch) -> Result<T>) -> Result<Vec<T>> {
     let mut out = Vec::with_capacity(items.len());
     for i in items {
         out.push(f(i)?);
@@ -249,7 +272,9 @@ pub fn residual_expr(pairs: &[(usize, usize)]) -> Expr {
 /// Assert-style helper: ensure a signature exists in the registry for a
 /// phase (used by integration tests to validate registration coverage).
 pub fn registered(registry: &StateRegistry, rels: &[u32], phase: usize) -> bool {
-    registry.lookup(&ExprSig::new(rels.to_vec()), phase).is_some()
+    registry
+        .lookup(&ExprSig::new(rels.to_vec()), phase)
+        .is_some()
 }
 
 #[cfg(test)]

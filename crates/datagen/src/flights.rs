@@ -13,9 +13,7 @@ pub const FLIGHTS: u32 = 101;
 pub const TRAVELERS: u32 = 102;
 pub const CHILDREN: u32 = 103;
 
-const CITIES: [&str; 8] = [
-    "SEA", "SFO", "JFK", "ORD", "LAX", "BOS", "PHL", "DEN",
-];
+const CITIES: [&str; 8] = ["SEA", "SFO", "JFK", "ORD", "LAX", "BOS", "PHL", "DEN"];
 
 pub fn flights_schema() -> Schema {
     Schema::new(vec![
@@ -149,7 +147,7 @@ mod tests {
         let d = generate(10, 50, 2, 2);
         for t in &d.travelers {
             let f = t.get(1).as_int().unwrap();
-            assert!(f >= 0 && f < 10);
+            assert!((0..10).contains(&f));
         }
     }
 }

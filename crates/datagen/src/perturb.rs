@@ -28,9 +28,7 @@ pub fn disorder(tuples: &[Tuple], col: usize) -> f64 {
     }
     let violations = tuples
         .windows(2)
-        .filter(|w| {
-            w[0].get(col).cmp_total(w[1].get(col)) == std::cmp::Ordering::Greater
-        })
+        .filter(|w| w[0].get(col).cmp_total(w[1].get(col)) == std::cmp::Ordering::Greater)
         .count();
     violations as f64 / (tuples.len() - 1) as f64
 }

@@ -65,8 +65,20 @@ pub fn q3() -> LogicalQuery {
     LogicalQuery::new(
         vec![customer, orders, lineitem],
         vec![
-            pred(301, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
-            pred(302, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
+            pred(
+                301,
+                TableId::Customer,
+                "c_custkey",
+                TableId::Orders,
+                "o_custkey",
+            ),
+            pred(
+                302,
+                TableId::Orders,
+                "o_orderkey",
+                TableId::Lineitem,
+                "l_orderkey",
+            ),
         ],
     )
     .with_agg(QueryAgg {
@@ -111,9 +123,27 @@ pub fn q10() -> LogicalQuery {
     LogicalQuery::new(
         vec![customer, orders, lineitem, nation],
         vec![
-            pred(1001, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
-            pred(1002, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
-            pred(1003, TableId::Customer, "c_nationkey", TableId::Nation, "n_nationkey"),
+            pred(
+                1001,
+                TableId::Customer,
+                "c_custkey",
+                TableId::Orders,
+                "o_custkey",
+            ),
+            pred(
+                1002,
+                TableId::Orders,
+                "o_orderkey",
+                TableId::Lineitem,
+                "l_orderkey",
+            ),
+            pred(
+                1003,
+                TableId::Customer,
+                "c_nationkey",
+                TableId::Nation,
+                "n_nationkey",
+            ),
         ],
     )
     .with_agg(QueryAgg {
@@ -155,18 +185,53 @@ pub fn q5() -> LogicalQuery {
     let lineitem = rel(TableId::Lineitem);
     let supplier = rel(TableId::Supplier);
     let nation = rel(TableId::Nation);
-    let region =
-        rel(TableId::Region).with_filter(eq_str(TableId::Region, "r_name", "ASIA"), 0.2);
+    let region = rel(TableId::Region).with_filter(eq_str(TableId::Region, "r_name", "ASIA"), 0.2);
     LogicalQuery::new(
         vec![customer, orders, lineitem, supplier, nation, region],
         vec![
-            pred(501, TableId::Customer, "c_custkey", TableId::Orders, "o_custkey"),
-            pred(502, TableId::Orders, "o_orderkey", TableId::Lineitem, "l_orderkey"),
-            pred(503, TableId::Lineitem, "l_suppkey", TableId::Supplier, "s_suppkey"),
+            pred(
+                501,
+                TableId::Customer,
+                "c_custkey",
+                TableId::Orders,
+                "o_custkey",
+            ),
+            pred(
+                502,
+                TableId::Orders,
+                "o_orderkey",
+                TableId::Lineitem,
+                "l_orderkey",
+            ),
+            pred(
+                503,
+                TableId::Lineitem,
+                "l_suppkey",
+                TableId::Supplier,
+                "s_suppkey",
+            ),
             // The cycle: customers and suppliers in the same nation.
-            pred(504, TableId::Customer, "c_nationkey", TableId::Supplier, "s_nationkey"),
-            pred(505, TableId::Supplier, "s_nationkey", TableId::Nation, "n_nationkey"),
-            pred(506, TableId::Nation, "n_regionkey", TableId::Region, "r_regionkey"),
+            pred(
+                504,
+                TableId::Customer,
+                "c_nationkey",
+                TableId::Supplier,
+                "s_nationkey",
+            ),
+            pred(
+                505,
+                TableId::Supplier,
+                "s_nationkey",
+                TableId::Nation,
+                "n_nationkey",
+            ),
+            pred(
+                506,
+                TableId::Nation,
+                "n_regionkey",
+                TableId::Region,
+                "r_regionkey",
+            ),
         ],
     )
     .with_agg(QueryAgg {

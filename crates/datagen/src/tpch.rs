@@ -24,6 +24,17 @@ impl TableId {
         self as u32
     }
 
+    /// Primary-key columns — the dedupe key when this table is served by
+    /// mirrored/replicated sources. Single source of truth for the
+    /// federation helpers and examples.
+    pub fn key_cols(self) -> Vec<usize> {
+        match self {
+            // (l_orderkey, l_linenumber) / (ps_partkey, ps_suppkey).
+            TableId::Lineitem | TableId::PartSupp => vec![0, 1],
+            _ => vec![0],
+        }
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             TableId::Region => "region",
@@ -94,7 +105,13 @@ pub struct Dataset {
     pub partsupp: Vec<Tuple>,
 }
 
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 /// Date domain: days 0..2556 (≈ 1992-01-01 .. 1998-12-31).

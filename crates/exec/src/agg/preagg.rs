@@ -306,7 +306,11 @@ mod tests {
         // All tuples in one group: maximal coalescing.
         let batch: Vec<Tuple> = (0..64).map(|i| t(7, i)).collect();
         p.push(0, &batch, &mut out).unwrap();
-        assert!(p.current_window() > 8, "window grew: {}", p.current_window());
+        assert!(
+            p.current_window() > 8,
+            "window grew: {}",
+            p.current_window()
+        );
     }
 
     #[test]

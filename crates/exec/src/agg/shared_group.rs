@@ -67,10 +67,7 @@ impl SharedGroupTable {
     /// Finalize into output tuples (call once, at the very end).
     pub fn finalize(&self) -> Vec<Tuple> {
         let groups = std::mem::take(&mut *self.groups.lock());
-        groups
-            .iter()
-            .map(|(k, s)| group_to_tuple(k, s))
-            .collect()
+        groups.iter().map(|(k, s)| group_to_tuple(k, s)).collect()
     }
 }
 

@@ -73,8 +73,9 @@ impl SimDriver {
                     Poll::Ready(batch) => {
                         any_ready = true;
                         report.batches += 1;
-                        let cost =
-                            self.charged_cost(batch.len(), || plan.push_source(src.rel_id(), &batch, &mut out))?;
+                        let cost = self.charged_cost(batch.len(), || {
+                            plan.push_source(src.rel_id(), &batch, &mut out)
+                        })?;
                         clock_us += cost;
                         cpu_us += cost;
                     }

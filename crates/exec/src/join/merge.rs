@@ -166,9 +166,14 @@ impl IncOp for MergeJoin {
     }
 
     fn extract_states(&mut self) -> Vec<ExtractedState> {
-        let left = std::mem::replace(&mut self.left, SortedList::new(vec![SortKey::asc(self.left_key)]));
-        let right =
-            std::mem::replace(&mut self.right, SortedList::new(vec![SortKey::asc(self.right_key)]));
+        let left = std::mem::replace(
+            &mut self.left,
+            SortedList::new(vec![SortKey::asc(self.left_key)]),
+        );
+        let right = std::mem::replace(
+            &mut self.right,
+            SortedList::new(vec![SortKey::asc(self.right_key)]),
+        );
         self.li = 0;
         self.ri = 0;
         vec![

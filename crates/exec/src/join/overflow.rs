@@ -272,11 +272,7 @@ mod tests {
         Tuple::new(vec![Value::Int(k), Value::Int(v)])
     }
 
-    fn run_with_limit(
-        left: &[Tuple],
-        right: &[Tuple],
-        limit: usize,
-    ) -> (Batch, usize) {
+    fn run_with_limit(left: &[Tuple], right: &[Tuple], limit: usize) -> (Batch, usize) {
         let (ls, rs) = schemas();
         let mut j = OverflowHashJoin::new(ls, rs, 0, 0, limit);
         let mut out = Vec::new();
@@ -315,10 +311,7 @@ mod tests {
         let right: Vec<Tuple> = (0..100).map(|i| t(i % 20, 1000 + i)).collect();
         let (out, spilled) = run_with_limit(&left, &right, usize::MAX);
         assert_eq!(spilled, 0);
-        assert_eq!(
-            canonicalize(&out),
-            canonicalize(&expected(&left, &right))
-        );
+        assert_eq!(canonicalize(&out), canonicalize(&expected(&left, &right)));
     }
 
     #[test]
@@ -341,10 +334,7 @@ mod tests {
         let right: Vec<Tuple> = (0..200).map(|i| t(i % 10, 1000 + i)).collect();
         let (out, spilled) = run_with_limit(&left, &right, 1);
         assert_eq!(spilled, 8, "1-byte budget spills every partition");
-        assert_eq!(
-            canonicalize(&out),
-            canonicalize(&expected(&left, &right))
-        );
+        assert_eq!(canonicalize(&out), canonicalize(&expected(&left, &right)));
     }
 
     #[test]

@@ -357,9 +357,7 @@ mod tests {
         let mut b = PipelinePlan::builder();
         let j1 = Box::new(PipelinedHashJoin::new(schema("a"), schema("b"), 0, 0));
         let j1s = j1.schema().clone();
-        let n1 = b
-            .add_op(j1, &[], Some(ExprSig::new(vec![1, 2])))
-            .unwrap();
+        let n1 = b.add_op(j1, &[], Some(ExprSig::new(vec![1, 2]))).unwrap();
         let j2 = Box::new(PipelinedHashJoin::new(j1s, schema("c"), 3, 0));
         let j2s = j2.schema().clone();
         let n2 = b
@@ -387,7 +385,8 @@ mod tests {
     fn cascade_through_three_levels() {
         let mut plan = three_way_plan();
         let mut out = Batch::new();
-        plan.push_source(1, &[t(1, 10), t(2, 20)], &mut out).unwrap();
+        plan.push_source(1, &[t(1, 10), t(2, 20)], &mut out)
+            .unwrap();
         plan.push_source(2, &[t(1, 100)], &mut out).unwrap();
         plan.push_source(3, &[t(100, 7)], &mut out).unwrap();
         assert!(out.is_empty(), "root agg is blocking");
@@ -406,7 +405,8 @@ mod tests {
         let mut plan = three_way_plan();
         let mut out = Batch::new();
         plan.push_source(1, &[t(1, 10)], &mut out).unwrap();
-        plan.push_source(2, &[t(1, 100), t(9, 0)], &mut out).unwrap();
+        plan.push_source(2, &[t(1, 100), t(9, 0)], &mut out)
+            .unwrap();
         plan.push_source(3, &[t(100, 7)], &mut out).unwrap();
         let states = plan.seal();
         // Two joins x two ports.
@@ -452,7 +452,8 @@ mod tests {
         let mut plan = b.build().unwrap();
         let mut out = Batch::new();
         plan.push_source(2, &[t(1, 0), t(2, 0)], &mut out).unwrap();
-        plan.push_source(1, &[t(1, 10), t(2, 20)], &mut out).unwrap();
+        plan.push_source(1, &[t(1, 10), t(2, 20)], &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1, "only (2,20) passes the filter");
     }
 

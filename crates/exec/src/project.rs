@@ -76,8 +76,12 @@ mod tests {
         ]);
         let mut p = ProjectOp::columns(&[1], &schema);
         let mut out = Vec::new();
-        p.push(0, &[Tuple::new(vec![Value::Int(1), Value::Int(2)])], &mut out)
-            .unwrap();
+        p.push(
+            0,
+            &[Tuple::new(vec![Value::Int(1), Value::Int(2)])],
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out[0].arity(), 1);
         assert_eq!(out[0].get(0).as_int().unwrap(), 2);
         assert_eq!(p.schema().field(0).name, "b");
@@ -87,15 +91,15 @@ mod tests {
     fn computes_expressions() {
         use tukwila_relation::expr::ArithOp;
         let schema = Schema::new(vec![Field::new("sum", DataType::Int)]);
-        let e = Expr::Arith(
-            Box::new(Expr::Col(0)),
-            ArithOp::Add,
-            Box::new(Expr::Col(1)),
-        );
+        let e = Expr::Arith(Box::new(Expr::Col(0)), ArithOp::Add, Box::new(Expr::Col(1)));
         let mut p = ProjectOp::new(vec![e], schema);
         let mut out = Vec::new();
-        p.push(0, &[Tuple::new(vec![Value::Int(3), Value::Int(4)])], &mut out)
-            .unwrap();
+        p.push(
+            0,
+            &[Tuple::new(vec![Value::Int(3), Value::Int(4)])],
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out[0].get(0).as_int().unwrap(), 7);
     }
 }

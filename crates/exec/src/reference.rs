@@ -90,6 +90,9 @@ impl RefQuery {
         //    edge connecting the new relation to already-joined ones.
         let mut acc = filtered[0].clone();
         let mut joined_rels = vec![0usize];
+        // `rel` indexes `filtered`, the join-edge endpoints, and
+        // `joined_rels` in parallel; an enumerate would obscure that.
+        #[allow(clippy::needless_range_loop)]
         for rel in 1..self.relations.len() {
             let edges: Vec<&RefJoin> = self
                 .joins
@@ -175,7 +178,10 @@ impl RefQuery {
             return Ok(acc);
         }
         let spec = GroupSpec::new(
-            self.group_cols.iter().map(|&c| self.combined_col(c)).collect(),
+            self.group_cols
+                .iter()
+                .map(|&c| self.combined_col(c))
+                .collect(),
             self.aggs
                 .iter()
                 .map(|&(func, c)| AggSpec {

@@ -1,0 +1,159 @@
+//! The federated source catalog: registration of candidate sources
+//! (mirrors and partial replicas) per base relation, and construction of
+//! the [`FederatedSource`] adapters the engine runs over.
+
+use std::collections::BTreeMap;
+
+use tukwila_relation::{Error, Result};
+use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
+
+use crate::federated::FederatedSource;
+
+/// Tunables of the federation layer. Defaults are deliberately
+/// conservative: a source must be silent for `stall_sigma` standard
+/// deviations beyond its own smoothed inter-arrival gap (and at least
+/// `min_stall_us`) before the scheduler hedges onto the next mirror.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Stall threshold = `ewma_gap + stall_sigma · σ(gap)`.
+    pub stall_sigma: f64,
+    /// Floor of the stall threshold (µs); also the threshold before any
+    /// gap has been observed.
+    pub min_stall_us: u64,
+    /// Ranking score assumed for candidates with no observed rate window
+    /// yet (tuples per virtual second).
+    pub prior_rate_tuples_per_sec: f64,
+    /// When true (default), a stalled candidate stays active after the
+    /// scheduler activates its backup — the two are raced and deduped
+    /// (hedged read). When false, a stalled candidate is demoted to the
+    /// back of the permutation, so its backup is preferred while the
+    /// stall lasts; the demoted candidate is still drained when everything
+    /// ranked ahead of it is pending (demotion, not abandonment).
+    pub hedge: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            stall_sigma: 4.0,
+            min_stall_us: 20_000,
+            prior_rate_tuples_per_sec: 0.0,
+            hedge: true,
+        }
+    }
+}
+
+struct RelationEntry {
+    key_cols: Vec<usize>,
+    candidates: Vec<Box<dyn Source>>,
+}
+
+/// Registry of candidate sources per base relation. Relations iterate in
+/// `rel_id` order, so building the federated source set is deterministic.
+#[derive(Default)]
+pub struct FederatedCatalog {
+    relations: BTreeMap<u32, RelationEntry>,
+    config: FederationConfig,
+}
+
+impl FederatedCatalog {
+    pub fn new(config: FederationConfig) -> FederatedCatalog {
+        FederatedCatalog {
+            relations: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Register a candidate source for its relation. `key_cols` is the
+    /// relation's (possibly composite) key, used to dedupe overlapping
+    /// replicas; every candidate of one relation must agree on it.
+    pub fn register(&mut self, key_cols: Vec<usize>, source: Box<dyn Source>) -> Result<()> {
+        let rel = source.rel_id();
+        let entry = self.relations.entry(rel).or_insert_with(|| RelationEntry {
+            key_cols: key_cols.clone(),
+            candidates: Vec::new(),
+        });
+        if entry.key_cols != key_cols {
+            return Err(Error::Plan(format!(
+                "relation {rel}: conflicting key columns {:?} vs {key_cols:?}",
+                entry.key_cols
+            )));
+        }
+        if let Some(first) = entry.candidates.first() {
+            if first.schema() != source.schema() {
+                return Err(Error::Plan(format!(
+                    "relation {rel}: mirror '{}' schema disagrees with '{}'",
+                    source.name(),
+                    first.name()
+                )));
+            }
+        }
+        entry.candidates.push(source);
+        Ok(())
+    }
+
+    /// Number of registered candidates for a relation.
+    pub fn candidate_count(&self, rel: u32) -> usize {
+        self.relations.get(&rel).map_or(0, |e| e.candidates.len())
+    }
+
+    /// Consume the catalog, producing one [`FederatedSource`] per
+    /// registered relation (in `rel_id` order) — a drop-in `Vec<Box<dyn
+    /// Source>>` for `SimDriver`, `CorrectiveExec`, and the baselines.
+    pub fn into_sources(self) -> Result<Vec<Box<dyn Source>>> {
+        let config = self.config;
+        self.relations
+            .into_values()
+            .map(|entry| {
+                FederatedSource::new(entry.key_cols, entry.candidates, config.clone())
+                    .map(|f| Box::new(f) as Box<dyn Source>)
+            })
+            .collect()
+    }
+}
+
+/// Marks a source as holding only part of its relation. The federated
+/// scheduler then knows the relation is complete only when *all* its
+/// replicas reach EOF (a full mirror's EOF alone is enough otherwise).
+pub struct PartialReplica {
+    inner: Box<dyn Source>,
+}
+
+impl PartialReplica {
+    pub fn new(inner: Box<dyn Source>) -> PartialReplica {
+        PartialReplica { inner }
+    }
+}
+
+impl Source for PartialReplica {
+    fn rel_id(&self) -> u32 {
+        self.inner.rel_id()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schema(&self) -> &tukwila_relation::Schema {
+        self.inner.schema()
+    }
+
+    fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll {
+        self.inner.poll(now_us, max_tuples)
+    }
+
+    fn progress(&self) -> SourceProgressView {
+        self.inner.progress()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            complete: false,
+            ..self.inner.descriptor()
+        }
+    }
+
+    fn observed_rate(&self) -> Option<f64> {
+        self.inner.observed_rate()
+    }
+}

@@ -1,0 +1,632 @@
+//! [`FederatedSource`] — the adapter that makes a set of mirrored /
+//! partially-replicated candidates look like one ordinary [`Source`].
+//!
+//! The engine (SimDriver, CorrectiveExec, the baselines) polls it exactly
+//! like any other source; internally every poll consults the
+//! [`PermutationScheduler`], pulls from the best-ranked active candidate,
+//! dedupes by the relation key so overlapping replicas union correctly,
+//! and fails over / hedges when the active candidate stalls past its
+//! profile-derived threshold.
+//!
+//! ## Completion rule
+//!
+//! The federated stream is exhausted when either
+//! * a candidate whose [`SourceDescriptor::complete`] flag is set (a full
+//!   mirror) reaches EOF — everything it held was delivered or deduped, or
+//! * every candidate (including late-activated standbys) reaches EOF.
+//!
+//! Partial replicas must jointly cover the relation for the union to be
+//! complete; the key-dedupe makes any *overlap* harmless.
+
+use std::collections::HashMap;
+
+use tukwila_relation::value::{group_key, GroupKey};
+use tukwila_relation::{Error, Result, Schema, Tuple};
+use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
+use tukwila_stats::RateEstimator;
+
+use crate::catalog::FederationConfig;
+use crate::scheduler::PermutationScheduler;
+
+/// Post-run statistics for one candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    pub descriptor: SourceDescriptor,
+    /// Raw tuples pulled from this candidate.
+    pub delivered: u64,
+    /// Tuples dropped because another replica already delivered the key.
+    pub duplicates: u64,
+    pub stalls: u64,
+    pub activated: bool,
+    pub eof: bool,
+    pub rate_tuples_per_sec: Option<f64>,
+}
+
+/// Post-run statistics for a whole federated relation.
+#[derive(Debug, Clone)]
+pub struct FederationReport {
+    pub rel_id: u32,
+    pub name: String,
+    /// Distinct tuples handed to the engine.
+    pub delivered: u64,
+    /// Candidate activations beyond the first (failovers/hedges).
+    pub failovers: u64,
+    pub candidates: Vec<CandidateReport>,
+}
+
+/// One relation served by N candidate sources behind an online
+/// permutation scheduler. Implements [`Source`], so the rest of the
+/// engine runs over it unchanged.
+pub struct FederatedSource {
+    rel_id: u32,
+    name: String,
+    schema: Schema,
+    key_cols: Vec<usize>,
+    candidates: Vec<Box<dyn Source>>,
+    scheduler: PermutationScheduler,
+    /// Keys already delivered to the engine, with the candidate that
+    /// delivered each first (the dedupe set; the provenance catches
+    /// misdeclared keys — see [`FederatedSource::new`]).
+    seen: HashMap<GroupKey, usize>,
+    /// What the engine observes: distinct tuples and their arrival rate.
+    fed_rate: RateEstimator,
+    delivered: u64,
+    done: bool,
+}
+
+impl FederatedSource {
+    /// Build over the candidate set for one relation. All candidates must
+    /// serve the same `rel_id` with identical schemas; `key_cols` names
+    /// the relation's (possibly composite) key, used to dedupe
+    /// overlapping deliveries.
+    ///
+    /// `key_cols` must actually be unique within the relation — deduping
+    /// on a non-key would silently drop legitimate tuples. This cannot be
+    /// checked up front (sources are sequential and opaque), but a
+    /// duplicate key arriving from the *same* candidate proves the
+    /// declaration wrong, and `poll` panics with a diagnostic rather than
+    /// corrupt the answer.
+    pub fn new(
+        key_cols: Vec<usize>,
+        candidates: Vec<Box<dyn Source>>,
+        config: FederationConfig,
+    ) -> Result<FederatedSource> {
+        let first = candidates
+            .first()
+            .ok_or_else(|| Error::Plan("federated source needs at least one candidate".into()))?;
+        let rel_id = first.rel_id();
+        let schema = first.schema().clone();
+        if key_cols.is_empty() || key_cols.iter().any(|&c| c >= schema.arity()) {
+            return Err(Error::Plan(format!(
+                "relation {rel_id}: key columns {key_cols:?} invalid for arity {}",
+                schema.arity()
+            )));
+        }
+        for c in &candidates {
+            if c.rel_id() != rel_id {
+                return Err(Error::Plan(format!(
+                    "candidate '{}' serves relation {}, expected {rel_id}",
+                    c.name(),
+                    c.rel_id()
+                )));
+            }
+            if c.schema() != &schema {
+                return Err(Error::Plan(format!(
+                    "candidate '{}' schema disagrees within relation {rel_id}",
+                    c.name()
+                )));
+            }
+        }
+        let name = format!("fed({}×{})", first.name(), candidates.len());
+        let scheduler = PermutationScheduler::new(candidates.len(), config);
+        Ok(FederatedSource {
+            rel_id,
+            name,
+            schema,
+            key_cols,
+            candidates,
+            scheduler,
+            seen: HashMap::new(),
+            fed_rate: RateEstimator::default(),
+            delivered: 0,
+            done: false,
+        })
+    }
+
+    pub fn scheduler(&self) -> &PermutationScheduler {
+        &self.scheduler
+    }
+
+    /// Per-candidate statistics snapshot (available mid-run or after).
+    pub fn report(&self) -> FederationReport {
+        FederationReport {
+            rel_id: self.rel_id,
+            name: self.name.clone(),
+            delivered: self.delivered,
+            failovers: self.scheduler.failovers(),
+            candidates: self
+                .candidates
+                .iter()
+                .zip(self.scheduler.profiles())
+                .map(|(c, p)| CandidateReport {
+                    descriptor: c.descriptor(),
+                    delivered: p.delivered,
+                    duplicates: p.duplicates,
+                    stalls: p.stalls,
+                    activated: p.is_active(),
+                    eof: p.eof,
+                    rate_tuples_per_sec: p.rate.rate_tuples_per_sec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop keys another replica already delivered, recording the rest.
+    ///
+    /// Panics if `candidate` re-delivers a key it delivered itself: each
+    /// candidate reads its own data sequentially exactly once, so that can
+    /// only mean the declared `key_cols` are not a real key, and silently
+    /// dropping the tuple would corrupt the union.
+    fn dedup(&mut self, candidate: usize, batch: Vec<Tuple>) -> Vec<Tuple> {
+        let mut fresh = Vec::with_capacity(batch.len());
+        for t in batch {
+            match self.seen.entry(group_key(t.values(), &self.key_cols)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(candidate);
+                    fresh.push(t);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_ne!(
+                        *e.get(),
+                        candidate,
+                        "relation {}: candidate '{}' delivered key columns {:?} twice — \
+                         the declared key is not unique, so deduping would drop real tuples",
+                        self.rel_id,
+                        self.candidates[candidate].name(),
+                        self.key_cols,
+                    );
+                }
+            }
+        }
+        fresh
+    }
+}
+
+impl Source for FederatedSource {
+    fn rel_id(&self) -> u32 {
+        self.rel_id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll {
+        if self.done {
+            return Poll::Eof;
+        }
+        let mut wake: Option<u64> = None;
+        let note = |wake: &mut Option<u64>, t: u64| {
+            *wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+        };
+        // A sweep restarts whenever the candidate set changes mid-poll
+        // (failover activation, EOF, or an all-duplicates batch that
+        // should be retried immediately). Each restart strictly consumes
+        // candidate data or candidate count, so the loop terminates.
+        'sweep: loop {
+            let order = self.scheduler.polling_order(now_us);
+            if order.is_empty() {
+                // Every activated candidate is EOF. Uncovered standbys
+                // may still hold tuples of a partially-replicated
+                // relation; otherwise the union is complete.
+                if self.scheduler.activate_standby(now_us).is_some() {
+                    continue 'sweep;
+                }
+                self.done = true;
+                return Poll::Eof;
+            }
+            for idx in order {
+                match self.candidates[idx].poll(now_us, max_tuples) {
+                    Poll::Ready(batch) => {
+                        let raw = batch.len() as u64;
+                        let fresh = self.dedup(idx, batch);
+                        self.scheduler
+                            .note_arrival(idx, now_us, raw, fresh.len() as u64);
+                        if fresh.is_empty() {
+                            // Entire batch was already delivered by a
+                            // faster replica; pull more within this call.
+                            continue 'sweep;
+                        }
+                        self.delivered += fresh.len() as u64;
+                        self.fed_rate.observe_arrival(now_us, fresh.len() as u64);
+                        return Poll::Ready(fresh);
+                    }
+                    Poll::Pending { next_ready_us } => {
+                        if self.scheduler.on_pending(idx, now_us).is_some() {
+                            // Fresh stall: a standby was activated; poll
+                            // it in this same call.
+                            continue 'sweep;
+                        }
+                        note(&mut wake, next_ready_us);
+                    }
+                    Poll::Eof => {
+                        self.scheduler.note_eof(idx);
+                        if self.candidates[idx].descriptor().complete {
+                            // A fully drained full mirror: every tuple it
+                            // held was delivered (or deduped), so the
+                            // union is complete.
+                            self.done = true;
+                            return Poll::Eof;
+                        }
+                        continue 'sweep;
+                    }
+                }
+            }
+            // All pollable candidates are pending: wake at the earliest
+            // arrival or the earliest stall deadline, whichever lets the
+            // scheduler act first.
+            if let Some(d) = self.scheduler.next_deadline_us(now_us) {
+                note(&mut wake, d);
+            }
+            let next_ready_us = wake.unwrap_or(now_us + 1).max(now_us + 1);
+            return Poll::Pending { next_ready_us };
+        }
+    }
+
+    fn progress(&self) -> SourceProgressView {
+        SourceProgressView {
+            tuples_read: self.delivered,
+            // Cardinality of the deduped union is unknown until EOF, the
+            // data-integration norm.
+            fraction_read: None,
+            eof: self.done,
+        }
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            rel_id: self.rel_id,
+            name: self.name.clone(),
+            complete: true,
+        }
+    }
+
+    fn observed_rate(&self) -> Option<f64> {
+        self.fed_rate.rate_tuples_per_sec()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_relation::{DataType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("t.k", DataType::Int),
+            Field::new("t.v", DataType::Int),
+        ])
+    }
+
+    fn tuple(k: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(k * 10)])
+    }
+
+    /// Test source with an explicit per-tuple arrival schedule.
+    struct Scripted {
+        rel_id: u32,
+        name: String,
+        schema: Schema,
+        arrivals: Vec<(u64, Tuple)>,
+        pos: usize,
+        complete: bool,
+    }
+
+    impl Scripted {
+        fn new(name: &str, arrivals: Vec<(u64, Tuple)>) -> Scripted {
+            Scripted {
+                rel_id: 1,
+                name: name.into(),
+                schema: schema(),
+                arrivals,
+                pos: 0,
+                complete: true,
+            }
+        }
+
+        fn partial(mut self) -> Scripted {
+            self.complete = false;
+            self
+        }
+    }
+
+    impl Source for Scripted {
+        fn rel_id(&self) -> u32 {
+            self.rel_id
+        }
+
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll {
+            if self.pos >= self.arrivals.len() {
+                return Poll::Eof;
+            }
+            if self.arrivals[self.pos].0 > now_us {
+                return Poll::Pending {
+                    next_ready_us: self.arrivals[self.pos].0,
+                };
+            }
+            let mut out = Vec::new();
+            while self.pos < self.arrivals.len()
+                && out.len() < max_tuples
+                && self.arrivals[self.pos].0 <= now_us
+            {
+                out.push(self.arrivals[self.pos].1.clone());
+                self.pos += 1;
+            }
+            Poll::Ready(out)
+        }
+
+        fn progress(&self) -> SourceProgressView {
+            SourceProgressView {
+                tuples_read: self.pos as u64,
+                fraction_read: None,
+                eof: self.pos >= self.arrivals.len(),
+            }
+        }
+
+        fn descriptor(&self) -> SourceDescriptor {
+            SourceDescriptor {
+                rel_id: self.rel_id,
+                name: self.name.clone(),
+                complete: self.complete,
+            }
+        }
+    }
+
+    /// Drive a federated source like the SimDriver: poll, idle to the
+    /// pending instant, repeat. Returns (keys, completion time).
+    fn drain(fed: &mut FederatedSource) -> (Vec<i64>, u64) {
+        let mut clock = 0u64;
+        let mut keys = Vec::new();
+        loop {
+            match fed.poll(clock, 64) {
+                Poll::Ready(batch) => {
+                    keys.extend(batch.iter().map(|t| t.get(0).as_int().unwrap()));
+                }
+                Poll::Pending { next_ready_us } => {
+                    assert!(next_ready_us > clock, "pending must move the clock");
+                    clock = next_ready_us;
+                }
+                Poll::Eof => return (keys, clock),
+            }
+        }
+    }
+
+    fn smooth(name: &str, keys: std::ops::Range<i64>, period_us: u64) -> Scripted {
+        Scripted::new(
+            name,
+            keys.clone()
+                .enumerate()
+                .map(|(i, k)| ((i as u64 + 1) * period_us, tuple(k)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_candidate_passes_through() {
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(smooth("m0", 0..50, 100))],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        let (mut keys, t) = drain(&mut fed);
+        keys.sort_unstable();
+        assert_eq!(keys, (0..50).collect::<Vec<_>>());
+        assert_eq!(t, 5_000);
+        assert_eq!(fed.report().failovers, 0);
+        assert!(fed.progress().eof);
+    }
+
+    #[test]
+    fn stalled_primary_fails_over_no_loss_no_dupes() {
+        // Primary delivers keys 0..20 at 1ms cadence, then goes silent
+        // forever. Backup mirrors the whole relation at 5ms cadence.
+        let mut arrivals: Vec<(u64, Tuple)> = (0..20)
+            .map(|k| ((k as u64 + 1) * 1_000, tuple(k)))
+            .collect();
+        arrivals.push((u64::MAX, tuple(999))); // never arrives
+        let primary = Scripted::new("fast-then-dead", arrivals);
+        let backup = smooth("steady", 0..100, 5_000);
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(primary), Box::new(backup)],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        let (mut keys, _) = drain(&mut fed);
+        let delivered = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), delivered, "no duplicates reached the engine");
+        assert_eq!(keys, (0..100).collect::<Vec<_>>(), "no lost tuples");
+        let report = fed.report();
+        assert_eq!(report.failovers, 1);
+        assert_eq!(report.candidates[0].stalls, 1);
+        assert!(report.candidates[1].activated);
+        assert!(report.candidates[1].duplicates >= 20, "overlap deduped");
+    }
+
+    #[test]
+    fn failover_happens_at_profile_threshold_not_before() {
+        let mut arrivals: Vec<(u64, Tuple)> = (0..10)
+            .map(|k| ((k as u64 + 1) * 1_000, tuple(k)))
+            .collect();
+        arrivals.push((u64::MAX, tuple(999)));
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![
+                Box::new(Scripted::new("p", arrivals)),
+                Box::new(smooth("b", 0..11, 2_000)),
+            ],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        // Drain the primary's 10 live tuples.
+        let mut clock = 0;
+        let mut got = 0;
+        while got < 10 {
+            match fed.poll(clock, 64) {
+                Poll::Ready(b) => got += b.len(),
+                Poll::Pending { next_ready_us } => clock = next_ready_us,
+                Poll::Eof => panic!("premature EOF"),
+            }
+        }
+        assert_eq!(fed.report().failovers, 0);
+        // Just under the stall threshold (min floor; smooth 1ms gaps keep
+        // the profile term below it): still only the primary.
+        let cfg = FederationConfig::default();
+        let deadline = fed.scheduler().profiles()[0]
+            .stall_deadline_us(&cfg)
+            .unwrap();
+        match fed.poll(deadline - 1, 64) {
+            Poll::Pending { next_ready_us } => {
+                assert_eq!(next_ready_us, deadline, "wake at the stall deadline");
+            }
+            other => panic!("expected pending, got {other:?}"),
+        }
+        assert_eq!(fed.report().failovers, 0);
+        // At the deadline: failover to the backup.
+        let _ = fed.poll(deadline, 64);
+        assert_eq!(fed.report().failovers, 1);
+    }
+
+    #[test]
+    fn partial_replicas_union_by_key() {
+        // Replicas cover 0..60 and 40..100 (overlap 40..60).
+        let r1 = smooth("r1", 0..60, 1_000).partial();
+        let r2 = smooth("r2", 40..100, 1_000).partial();
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(r1), Box::new(r2)],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        let (mut keys, _) = drain(&mut fed);
+        let delivered = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), delivered, "overlap deduped");
+        assert_eq!(keys, (0..100).collect::<Vec<_>>(), "union complete");
+        // r1's EOF alone must not end the stream: r2 was activated (here
+        // via standby activation after r1 drained, since r1 never stalls).
+        assert!(fed.report().candidates[1].activated);
+    }
+
+    #[test]
+    fn full_mirror_eof_completes_even_with_dead_sibling() {
+        let dead = Scripted::new("dead", vec![(u64::MAX, tuple(0))]);
+        let live = smooth("live", 0..30, 1_000);
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(dead), Box::new(live)],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        let (mut keys, _) = drain(&mut fed);
+        keys.sort_unstable();
+        assert_eq!(keys, (0..30).collect::<Vec<_>>());
+        assert!(fed.progress().eof, "live full mirror EOF ends the union");
+    }
+
+    #[test]
+    fn deterministic_under_identical_schedules() {
+        let mk = || {
+            let mut arrivals: Vec<(u64, Tuple)> =
+                (0..25).map(|k| ((k as u64 + 1) * 700, tuple(k))).collect();
+            arrivals.push((u64::MAX, tuple(999)));
+            FederatedSource::new(
+                vec![0],
+                vec![
+                    Box::new(Scripted::new("p", arrivals)) as Box<dyn Source>,
+                    Box::new(smooth("b", 0..80, 3_000)),
+                ],
+                FederationConfig::default(),
+            )
+            .unwrap()
+        };
+        let (k1, t1) = drain(&mut mk());
+        let (k2, t2) = drain(&mut mk());
+        assert_eq!(k1, k2, "same schedule, same delivery order");
+        assert_eq!(t1, t2, "same schedule, same completion time");
+    }
+
+    #[test]
+    fn rejects_mismatched_candidates() {
+        let a = smooth("a", 0..5, 100);
+        let mut b = smooth("b", 0..5, 100);
+        b.rel_id = 2;
+        assert!(FederatedSource::new(
+            vec![0],
+            vec![Box::new(a), Box::new(b)],
+            FederationConfig::default()
+        )
+        .is_err());
+        assert!(
+            FederatedSource::new(
+                vec![9],
+                vec![Box::new(smooth("c", 0..5, 100)) as Box<dyn Source>],
+                FederationConfig::default()
+            )
+            .is_err(),
+            "key column out of range"
+        );
+        assert!(FederatedSource::new(vec![0], vec![], FederationConfig::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "the declared key is not unique")]
+    fn misdeclared_key_is_caught_not_silently_dropped() {
+        // Two tuples share key 5: column 0 is not a real key, so deduping
+        // on it would drop the second tuple. The provenance check panics
+        // instead.
+        let arrivals = vec![(100, tuple(5)), (200, tuple(5))];
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(Scripted::new("bad-key", arrivals)) as Box<dyn Source>],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        let _ = drain(&mut fed);
+    }
+
+    #[test]
+    fn observed_rate_reflects_engine_visible_stream() {
+        let mut fed = FederatedSource::new(
+            vec![0],
+            vec![Box::new(smooth("m", 0..100, 1_000))],
+            FederationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(fed.observed_rate(), None);
+        let _ = drain(&mut fed);
+        let rate = fed.observed_rate().unwrap();
+        // 100 tuples, one per ms => ~1000 tuples/s.
+        assert!((rate - 1_010.0).abs() < 25.0, "rate={rate}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Federated source catalog and online source-permutation scheduling.
+//!
+//! The paper's engine adapts to the *properties* of each source — delivery
+//! rate, burstiness, order, cardinality — but the seed system wires exactly
+//! one [`Source`](tukwila_source::Source) per base relation, so there is
+//! nothing to choose between when a source misbehaves. Real mediators face
+//! the opposite situation: relations are served by several overlapping or
+//! mirrored sources, and *which* source to read, in *what order*, is an
+//! online decision (cf. "Online Query Scheduling on Source Permutation for
+//! Big Data Integration", arXiv:1503.08400, and "Data Source Selection for
+//! Information Integration in Big Data Era", arXiv:1610.09506).
+//!
+//! This crate adds that layer:
+//!
+//! * [`catalog::FederatedCatalog`] — registers N candidate sources per
+//!   base relation: full mirrors (identical content, different delivery
+//!   behavior) and [`catalog::PartialReplica`]s that jointly cover the
+//!   relation.
+//! * [`profile::BehaviorProfile`] — per-candidate statistics learned
+//!   online under the virtual clock, built on
+//!   [`tukwila_stats::RateEstimator`]: delivery rate, EWMA inter-arrival
+//!   gap, burst variance, stall and duplicate counts.
+//! * [`scheduler::PermutationScheduler`] — maintains the source
+//!   permutation: poll the best-ranked candidate, hedge/fail over to the
+//!   next when the active one is silent past its profile-derived
+//!   threshold (`ewma_gap + k·σ`), re-rank as evidence accumulates.
+//! * [`federated::FederatedSource`] — wraps it all behind the ordinary
+//!   [`Source`](tukwila_source::Source) trait with key-based dedup, so
+//!   `SimDriver`, `CorrectiveExec`, and every baseline run over mirrored
+//!   sources unchanged. Its observed delivery rate is published through
+//!   `Source::observed_rate`, which corrective re-optimization forwards
+//!   into the optimizer's delivery-bound scan costing.
+//!
+//! Everything is driven by the virtual clock, so federated executions are
+//! deterministic and replayable (the acceptance property: any source
+//! permutation yields the same final answer, and the adaptive permutation
+//! completes no later than the worst static choice).
+
+pub mod catalog;
+pub mod federated;
+pub mod profile;
+pub mod scheduler;
+
+pub use catalog::{FederatedCatalog, FederationConfig, PartialReplica};
+pub use federated::{CandidateReport, FederatedSource, FederationReport};
+pub use profile::BehaviorProfile;
+pub use scheduler::PermutationScheduler;

@@ -1,0 +1,182 @@
+//! Per-candidate behavior profiles learned online.
+//!
+//! Each candidate source of a federated relation carries a
+//! [`BehaviorProfile`]: the delivery-rate/burstiness estimator from
+//! `tukwila-stats` plus federation-level counters (stalls, duplicates,
+//! activation time). The scheduler ranks candidates by
+//! [`BehaviorProfile::score`] and derives per-candidate stall thresholds
+//! from the observed gap distribution, so a source that is *normally*
+//! bursty is not declared dead by its ordinary silences while a smooth
+//! source is failed over quickly.
+
+use tukwila_stats::RateEstimator;
+
+use crate::catalog::FederationConfig;
+
+/// Online profile of one candidate source under the virtual clock.
+#[derive(Debug, Clone)]
+pub struct BehaviorProfile {
+    /// Arrival-rate / gap-variance estimator (see `tukwila_stats::rate`).
+    pub rate: RateEstimator,
+    /// Times this candidate was declared stalled.
+    pub stalls: u64,
+    /// Raw tuples pulled from this candidate (before dedup).
+    pub delivered: u64,
+    /// Tuples dropped because another replica already delivered the key.
+    pub duplicates: u64,
+    /// Candidate reached end of stream.
+    pub eof: bool,
+    /// Virtual time this candidate was activated (started being polled);
+    /// `None` while it is still a standby.
+    activated_at_us: Option<u64>,
+    /// Whether the current silence has already been counted as a stall
+    /// (reset on every arrival, so one silence = one stall).
+    stall_flagged: bool,
+}
+
+impl BehaviorProfile {
+    pub fn new() -> BehaviorProfile {
+        BehaviorProfile {
+            rate: RateEstimator::default(),
+            stalls: 0,
+            delivered: 0,
+            duplicates: 0,
+            eof: false,
+            activated_at_us: None,
+            stall_flagged: false,
+        }
+    }
+
+    pub fn activate(&mut self, now_us: u64) {
+        if self.activated_at_us.is_none() {
+            self.activated_at_us = Some(now_us);
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.activated_at_us.is_some()
+    }
+
+    pub fn observe_batch(&mut self, now_us: u64, tuples: u64, fresh: u64) {
+        self.rate.observe_arrival(now_us, tuples);
+        self.delivered += tuples;
+        self.duplicates += tuples - fresh;
+        self.stall_flagged = false;
+    }
+
+    /// Most recent sign of life: last arrival, or activation time before
+    /// anything has arrived.
+    pub fn last_activity_us(&self) -> Option<u64> {
+        self.rate.last_arrival_us().or(self.activated_at_us)
+    }
+
+    /// Virtual instant after which the current silence counts as a stall.
+    pub fn stall_deadline_us(&self, config: &FederationConfig) -> Option<u64> {
+        let last = self.last_activity_us()?;
+        Some(
+            last + self
+                .rate
+                .stall_threshold_us(config.stall_sigma, config.min_stall_us),
+        )
+    }
+
+    /// Check (and latch) whether this candidate is stalled at `now_us`.
+    /// Returns true at most once per silence period.
+    pub fn check_stall(&mut self, now_us: u64, config: &FederationConfig) -> bool {
+        if self.eof || self.stall_flagged {
+            return false;
+        }
+        match self.stall_deadline_us(config) {
+            Some(deadline) if now_us >= deadline => {
+                self.stalls += 1;
+                self.stall_flagged = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ranking score: observed delivery rate, discounted per stall.
+    /// Candidates with no rate window yet score at the configured prior,
+    /// so a freshly activated backup does not outrank a producing mirror
+    /// on zero evidence. Higher is better; ties break on candidate index
+    /// (registration order), which keeps the permutation deterministic.
+    pub fn score(&self, config: &FederationConfig) -> f64 {
+        let rate = self
+            .rate
+            .rate_tuples_per_sec()
+            .unwrap_or(config.prior_rate_tuples_per_sec);
+        rate / (1.0 + self.stalls as f64)
+    }
+}
+
+impl Default for BehaviorProfile {
+    fn default() -> Self {
+        BehaviorProfile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FederationConfig {
+        FederationConfig::default()
+    }
+
+    #[test]
+    fn stall_latches_once_per_silence() {
+        let mut p = BehaviorProfile::new();
+        p.activate(0);
+        p.observe_batch(100, 10, 10);
+        p.observe_batch(200, 10, 10);
+        let deadline = p.stall_deadline_us(&cfg()).unwrap();
+        assert!(!p.check_stall(deadline - 1, &cfg()));
+        assert!(p.check_stall(deadline, &cfg()));
+        assert!(!p.check_stall(deadline + 1000, &cfg()), "latched");
+        p.observe_batch(deadline + 2000, 10, 10);
+        assert_eq!(p.stalls, 1);
+        let later = p.stall_deadline_us(&cfg()).unwrap();
+        assert!(p.check_stall(later + 1, &cfg()), "new silence, new stall");
+        assert_eq!(p.stalls, 2);
+    }
+
+    #[test]
+    fn standby_has_no_deadline_until_activated() {
+        let mut p = BehaviorProfile::new();
+        assert_eq!(p.stall_deadline_us(&cfg()), None);
+        assert!(!p.check_stall(u64::MAX, &cfg()));
+        p.activate(500);
+        let d = p.stall_deadline_us(&cfg()).unwrap();
+        assert_eq!(
+            d,
+            500 + cfg().min_stall_us,
+            "floor threshold before evidence"
+        );
+    }
+
+    #[test]
+    fn score_prefers_fast_then_penalizes_stalls() {
+        let c = cfg();
+        let mut fast = BehaviorProfile::new();
+        let mut slow = BehaviorProfile::new();
+        fast.activate(0);
+        slow.activate(0);
+        for i in 1..=10u64 {
+            fast.observe_batch(i * 1_000, 100, 100); // 100k tuples/s
+            slow.observe_batch(i * 10_000, 100, 100); // 10k tuples/s
+        }
+        assert!(fast.score(&c) > slow.score(&c));
+        fast.stalls = 20;
+        assert!(fast.score(&c) < slow.score(&c), "stalls discount the rate");
+    }
+
+    #[test]
+    fn duplicates_tracked_separately_from_delivery() {
+        let mut p = BehaviorProfile::new();
+        p.activate(0);
+        p.observe_batch(10, 8, 3);
+        assert_eq!(p.delivered, 8);
+        assert_eq!(p.duplicates, 5);
+    }
+}

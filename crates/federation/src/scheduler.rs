@@ -1,0 +1,244 @@
+//! The online source-permutation scheduler.
+//!
+//! Given N candidate sources for one relation, the scheduler maintains a
+//! *permutation* of them — the order in which candidates are polled — and
+//! revises it online from the behavior profiles:
+//!
+//! * The query starts on the first registered candidate only (polling
+//!   standbys costs virtual time at the sources and duplicate work after
+//!   dedup).
+//! * When the best active candidate is silent past its profile-derived
+//!   stall threshold, the next standby in registration order is
+//!   *activated*: under hedging (default) both race and the union is
+//!   deduped; otherwise the stalled candidate is demoted.
+//! * Active candidates are polled in score order (observed rate,
+//!   discounted per stall), so once the profiles have evidence, the
+//!   permutation re-ranks itself — e.g. a recovered fast mirror moves back
+//!   ahead of the slow backup that covered its outage.
+//!
+//! Every decision is a pure function of the virtual clock and observed
+//! tuple counts, so runs are deterministic and replayable.
+
+use crate::catalog::FederationConfig;
+use crate::profile::BehaviorProfile;
+
+/// Scheduler state for one federated relation.
+#[derive(Debug)]
+pub struct PermutationScheduler {
+    profiles: Vec<BehaviorProfile>,
+    /// Activated candidates, in activation order.
+    active: Vec<usize>,
+    /// Next never-activated candidate (registration order).
+    next_fresh: usize,
+    failovers: u64,
+    config: FederationConfig,
+}
+
+impl PermutationScheduler {
+    pub fn new(candidates: usize, config: FederationConfig) -> PermutationScheduler {
+        assert!(candidates > 0, "scheduler needs at least one candidate");
+        let mut s = PermutationScheduler {
+            profiles: (0..candidates).map(|_| BehaviorProfile::new()).collect(),
+            active: Vec::new(),
+            next_fresh: 0,
+            failovers: 0,
+            config,
+        };
+        s.activate_next(0);
+        s
+    }
+
+    pub fn profiles(&self) -> &[BehaviorProfile] {
+        &self.profiles
+    }
+
+    pub fn profile_mut(&mut self, idx: usize) -> &mut BehaviorProfile {
+        &mut self.profiles[idx]
+    }
+
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
+    /// Total candidate activations beyond the first (failovers/hedges).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The current permutation prefix: active, non-EOF candidates in the
+    /// order they should be polled — best score first, candidate index as
+    /// the deterministic tiebreak. Under `hedge = false`, candidates whose
+    /// current silence is flagged go to the back regardless of score.
+    pub fn polling_order(&self, now_us: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&i| !self.profiles[i].eof)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.profiles[a], &self.profiles[b]);
+            if !self.config.hedge {
+                // Demote currently-stalled candidates outright.
+                let (sa, sb) = (
+                    self.is_past_deadline(a, now_us),
+                    self.is_past_deadline(b, now_us),
+                );
+                if sa != sb {
+                    return sa.cmp(&sb);
+                }
+            }
+            pb.score(&self.config)
+                .partial_cmp(&pa.score(&self.config))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    fn is_past_deadline(&self, idx: usize, now_us: u64) -> bool {
+        matches!(self.profiles[idx].stall_deadline_us(&self.config), Some(d) if now_us >= d)
+    }
+
+    /// Record an arrival of `tuples` raw tuples (`fresh` after dedup).
+    pub fn note_arrival(&mut self, idx: usize, now_us: u64, tuples: u64, fresh: u64) {
+        self.profiles[idx].observe_batch(now_us, tuples, fresh);
+    }
+
+    pub fn note_eof(&mut self, idx: usize) {
+        self.profiles[idx].eof = true;
+    }
+
+    /// Latch a stall check for `idx` at `now_us`; on a fresh stall,
+    /// activate the next standby (if any) and report it.
+    pub fn on_pending(&mut self, idx: usize, now_us: u64) -> Option<usize> {
+        if self.profiles[idx].check_stall(now_us, &self.config) {
+            return self.activate_next(now_us);
+        }
+        None
+    }
+
+    /// Activate the next never-activated candidate (if any) without a
+    /// stall trigger — used when every active candidate has reached EOF
+    /// but standby replicas may still hold uncovered tuples.
+    pub fn activate_standby(&mut self, now_us: u64) -> Option<usize> {
+        self.activate_next(now_us)
+    }
+
+    fn activate_next(&mut self, now_us: u64) -> Option<usize> {
+        while self.next_fresh < self.profiles.len() {
+            let idx = self.next_fresh;
+            self.next_fresh += 1;
+            if self.profiles[idx].eof {
+                continue;
+            }
+            self.profiles[idx].activate(now_us);
+            self.active.push(idx);
+            if !self.active.is_empty() && idx != self.active[0] {
+                self.failovers += 1;
+            }
+            return Some(idx);
+        }
+        None
+    }
+
+    /// Earliest virtual instant at which a scheduling decision could
+    /// change: the nearest stall deadline of an active, non-EOF candidate.
+    pub fn next_deadline_us(&self, now_us: u64) -> Option<u64> {
+        self.active
+            .iter()
+            .filter(|&&i| !self.profiles[i].eof)
+            .filter_map(|&i| self.profiles[i].stall_deadline_us(&self.config))
+            .filter(|&d| d > now_us)
+            .min()
+    }
+
+    /// True when every candidate has reached EOF.
+    pub fn all_eof(&self) -> bool {
+        self.profiles.iter().all(|p| p.eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(n: usize) -> PermutationScheduler {
+        PermutationScheduler::new(n, FederationConfig::default())
+    }
+
+    #[test]
+    fn starts_on_first_candidate_only() {
+        let s = sched(3);
+        assert_eq!(s.polling_order(0), vec![0]);
+        assert_eq!(s.failovers(), 0);
+    }
+
+    #[test]
+    fn stall_activates_next_in_registration_order() {
+        let mut s = sched(3);
+        s.note_arrival(0, 0, 10, 10);
+        let deadline = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        assert_eq!(s.on_pending(0, deadline - 1), None);
+        assert_eq!(s.on_pending(0, deadline), Some(1));
+        assert_eq!(s.failovers(), 1);
+        // Latched: the same silence does not cascade through all standbys.
+        assert_eq!(s.on_pending(0, deadline + 1), None);
+        let order = s.polling_order(deadline);
+        assert!(order.contains(&0) && order.contains(&1));
+    }
+
+    #[test]
+    fn reranks_by_observed_rate() {
+        let mut s = sched(2);
+        s.on_pending(0, u64::MAX); // force-activate candidate 1
+                                   // Candidate 1 delivers fast, candidate 0 slow.
+        for i in 1..=20u64 {
+            s.note_arrival(0, i * 10_000, 10, 10);
+            s.note_arrival(1, i * 1_000, 10, 10);
+        }
+        assert_eq!(s.polling_order(0), vec![1, 0], "fast mirror polled first");
+    }
+
+    #[test]
+    fn eof_candidates_leave_the_permutation() {
+        let mut s = sched(2);
+        s.on_pending(0, u64::MAX);
+        s.note_eof(0);
+        assert_eq!(s.polling_order(0), vec![1]);
+        assert!(!s.all_eof());
+        s.note_eof(1);
+        assert!(s.all_eof());
+        assert!(s.polling_order(0).is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_active_candidates() {
+        let mut s = sched(2);
+        s.note_arrival(0, 1_000, 10, 10);
+        let d = s.next_deadline_us(1_000).unwrap();
+        assert!(d > 1_000);
+        assert_eq!(
+            s.next_deadline_us(u64::MAX),
+            None,
+            "no future deadline at end of time"
+        );
+    }
+
+    #[test]
+    fn no_hedge_demotes_stalled_primary() {
+        let cfg = FederationConfig {
+            hedge: false,
+            ..Default::default()
+        };
+        let mut s = PermutationScheduler::new(2, cfg);
+        s.note_arrival(0, 0, 10, 10);
+        s.note_arrival(0, 100, 10, 10);
+        let deadline = s.profiles()[0].stall_deadline_us(s.config()).unwrap();
+        assert_eq!(s.on_pending(0, deadline), Some(1));
+        let order = s.polling_order(deadline);
+        assert_eq!(order[0], 1, "stalled primary demoted behind backup");
+    }
+}

@@ -20,6 +20,13 @@ pub struct CostModel {
     pub preagg_tuple: f64,
     pub agg_tuple: f64,
     pub scan_tuple: f64,
+    /// Cost units charged per microsecond of expected source-delivery
+    /// wait, when an observed delivery rate exists for a scan's relation
+    /// (published by the federation layer). Delivery waits are shared by
+    /// every plan over the same leaves, so this does not perturb join
+    /// ordering; it makes the re-optimizer's remaining-cost estimates
+    /// reflect that a delivery-bound query gains little from switching.
+    pub delivery_per_us: f64,
 }
 
 impl Default for CostModel {
@@ -32,14 +39,16 @@ impl Default for CostModel {
             preagg_tuple: 0.4,
             agg_tuple: 1.0,
             scan_tuple: 0.2,
+            delivery_per_us: 1.0,
         }
     }
 }
 
 /// Whether and how the optimizer inserts pre-aggregation operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PreAggConfig {
     /// No pre-aggregation push-down (baseline "single aggregation").
+    #[default]
     Off,
     /// Insert the given operator flavor at every beneficial point.
     Insert(PreAggMode),
@@ -90,12 +99,6 @@ impl std::fmt::Debug for OptimizerContext {
             .field("has_catalog", &self.catalog.is_some())
             .field("consumed", &self.consumed.len())
             .finish()
-    }
-}
-
-impl Default for PreAggConfig {
-    fn default() -> Self {
-        PreAggConfig::Off
     }
 }
 
@@ -159,6 +162,23 @@ impl OptimizerContext {
             .as_ref()
             .and_then(|c| c.multiplicative_factor(pred_id))
     }
+
+    /// Observed delivery rate for a source (tuples per virtual second),
+    /// when a self-profiling source (e.g. the federation adapter) has
+    /// published one to the catalog.
+    pub fn observed_rate(&self, rel: u32) -> Option<f64> {
+        self.catalog.as_ref().and_then(|c| c.source_rate(rel))
+    }
+
+    /// Expected virtual time (µs) for `card` tuples of `rel` to arrive at
+    /// the observed delivery rate; zero when the source is unprofiled
+    /// (assumed local/fast, matching the seed's behavior).
+    pub fn delivery_bound_us(&self, rel: u32, card: f64) -> f64 {
+        match self.observed_rate(rel) {
+            Some(rate) if rate > 0.0 => card.max(0.0) / rate * 1e6,
+            _ => 0.0,
+        }
+    }
 }
 
 /// Which slice of the data a [`CardEstimator`] prices.
@@ -215,9 +235,7 @@ impl<'a> CardEstimator<'a> {
         match self.mode {
             EstimateMode::Total => self.ctx.base_card(rel),
             EstimateMode::Remaining => self.ctx.remaining_card(rel),
-            EstimateMode::Consumed => {
-                self.ctx.consumed.get(&rel).copied().unwrap_or(0) as f64
-            }
+            EstimateMode::Consumed => self.ctx.consumed.get(&rel).copied().unwrap_or(0) as f64,
         }
     }
 
@@ -405,11 +423,7 @@ mod tests {
         let q = chain3();
         let catalog = Arc::new(SelectivityCatalog::new());
         // |a⋈b| observed = 5000 over base product 20k*20k.
-        catalog.observe_subexpr(
-            ExprSig::new(vec![1, 2]),
-            5_000,
-            20_000.0 * 20_000.0,
-        );
+        catalog.observe_subexpr(ExprSig::new(vec![1, 2]), 5_000, 20_000.0 * 20_000.0);
         let ctx = OptimizerContext {
             catalog: Some(catalog),
             ..OptimizerContext::no_statistics()

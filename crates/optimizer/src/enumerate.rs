@@ -11,9 +11,7 @@ use tukwila_storage::ExprSig;
 
 use crate::cost::{CardEstimator, EstimateMode, OptimizerContext, PreAggConfig};
 use crate::logical::{JoinPred, LogicalQuery};
-use crate::phys::{
-    PartialSlot, PhysAgg, PhysJoinAlgo, PhysKind, PhysNode, PhysPlan, PreAggMode,
-};
+use crate::phys::{PartialSlot, PhysAgg, PhysJoinAlgo, PhysKind, PhysNode, PhysPlan, PreAggMode};
 use crate::preagg::{group_cols_for, preagg_point, PreAggPoint};
 
 /// Join-order skeleton produced by enumeration.
@@ -158,8 +156,8 @@ impl Optimizer {
                         }
                         m
                     };
-                    cost -= step * (sunk.card(lmask) + sunk.card(rmask))
-                        + cm.output * sunk.card(mask);
+                    cost -=
+                        step * (sunk.card(lmask) + sunk.card(rmask)) + cm.output * sunk.card(mask);
                 }
                 Ok((lc + rc + cost.max(0.0), card))
             }
@@ -257,9 +255,7 @@ impl<'a> Enumerator<'a> {
             if sub & lowbit != 0 && sub != set {
                 let rest = set & !sub;
                 if self.connected(sub, rest) {
-                    if let (Some((cl, tl)), Some((cr, tr))) =
-                        (self.best(sub), self.best(rest))
-                    {
+                    if let (Some((cl, tl)), Some((cr, tr))) = (self.best(sub), self.best(rest)) {
                         let cost = cl + cr + self.join_cost(set, sub, rest);
                         if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                             best = Some((cost, Rc::new(JoinTree::Join(tl, tr))));
@@ -276,8 +272,7 @@ impl<'a> Enumerator<'a> {
         self.q.preds.iter().any(|p| {
             let li = self.q.rel_index(p.left_rel).expect("validated");
             let ri = self.q.rel_index(p.right_rel).expect("validated");
-            (a & (1 << li) != 0 && b & (1 << ri) != 0)
-                || (b & (1 << li) != 0 && a & (1 << ri) != 0)
+            (a & (1 << li) != 0 && b & (1 << ri) != 0) || (b & (1 << li) != 0 && a & (1 << ri) != 0)
         })
     }
 
@@ -331,9 +326,7 @@ impl<'a> Lowerer<'a> {
         // node covering the aggregate inputs, unless that node is the root.
         if !self.inserted {
             if let Some(point) = self.point.clone() {
-                if point.subtree.is_subset_of(&node.sig)
-                    && node.sig.arity() < self.q.rels.len()
-                {
+                if point.subtree.is_subset_of(&node.sig) && node.sig.arity() < self.q.rels.len() {
                     self.inserted = true;
                     return self.wrap_preagg(node, &point);
                 }
@@ -359,7 +352,10 @@ impl<'a> Lowerer<'a> {
             partials: vec![],
             sig: ExprSig::single(rel.rel_id),
             est_card: card,
-            est_cost: self.ctx.cost_model.scan_tuple * raw,
+            // Observed delivery rates (federation profiles) turn a scan's
+            // cost from pure CPU into CPU + expected arrival wait.
+            est_cost: self.ctx.cost_model.scan_tuple * raw
+                + self.ctx.cost_model.delivery_per_us * self.ctx.delivery_bound_us(rel.rel_id, raw),
         })
     }
 
@@ -497,7 +493,10 @@ impl<'a> Lowerer<'a> {
                 AggFunc::Min | AggFunc::Max => child.schema.field(in_col).dtype,
             };
             fields.push(Field::new(
-                format!("partial{agg_idx}.{func}({})", child.schema.field(in_col).name),
+                format!(
+                    "partial{agg_idx}.{func}({})",
+                    child.schema.field(in_col).name
+                ),
                 dtype,
             ));
             aggs.push((*func, in_col));
@@ -771,7 +770,11 @@ mod tests {
                 rel(2, "b", &["k", "j"]),
                 rel(3, "c", &["k", "j"]),
             ],
-            vec![pred(1, 1, 0, 2, 0), pred(2, 2, 1, 3, 0), pred(3, 1, 1, 3, 1)],
+            vec![
+                pred(1, 1, 0, 2, 0),
+                pred(2, 2, 1, 3, 0),
+                pred(3, 1, 1, 3, 1),
+            ],
         );
         let opt = Optimizer::new(OptimizerContext::no_statistics());
         let plan = opt.plan_with_order(&q, &[1, 2, 3]).unwrap();

@@ -148,11 +148,7 @@ impl LogicalQuery {
             }
         }
         if let Some(agg) = &self.agg {
-            for r in agg
-                .group
-                .iter()
-                .chain(agg.aggs.iter().map(|(_, r)| r))
-            {
+            for r in agg.group.iter().chain(agg.aggs.iter().map(|(_, r)| r)) {
                 let rel = self.rel(r.rel)?;
                 if r.col >= rel.schema.arity() {
                     return Err(Error::Plan(format!(
@@ -224,14 +220,12 @@ mod tests {
     #[test]
     fn bad_agg_ref_rejected() {
         use tukwila_relation::agg::AggFunc;
-        let q = LogicalQuery::new(
-            vec![rel(1, "a"), rel(2, "b")],
-            vec![pred(1, 1, 2)],
-        )
-        .with_agg(QueryAgg {
-            group: vec![AggRef { rel: 1, col: 0 }],
-            aggs: vec![(AggFunc::Max, AggRef { rel: 2, col: 99 })],
-        });
+        let q = LogicalQuery::new(vec![rel(1, "a"), rel(2, "b")], vec![pred(1, 1, 2)]).with_agg(
+            QueryAgg {
+                group: vec![AggRef { rel: 1, col: 0 }],
+                aggs: vec![(AggFunc::Max, AggRef { rel: 2, col: 99 })],
+            },
+        );
         assert!(q.validate().is_err());
     }
 

@@ -147,7 +147,10 @@ mod tests {
         )
         .with_agg(QueryAgg {
             group: vec![AggRef { rel: 1, col: 0 }, AggRef { rel: 1, col: 1 }],
-            aggs: vec![(tukwila_relation::agg::AggFunc::Max, AggRef { rel: 3, col: 1 })],
+            aggs: vec![(
+                tukwila_relation::agg::AggFunc::Max,
+                AggRef { rel: 3, col: 1 },
+            )],
         })
     }
 
@@ -187,9 +190,18 @@ mod tests {
     fn no_point_when_aggs_span_everything() {
         let mut q = flights_query();
         q.agg.as_mut().unwrap().aggs = vec![
-            (tukwila_relation::agg::AggFunc::Max, AggRef { rel: 1, col: 3 }),
-            (tukwila_relation::agg::AggFunc::Max, AggRef { rel: 2, col: 0 }),
-            (tukwila_relation::agg::AggFunc::Max, AggRef { rel: 3, col: 1 }),
+            (
+                tukwila_relation::agg::AggFunc::Max,
+                AggRef { rel: 1, col: 3 },
+            ),
+            (
+                tukwila_relation::agg::AggFunc::Max,
+                AggRef { rel: 2, col: 0 },
+            ),
+            (
+                tukwila_relation::agg::AggFunc::Max,
+                AggRef { rel: 3, col: 1 },
+            ),
         ];
         assert!(preagg_point(&q).is_none());
     }
@@ -198,7 +210,11 @@ mod tests {
     fn final_group_cols_inside_subtree_are_kept() {
         let mut q = flights_query();
         // Group by C.p as well.
-        q.agg.as_mut().unwrap().group.push(AggRef { rel: 3, col: 0 });
+        q.agg
+            .as_mut()
+            .unwrap()
+            .group
+            .push(AggRef { rel: 3, col: 0 });
         let p = preagg_point(&q).unwrap();
         assert_eq!(p.group_cols, vec![(3, 0)]);
     }

@@ -58,14 +58,14 @@ mod tests {
         assert!(Error::Type("x".into()).to_string().contains("type"));
         assert!(Error::Plan("x".into()).to_string().contains("plan"));
         assert!(Error::Exec("x".into()).to_string().contains("execution"));
-        let io = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = Error::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
     }
 
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error as _;
-        let io = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = Error::from(std::io::Error::other("boom"));
         assert!(io.source().is_some());
         assert!(Error::Plan("p".into()).source().is_none());
     }

@@ -242,7 +242,10 @@ mod tests {
     fn int_float_cross_compare() {
         assert_eq!(Value::Int(3).cmp_total(&Value::Float(3.0)), Ordering::Equal);
         assert_eq!(Value::Int(3).cmp_total(&Value::Float(3.5)), Ordering::Less);
-        assert_eq!(Value::Float(4.0).cmp_total(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(4.0).cmp_total(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Offline shim for the subset of the `bytes` crate this workspace uses:
+//! [`BytesMut`] as a growable write buffer ([`BufMut`]), [`Bytes`] as a
+//! cursored read buffer ([`Buf`]). Unlike upstream, `Bytes` owns a plain
+//! `Vec<u8>` (no reference-counted slices), which is sufficient for the
+//! spill-file serialization paths that use it.
+
+use std::ops::Deref;
+
+/// Read cursor over an owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Split off the first `n` unread bytes as a new `Bytes`, advancing
+    /// this cursor past them.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to out of range");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian read methods (the used subset of `bytes::Buf`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.copy_bytes(4).try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_bytes(4).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.copy_bytes(8).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_bytes(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_bytes(8).try_into().unwrap())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.remaining(), "buffer underflow");
+        let out = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        out
+    }
+}
+
+/// Little-endian write methods (the used subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u32_le(42);
+        w.put_i64_le(-5);
+        w.put_f64_le(1.5);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 42);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 1.5);
+        let s = r.split_to(3);
+        assert_eq!(&*s, b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_advances_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(b.get_u8(), 3);
+        assert_eq!(b.remaining(), 1);
+    }
+}

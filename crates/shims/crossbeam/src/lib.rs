@@ -1,0 +1,66 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `channel::{bounded, Sender, Receiver, SendError}` with blocking
+//! bounded-capacity semantics. Backed by `std::sync::mpsc::sync_channel`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Blocking bounded sender (crossbeam's `Sender` over a bounded channel).
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is at capacity.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, SendError};
+
+    #[test]
+    fn bounded_roundtrip_and_eof() {
+        let (tx, rx) = bounded::<i32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err(), "closed after sender drop");
+    }
+
+    #[test]
+    fn send_to_hung_up_receiver_errors() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(matches!(tx.send(7), Err(SendError(7))));
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no registry access, so `rand` is replaced by
+//! this path dependency. It provides [`rngs::StdRng`], [`SeedableRng`], and
+//! [`Rng::gen_range`] over integer and float ranges, backed by the
+//! xoshiro256** generator seeded through SplitMix64. Streams are
+//! deterministic per seed (which is all the workspace relies on — every RNG
+//! here is seeded explicitly) but are *not* bit-compatible with upstream
+//! `rand 0.8`'s ChaCha-based `StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (mirrors `rand::SeedableRng` for the methods used).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (mirrors the used subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64_dyn())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        u64_to_f64(self.next_u64_dyn()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The raw 64-bit stream behind [`Rng`].
+pub trait RngCore {
+    fn next_u64_dyn(&mut self) -> u64;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64_dyn(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts, producing values of type `T`.
+///
+/// Mirroring `rand`, there is exactly one (generic) impl per range shape,
+/// so the element type of a half-open or inclusive range literal drives
+/// `T`'s inference the same way it does upstream.
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+/// Types uniformly samplable from a range (mirrors `rand::distributions::
+/// uniform::SampleUniform`'s role in inference).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, raw: u64) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, raw: u64) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(self.start, self.end, false, raw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, raw: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(lo, hi, true, raw)
+    }
+}
+
+#[inline]
+fn u64_to_f64(raw: u64) -> f64 {
+    // 53 uniform bits in [0, 1).
+    (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: $t, hi: $t, inclusive: bool, raw: u64) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: $t, hi: $t, _inclusive: bool, raw: u64) -> $t {
+                lo + (hi - lo) * (u64_to_f64(raw) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<i64> = (0..100).map(|_| a.gen_range(0i64..1000)).collect();
+        let vb: Vec<i64> = (0..100).map(|_| b.gen_range(0i64..1000)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<i64> = (0..100).map(|_| c.gen_range(0i64..1000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y = r.gen_range(1usize..=7);
+            assert!((1..=7).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+}

@@ -15,6 +15,20 @@
 //! * [`delay::DelayedSource`] + [`delay::DelayModel`] — constant-bandwidth
 //!   links and the bursty 802.11b-style wireless model used for Figure 3 /
 //!   Table 2.
+//!
+//! # Federated sources
+//!
+//! A relation need not be served by a single source: the
+//! `tukwila-federation` crate registers several candidates per relation —
+//! mirrors with different [`delay::DelayModel`]s, or overlapping partial
+//! replicas — behind a `FederatedSource` that implements [`Source`], so
+//! everything that polls this crate's interface runs over federated
+//! relations unchanged. Three trait hooks here exist for that layer:
+//! [`source::SourceDescriptor`] (candidate registration/reporting, and the
+//! `complete` flag distinguishing full mirrors from partial replicas),
+//! `Source::observed_rate` (self-profiled delivery rates feeding the
+//! re-optimizer's delivery-bound costing), and `Source::as_any`
+//! (post-run report extraction through `Box<dyn Source>`).
 
 pub mod delay;
 pub mod mem;
@@ -22,4 +36,4 @@ pub mod source;
 
 pub use delay::{DelayModel, DelayedSource};
 pub use mem::MemSource;
-pub use source::{Poll, Source, SourceProgressView};
+pub use source::{Poll, Source, SourceDescriptor, SourceProgressView};

@@ -24,6 +24,17 @@ pub struct SourceProgressView {
     pub eof: bool,
 }
 
+/// Static description of a source candidate: what the federation catalog
+/// needs to register, rank, and report on a source without downcasting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDescriptor {
+    pub rel_id: u32,
+    pub name: String,
+    /// Whether this candidate holds the complete relation (a full mirror)
+    /// or only a partial replica of it.
+    pub complete: bool,
+}
+
 /// A sequential-only data source. Implementations must deliver tuples in a
 /// fixed order; reading is destructive (no rewinds), mirroring the paper's
 /// "we limit access to the input relations to be sequential only".
@@ -42,6 +53,30 @@ pub trait Source: Send {
 
     /// Progress so far.
     fn progress(&self) -> SourceProgressView;
+
+    /// Candidate descriptor for federation catalogs. The default claims a
+    /// complete relation, which is what every non-replicated source is.
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            rel_id: self.rel_id(),
+            name: self.name().to_string(),
+            complete: true,
+        }
+    }
+
+    /// Observed delivery rate in tuples per virtual second, for sources
+    /// that profile themselves (the federated adapter does). Feeds the
+    /// re-optimizer's delivery-bound costing; `None` means unprofiled.
+    fn observed_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Downcast hook for adapters that expose richer post-run reports
+    /// through `Box<dyn Source>` (the federation adapter does). Default:
+    /// not downcastable.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -113,10 +113,7 @@ impl DynamicHistogram {
         if x.fract() == 0.0 && x.abs() < 9e15 {
             self.heavy.add(x as i64);
         }
-        match self
-            .buckets
-            .binary_search_by(|b| cmp_range(b.lo, b.hi, x))
-        {
+        match self.buckets.binary_search_by(|b| cmp_range(b.lo, b.hi, x)) {
             Ok(i) => {
                 self.buckets[i].count += 1;
                 if self.buckets[i].count > self.split_threshold() {
@@ -130,7 +127,11 @@ impl DynamicHistogram {
                 // Outside every bucket: extend a neighbor or start fresh.
                 self.buckets.insert(
                     i,
-                    Bucket { lo: x, hi: x, count: 1 },
+                    Bucket {
+                        lo: x,
+                        hi: x,
+                        count: 1,
+                    },
                 );
                 if self.buckets.len() > self.max_buckets {
                     self.merge_smallest_pair();
@@ -190,10 +191,7 @@ impl DynamicHistogram {
                 return c as f64;
             }
         }
-        match self
-            .buckets
-            .binary_search_by(|b| cmp_range(b.lo, b.hi, x))
-        {
+        match self.buckets.binary_search_by(|b| cmp_range(b.lo, b.hi, x)) {
             Ok(i) => {
                 let b = &self.buckets[i];
                 b.count as f64 / b.distinct()

@@ -19,14 +19,19 @@
 //! * [`estimate::JoinEstimator`] — combines histograms and order detection
 //!   to predict join output cardinalities from a prefix of the data, the
 //!   §4.5 experiment.
+//! * [`rate::RateEstimator`] — online delivery-rate/burstiness profiling of
+//!   a source under the virtual clock; drives the federation layer's
+//!   stall thresholds and the re-optimizer's delivery-bound costing.
 
 pub mod counters;
 pub mod estimate;
 pub mod histogram;
 pub mod order_detect;
+pub mod rate;
 pub mod selectivity;
 
 pub use counters::OpCounters;
 pub use histogram::DynamicHistogram;
 pub use order_detect::{OrderDetector, Orderedness, UniquenessDetector};
+pub use rate::RateEstimator;
 pub use selectivity::SelectivityCatalog;

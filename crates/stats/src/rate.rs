@@ -1,0 +1,181 @@
+//! Online source-delivery profiling: EWMA inter-arrival gaps, burst
+//! variance, and stall thresholds.
+//!
+//! The paper's premise is that source properties — delivery rate,
+//! burstiness — are unknown until observed at runtime. [`RateEstimator`]
+//! is the observation half: it is fed every batch arrival (virtual
+//! timestamp + tuple count) and maintains
+//!
+//! * the cumulative delivery rate (tuples per virtual second),
+//! * an EWMA of the inter-arrival gap (recent behavior, for ranking), and
+//! * the gap variance (Welford), which separates a *bursty* source whose
+//!   long gap is normal from a smooth source whose long gap means trouble.
+//!
+//! The federation scheduler turns these into a profile-derived stall
+//! threshold: a source is considered stalled once its current silence
+//! exceeds `mean_gap + k·σ(gap)`.
+
+/// Online estimator of a source's delivery behavior under the virtual
+/// clock. All state updates are O(1) per batch.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    alpha: f64,
+    ewma_gap_us: Option<f64>,
+    /// Welford accumulators over inter-arrival gaps (µs).
+    gaps: u64,
+    gap_mean: f64,
+    gap_m2: f64,
+    first_event_us: Option<u64>,
+    last_event_us: Option<u64>,
+    tuples: u64,
+}
+
+impl Default for RateEstimator {
+    fn default() -> Self {
+        RateEstimator::new(0.2)
+    }
+}
+
+impl RateEstimator {
+    /// `alpha` is the EWMA smoothing factor in (0, 1]; higher reacts
+    /// faster to recent gaps.
+    pub fn new(alpha: f64) -> RateEstimator {
+        RateEstimator {
+            alpha: alpha.clamp(1e-3, 1.0),
+            ewma_gap_us: None,
+            gaps: 0,
+            gap_mean: 0.0,
+            gap_m2: 0.0,
+            first_event_us: None,
+            last_event_us: None,
+            tuples: 0,
+        }
+    }
+
+    /// Record a batch of `tuples` arriving at virtual time `now_us`.
+    pub fn observe_arrival(&mut self, now_us: u64, tuples: u64) {
+        if let Some(last) = self.last_event_us {
+            let gap = now_us.saturating_sub(last) as f64;
+            self.ewma_gap_us = Some(match self.ewma_gap_us {
+                Some(e) => e + self.alpha * (gap - e),
+                None => gap,
+            });
+            self.gaps += 1;
+            let delta = gap - self.gap_mean;
+            self.gap_mean += delta / self.gaps as f64;
+            self.gap_m2 += delta * (gap - self.gap_mean);
+        }
+        self.first_event_us.get_or_insert(now_us);
+        self.last_event_us = Some(now_us);
+        self.tuples += tuples;
+    }
+
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Virtual time of the most recent arrival, if any.
+    pub fn last_arrival_us(&self) -> Option<u64> {
+        self.last_event_us
+    }
+
+    /// Smoothed inter-arrival gap (µs); `None` until two arrivals.
+    pub fn ewma_gap_us(&self) -> Option<f64> {
+        self.ewma_gap_us
+    }
+
+    /// Sample standard deviation of inter-arrival gaps (µs).
+    pub fn gap_std_us(&self) -> f64 {
+        if self.gaps < 2 {
+            0.0
+        } else {
+            (self.gap_m2 / (self.gaps - 1) as f64).sqrt()
+        }
+    }
+
+    /// Cumulative delivery rate in tuples per virtual second, measured
+    /// from first to last arrival. `None` until the window is non-empty.
+    pub fn rate_tuples_per_sec(&self) -> Option<f64> {
+        let (first, last) = (self.first_event_us?, self.last_event_us?);
+        if last <= first {
+            return None;
+        }
+        Some(self.tuples as f64 / ((last - first) as f64 / 1e6))
+    }
+
+    /// Profile-derived stall threshold: silence longer than
+    /// `ewma_gap + k·σ(gap)` (floored at `min_us`) is anomalous for this
+    /// source. Until a gap has been observed, the floor applies.
+    pub fn stall_threshold_us(&self, k: f64, min_us: u64) -> u64 {
+        match self.ewma_gap_us {
+            Some(gap) => ((gap + k * self.gap_std_us()) as u64).max(min_us),
+            None => min_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_source_has_tight_threshold() {
+        let mut r = RateEstimator::new(0.2);
+        for i in 0..100u64 {
+            r.observe_arrival(i * 1000, 10);
+        }
+        assert_eq!(r.tuples(), 1000);
+        let gap = r.ewma_gap_us().unwrap();
+        assert!((gap - 1000.0).abs() < 1.0, "gap={gap}");
+        assert!(r.gap_std_us() < 1.0);
+        // 1000 tuples over 99ms.
+        let rate = r.rate_tuples_per_sec().unwrap();
+        assert!((rate - 10_101.0).abs() < 10.0, "rate={rate}");
+        assert_eq!(r.stall_threshold_us(4.0, 500), 1000);
+    }
+
+    #[test]
+    fn bursty_source_widens_threshold() {
+        let mut smooth = RateEstimator::new(0.2);
+        let mut bursty = RateEstimator::new(0.2);
+        let mut t = 0u64;
+        for i in 0..200u64 {
+            smooth.observe_arrival(i * 1000, 1);
+            // Bursts of 10 arrivals 100µs apart, then a 10ms gap.
+            t += if i % 10 == 9 { 10_000 } else { 100 };
+            bursty.observe_arrival(t, 1);
+        }
+        assert!(bursty.gap_std_us() > 10.0 * smooth.gap_std_us());
+        assert!(
+            bursty.stall_threshold_us(4.0, 500) > smooth.stall_threshold_us(4.0, 500),
+            "burst variance must widen the stall threshold"
+        );
+    }
+
+    #[test]
+    fn unobserved_estimator_uses_floor() {
+        let r = RateEstimator::default();
+        assert_eq!(r.stall_threshold_us(4.0, 2500), 2500);
+        assert_eq!(r.rate_tuples_per_sec(), None);
+        let mut one = RateEstimator::default();
+        one.observe_arrival(5, 3);
+        assert_eq!(one.rate_tuples_per_sec(), None, "single arrival: no window");
+        assert_eq!(one.last_arrival_us(), Some(5));
+    }
+
+    #[test]
+    fn ewma_tracks_recent_gaps() {
+        let mut r = RateEstimator::new(0.5);
+        r.observe_arrival(0, 1);
+        for i in 1..=10u64 {
+            r.observe_arrival(i * 100, 1);
+        }
+        // Rate shifts to 10x slower; EWMA should move most of the way
+        // there within a few observations.
+        for i in 1..=10u64 {
+            r.observe_arrival(1000 + i * 1000, 1);
+        }
+        let gap = r.ewma_gap_us().unwrap();
+        assert!(gap > 900.0, "ewma lagging: {gap}");
+    }
+}

@@ -70,6 +70,9 @@ pub struct SelectivityCatalog {
 struct Inner {
     subexprs: HashMap<ExprSig, SubexprObs>,
     sources: HashMap<u32, SourceProgress>,
+    /// Observed delivery rates (tuples per virtual second), published by
+    /// self-profiling sources such as the federation adapter.
+    rates: HashMap<u32, f64>,
     /// Join predicates demonstrated "multiplicative" (output exceeds both
     /// inputs), keyed by a caller-chosen predicate id, with the observed
     /// blow-up factor.
@@ -106,6 +109,19 @@ impl SelectivityCatalog {
         self.inner.read().sources.get(&rel).copied()
     }
 
+    /// Record a source's observed delivery rate (tuples per virtual
+    /// second). Non-finite or non-positive rates are ignored.
+    pub fn observe_source_rate(&self, rel: u32, tuples_per_sec: f64) {
+        if tuples_per_sec.is_finite() && tuples_per_sec > 0.0 {
+            self.inner.write().rates.insert(rel, tuples_per_sec);
+        }
+    }
+
+    /// Latest observed delivery rate for a source, if published.
+    pub fn source_rate(&self, rel: u32) -> Option<f64> {
+        self.inner.read().rates.get(&rel).copied()
+    }
+
     /// Extrapolated cardinality for a source relation.
     pub fn source_card(&self, rel: u32, default_card: u64) -> u64 {
         match self.source(rel) {
@@ -140,6 +156,7 @@ impl SelectivityCatalog {
         let mut g = self.inner.write();
         g.subexprs.clear();
         g.sources.clear();
+        g.rates.clear();
         g.multiplicative.clear();
     }
 }
@@ -203,6 +220,20 @@ mod tests {
             },
         );
         assert_eq!(c.source_card(5, 20_000), 200);
+    }
+
+    #[test]
+    fn source_rates_roundtrip_and_reject_garbage() {
+        let c = SelectivityCatalog::new();
+        assert_eq!(c.source_rate(3), None);
+        c.observe_source_rate(3, 1_500.0);
+        assert_eq!(c.source_rate(3), Some(1_500.0));
+        c.observe_source_rate(3, 2_000.0);
+        assert_eq!(c.source_rate(3), Some(2_000.0), "latest observation wins");
+        c.observe_source_rate(3, f64::NAN);
+        c.observe_source_rate(3, -5.0);
+        c.observe_source_rate(3, 0.0);
+        assert_eq!(c.source_rate(3), Some(2_000.0), "garbage ignored");
     }
 
     #[test]

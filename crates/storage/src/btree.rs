@@ -13,7 +13,7 @@ enum Node {
     Internal {
         /// `keys[i]` is the smallest key of `children[i + 1]`.
         keys: Vec<Key>,
-        children: Vec<Box<Node>>,
+        children: Vec<Node>,
     },
     Leaf {
         keys: Vec<Key>,
@@ -32,7 +32,7 @@ impl Node {
 
     /// Insert, returning a split (separator key, new right sibling) if this
     /// node overflowed.
-    fn insert(&mut self, key: Key, t: Tuple) -> Option<(Key, Box<Node>)> {
+    fn insert(&mut self, key: Key, t: Tuple) -> Option<(Key, Node)> {
         match self {
             Node::Leaf { keys, rows } => {
                 match keys.binary_search(&key) {
@@ -49,10 +49,10 @@ impl Node {
                     let sep = right_keys[0].clone();
                     Some((
                         sep,
-                        Box::new(Node::Leaf {
+                        Node::Leaf {
                             keys: right_keys,
                             rows: right_rows,
-                        }),
+                        },
                     ))
                 } else {
                     None
@@ -72,10 +72,10 @@ impl Node {
                         let right_children = children.split_off(mid + 1);
                         return Some((
                             sep,
-                            Box::new(Node::Internal {
+                            Node::Internal {
                                 keys: right_keys,
                                 children: right_children,
-                            }),
+                            },
                         ));
                     }
                 }
@@ -151,7 +151,7 @@ impl BPlusTree {
             let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
             self.root = Node::Internal {
                 keys: vec![sep],
-                children: vec![Box::new(old_root), right],
+                children: vec![old_root, right],
             };
         }
     }

@@ -45,8 +45,8 @@ impl HashSorted {
             bucket.push(t);
             return;
         }
-        let pos = bucket
-            .partition_point(|x| cmp_tuples(&self.bucket_sort, x, &t) != Ordering::Greater);
+        let pos =
+            bucket.partition_point(|x| cmp_tuples(&self.bucket_sort, x, &t) != Ordering::Greater);
         bucket.insert(pos, t);
     }
 

@@ -181,7 +181,10 @@ impl TupleHashTable {
         for t in &out {
             self.bytes += t.approx_bytes();
             self.resident += 1;
-            self.map.entry(t.key(self.key_col)).or_default().push(t.clone());
+            self.map
+                .entry(t.key(self.key_col))
+                .or_default()
+                .push(t.clone());
         }
         Ok(out)
     }
@@ -318,7 +321,11 @@ mod tests {
         for i in 0..20 {
             h.insert(t(i % 5, i)).unwrap();
         }
-        let mut got: Vec<i64> = h.scan().iter().map(|x| x.get(1).as_int().unwrap()).collect();
+        let mut got: Vec<i64> = h
+            .scan()
+            .iter()
+            .map(|x| x.get(1).as_int().unwrap())
+            .collect();
         got.sort_unstable();
         assert_eq!(got, (0..20).collect::<Vec<_>>());
     }

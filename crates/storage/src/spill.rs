@@ -35,11 +35,8 @@ impl SpillFile {
     /// Create a fresh spill file in the system temp directory.
     pub fn create() -> Result<SpillFile> {
         let n = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "tukwila-spill-{}-{}.bin",
-            std::process::id(),
-            n
-        ));
+        let path =
+            std::env::temp_dir().join(format!("tukwila-spill-{}-{}.bin", std::process::id(), n));
         let file = OpenOptions::new()
             .create(true)
             .truncate(true)

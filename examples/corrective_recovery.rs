@@ -14,10 +14,7 @@ use tukwila::exec::{CpuCostModel, SimDriver};
 use tukwila::optimizer::{Optimizer, OptimizerContext};
 use tukwila::source::{MemSource, Source};
 
-fn sources_for(
-    d: &Dataset,
-    q: &tukwila::optimizer::LogicalQuery,
-) -> Vec<Box<dyn Source>> {
+fn sources_for(d: &Dataset, q: &tukwila::optimizer::LogicalQuery) -> Vec<Box<dyn Source>> {
     queries::tables_of(q)
         .into_iter()
         .map(|t| {

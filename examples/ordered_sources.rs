@@ -58,11 +58,7 @@ fn run_complementary(
     j.finish_input(0, &mut out).unwrap();
     j.finish_input(1, &mut out).unwrap();
     j.finish(&mut out).unwrap();
-    (
-        out.len(),
-        start.elapsed().as_secs_f64() * 1000.0,
-        j.stats(),
-    )
+    (out.len(), start.elapsed().as_secs_f64() * 1000.0, j.stats())
 }
 
 fn main() {
@@ -83,8 +79,7 @@ fn main() {
         perturb::reorder_fraction(&mut lineitem, frac, 12);
 
         let (n_hash, t_hash) = run_hash(&orders, &lineitem);
-        let (n_naive, t_naive, _) =
-            run_complementary(&orders, &lineitem, RouterKind::Naive);
+        let (n_naive, t_naive, _) = run_complementary(&orders, &lineitem, RouterKind::Naive);
         let (n_pq, t_pq, s_pq) =
             run_complementary(&orders, &lineitem, RouterKind::PriorityQueue(1024));
         assert_eq!(n_hash, n_naive);

@@ -41,6 +41,9 @@ pub use tukwila_core as core;
 pub use tukwila_datagen as datagen;
 /// Pipelined operators and the incremental execution engine.
 pub use tukwila_exec as exec;
+/// Federated source catalog, per-source behavior profiles, and online
+/// source-permutation scheduling over mirrored/replicated sources.
+pub use tukwila_federation as federation;
 /// The System-R-flavoured optimizer / re-optimizer.
 pub use tukwila_optimizer as optimizer;
 /// Tuples, schemas, expressions, mergeable aggregates.

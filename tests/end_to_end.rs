@@ -4,15 +4,11 @@
 
 use std::collections::HashMap;
 
-use tukwila::core::{
-    run_plan_partitioning, run_static, CorrectiveConfig, CorrectiveExec,
-};
+use tukwila::core::{run_plan_partitioning, run_static, CorrectiveConfig, CorrectiveExec};
 use tukwila::datagen::{queries, Dataset, DatasetConfig, TableId};
 use tukwila::exec::reference::canonicalize_approx;
 use tukwila::exec::CpuCostModel;
-use tukwila::optimizer::{
-    LogicalQuery, OptimizerContext, PreAggConfig, PreAggMode,
-};
+use tukwila::optimizer::{LogicalQuery, OptimizerContext, PreAggConfig, PreAggMode};
 use tukwila::source::{MemSource, Source};
 
 fn sources_for(d: &Dataset, q: &LogicalQuery) -> Vec<Box<dyn Source>> {

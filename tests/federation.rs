@@ -1,0 +1,300 @@
+//! Integration tests for the federation layer: mirrored/replicated
+//! sources behind the online permutation scheduler must be invisible to
+//! the engine — same answers as plain single sources, no lost or
+//! duplicated tuples — while adapting to stalls mid-query.
+
+use proptest::prelude::*;
+
+use tukwila::core::{run_static, CorrectiveConfig, CorrectiveExec};
+use tukwila::datagen::flights::{self, FlightsData};
+use tukwila::exec::reference::canonicalize_approx;
+use tukwila::exec::CpuCostModel;
+use tukwila::federation::{FederatedCatalog, FederatedSource, FederationConfig, PartialReplica};
+use tukwila::optimizer::{LogicalQuery, OptimizerContext};
+use tukwila::relation::{Schema, Tuple};
+use tukwila::source::{DelayModel, DelayedSource, MemSource, Source};
+
+fn tables(d: &FlightsData) -> [(u32, &'static str, Schema, &Vec<Tuple>); 3] {
+    [
+        (flights::FLIGHTS, "F", flights::flights_schema(), &d.flights),
+        (
+            flights::TRAVELERS,
+            "T",
+            flights::travelers_schema(),
+            &d.travelers,
+        ),
+        (
+            flights::CHILDREN,
+            "C",
+            flights::children_schema(),
+            &d.children,
+        ),
+    ]
+}
+
+/// Ground truth: the query over plain local sources.
+fn mem_answer(d: &FlightsData, q: &LogicalQuery) -> Vec<String> {
+    let mut sources: Vec<Box<dyn Source>> = tables(d)
+        .into_iter()
+        .map(|(rel, name, schema, rows)| {
+            Box::new(MemSource::new(rel, name, schema, rows.clone())) as Box<dyn Source>
+        })
+        .collect();
+    let run = run_static(
+        q,
+        &mut sources,
+        OptimizerContext::no_statistics(),
+        256,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    canonicalize_approx(&run.rows)
+}
+
+fn delayed(
+    rel: u32,
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    model: &DelayModel,
+) -> Box<dyn Source> {
+    Box::new(DelayedSource::new(rel, name, schema, rows, model))
+}
+
+/// Fast while bursting but mostly dark: the "preferred mirror that
+/// degrades mid-query".
+fn flaky_model(seed: u64) -> DelayModel {
+    DelayModel::Wireless {
+        bytes_per_sec: 200_000.0,
+        burst_ms: 30.0,
+        gap_ms: 100.0,
+        seed,
+    }
+}
+
+fn steady_model() -> DelayModel {
+    DelayModel::Bandwidth {
+        bytes_per_sec: 50_000.0,
+        initial_latency_us: 1_000,
+    }
+}
+
+fn fed_reports(sources: &[Box<dyn Source>]) -> Vec<tukwila::federation::FederationReport> {
+    sources
+        .iter()
+        .filter_map(|s| s.as_any())
+        .filter_map(|a| a.downcast_ref::<FederatedSource>())
+        .map(|f| f.report())
+        .collect()
+}
+
+/// The headline scenario: every relation's preferred mirror is the flaky
+/// one; it stalls mid-query and the scheduler hedges onto the steady
+/// backup. Run under the full corrective executor (which also publishes
+/// the federated delivery rates into the re-optimizer's catalog) and
+/// compare against plain local execution.
+#[test]
+fn preferred_mirror_stall_fails_over_without_loss_or_dup() {
+    let d = flights::generate(500, 3000, 1, 11);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    for (rel, name, schema, rows) in tables(&d) {
+        catalog
+            .register(
+                vec![0],
+                delayed(
+                    rel,
+                    format!("{name}-flaky"),
+                    schema.clone(),
+                    rows.clone(),
+                    &flaky_model(7 ^ u64::from(rel)),
+                ),
+            )
+            .unwrap();
+        catalog
+            .register(
+                vec![0],
+                delayed(
+                    rel,
+                    format!("{name}-steady"),
+                    schema,
+                    rows.clone(),
+                    &steady_model(),
+                ),
+            )
+            .unwrap();
+    }
+    let mut sources = catalog.into_sources().unwrap();
+
+    let exec = CorrectiveExec::new(
+        q,
+        CorrectiveConfig {
+            batch_size: 256,
+            cpu: CpuCostModel::Zero,
+            poll_every_batches: 3,
+            warmup_batches: 2,
+            min_remaining_fraction: 0.0,
+            ..Default::default()
+        },
+    );
+    let report = exec.run(&mut sources).unwrap();
+    assert_eq!(
+        canonicalize_approx(&report.rows),
+        expected,
+        "federated corrective answer diverged from local execution"
+    );
+
+    let reports = fed_reports(&sources);
+    assert_eq!(reports.len(), 3);
+    let sizes = [d.flights.len(), d.travelers.len(), d.children.len()];
+    let mut total_failovers = 0;
+    for r in &reports {
+        let size = match r.rel_id {
+            flights::FLIGHTS => sizes[0],
+            flights::TRAVELERS => sizes[1],
+            _ => sizes[2],
+        };
+        assert_eq!(
+            r.delivered as usize, size,
+            "{}: engine must see each tuple exactly once",
+            r.name
+        );
+        total_failovers += r.failovers;
+    }
+    assert!(
+        total_failovers >= 1,
+        "the flaky mirrors' outages must trigger at least one failover"
+    );
+    let deduped: u64 = reports
+        .iter()
+        .flat_map(|r| r.candidates.iter().map(|c| c.duplicates))
+        .sum();
+    assert!(deduped > 0, "hedged mirrors must overlap and be deduped");
+}
+
+/// Overlapping partial replicas jointly covering a relation behave like
+/// one complete source.
+#[test]
+fn overlapping_partial_replicas_union_to_full_relation() {
+    let d = flights::generate(300, 2000, 1, 23);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    for (rel, name, schema, rows) in tables(&d) {
+        if rel == flights::TRAVELERS {
+            // Two overlapping halves: [0, 60%) and [40%, 100%).
+            let cut_hi = rows.len() * 6 / 10;
+            let cut_lo = rows.len() * 4 / 10;
+            for (suffix, slice, model) in [
+                ("head", &rows[..cut_hi], flaky_model(5)),
+                ("tail", &rows[cut_lo..], steady_model()),
+            ] {
+                catalog
+                    .register(
+                        vec![0],
+                        Box::new(PartialReplica::new(delayed(
+                            rel,
+                            format!("{name}-{suffix}"),
+                            schema.clone(),
+                            slice.to_vec(),
+                            &model,
+                        ))),
+                    )
+                    .unwrap();
+            }
+        } else {
+            catalog
+                .register(
+                    vec![0],
+                    delayed(rel, name.into(), schema, rows.clone(), &steady_model()),
+                )
+                .unwrap();
+        }
+    }
+    let mut sources = catalog.into_sources().unwrap();
+    let run = run_static(
+        &q,
+        &mut sources,
+        OptimizerContext::no_statistics(),
+        256,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    assert_eq!(canonicalize_approx(&run.rows), expected);
+
+    let reports = fed_reports(&sources);
+    let travelers = reports
+        .iter()
+        .find(|r| r.rel_id == flights::TRAVELERS)
+        .unwrap();
+    assert_eq!(travelers.delivered as usize, d.travelers.len());
+    assert!(
+        travelers.candidates.iter().all(|c| c.activated),
+        "both partial replicas must be read to cover the relation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any permutation of the candidate mirrors — and any mix of delivery
+    /// behaviors — yields the same final answer under the virtual clock.
+    #[test]
+    fn any_source_permutation_yields_same_answer(
+        seed in 0u64..500,
+        perm in prop::sample::select(vec![
+            [0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ]),
+        n_flights in 30usize..120,
+        n_travelers in 50usize..400,
+    ) {
+        let d = flights::generate(n_flights, n_travelers, 1, seed);
+        let q = flights::query();
+        let expected = mem_answer(&d, &q);
+
+        let models = [
+            flaky_model(seed ^ 0xA5),
+            steady_model(),
+            DelayModel::Wireless {
+                bytes_per_sec: 80_000.0,
+                burst_ms: 20.0,
+                gap_ms: 40.0,
+                seed: seed ^ 0x5A,
+            },
+        ];
+        let mut catalog = FederatedCatalog::new(FederationConfig::default());
+        for (rel, name, schema, rows) in tables(&d) {
+            for &m in &perm {
+                catalog.register(
+                    vec![0],
+                    delayed(
+                        rel,
+                        format!("{name}-m{m}"),
+                        schema.clone(),
+                        rows.clone(),
+                        &models[m],
+                    ),
+                ).unwrap();
+            }
+        }
+        let mut sources = catalog.into_sources().unwrap();
+        let run = run_static(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            128,
+            CpuCostModel::Zero,
+        ).unwrap();
+        prop_assert_eq!(
+            canonicalize_approx(&run.rows),
+            expected,
+            "permutation {:?} changed the answer", perm
+        );
+        for r in fed_reports(&sources) {
+            prop_assert_eq!(r.candidates.len(), 3);
+        }
+    }
+}
