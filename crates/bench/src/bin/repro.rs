@@ -13,6 +13,7 @@
 //!   sec45    §4.5      (join-size predictability + histogram overhead)
 //!   ablation stitch-up reuse on/off; polling-interval sweep
 //!   mirrors  federated mirror failover (online source-permutation scheduling)
+//!   mirrors-wall  the same mirrors racing on real threads (wall clock)
 //!   all      everything above
 //! ```
 //!
@@ -26,7 +27,7 @@ use tukwila_bench::ExpConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] \
-         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|all>"
+         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|all>"
     );
     std::process::exit(2);
 }
@@ -42,9 +43,19 @@ fn save(name: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 11] = [
-        "fig2", "table1", "fig3", "table2", "fig5", "table3", "fig6", "sec45", "ablation",
-        "mirrors", "all",
+    const KNOWN: [&str; 12] = [
+        "fig2",
+        "table1",
+        "fig3",
+        "table2",
+        "fig5",
+        "table3",
+        "fig6",
+        "sec45",
+        "ablation",
+        "mirrors",
+        "mirrors-wall",
+        "all",
     ];
     let mut cfg = ExpConfig::default();
     let mut cmds: Vec<String> = Vec::new();
@@ -152,6 +163,12 @@ fn main() {
         let out = experiments::mirror_failover_suite(&cfg);
         println!("{out}");
         save("mirrors", &out);
+    }
+    if want("mirrors-wall") {
+        println!("== Federated mirrors on real threads: wall-clock hedging ==\n");
+        let out = experiments::mirror_failover_wall_suite(&cfg);
+        println!("{out}");
+        save("mirrors-wall", &out);
     }
     if all {
         println!("== Example 2.1 sanity run ==\n");

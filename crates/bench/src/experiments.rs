@@ -6,23 +6,27 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use tukwila_core::{
-    run_static, ComplementaryJoinPair, CorrectiveConfig, CorrectiveExec, RouterKind,
+    run_static, run_static_with_driver, ComplementaryJoinPair, CorrectiveConfig, CorrectiveExec,
+    RouterKind,
 };
 use tukwila_datagen::{perturb, Dataset, TableId, Zipf};
 use tukwila_exec::join::PipelinedHashJoin;
 use tukwila_exec::op::IncOp;
 use tukwila_exec::reference::canonicalize_approx;
-use tukwila_exec::CpuCostModel;
-use tukwila_federation::FederatedSource;
+use tukwila_exec::{CpuCostModel, SimDriver};
+use tukwila_federation::{ConcurrentFederatedSource, FederatedSource, FederationReport};
 use tukwila_optimizer::{OptimizerContext, PreAggConfig, PreAggMode};
 use tukwila_relation::{Tuple, Value};
 use tukwila_stats::estimate::JoinEstimator;
+use tukwila_stats::{Clock, WallClock};
 
 use crate::fmt::{count, secs, secs_ci, TextTable};
 use crate::setup::{
-    datasets, federated_mirror_sources, local_sources, mean_ci, pinned_mirror_sources, true_cards,
-    wireless_sources, ExpConfig, MirrorKind, WorkloadQuery,
+    concurrent_mirror_sources, datasets, federated_mirror_sources, local_sources, mean_ci,
+    pinned_mirror_sources, true_cards, wireless_sources, ExpConfig, MirrorKind, WorkloadQuery,
 };
 use tukwila_source::Source;
 
@@ -54,6 +58,7 @@ fn corrective_cfg(
         initial_order: order,
         min_remaining_fraction: 0.15,
         stitch_reuse: true,
+        clock: None,
     }
 }
 
@@ -712,6 +717,188 @@ pub fn mirror_failover_suite(cfg: &ExpConfig) -> String {
         "{}\nadaptive vs worst static: {:.2}× faster (identical answers, deterministic)\n",
         t.render(),
         worst / fed.0.max(1e-9)
+    )
+}
+
+/// Federation report from either adapter (sequential or threaded).
+fn fed_report_of(s: &dyn Source) -> Option<FederationReport> {
+    let any = s.as_any()?;
+    if let Some(fed) = any.downcast_ref::<FederatedSource>() {
+        return Some(fed.report());
+    }
+    any.downcast_ref::<ConcurrentFederatedSource>()
+        .map(|fed| fed.report())
+}
+
+/// Wall-clock variant of the mirror-failover scenario: the same flaky ×
+/// steady mirror pair per relation, but the candidates race on real
+/// producer threads (`federation::concurrent`) while an accelerated
+/// [`WallClock`] plays the delivery schedules back in real time. Reports
+/// *measured* wall seconds, and asserts that (a) the threaded hedged run
+/// produces the identical deduped answer as the deterministic
+/// virtual-clock run — the dual-clock equivalence — and (b) hedging wins
+/// real latency against the worst static mirror pin.
+pub fn mirror_failover_wall_suite(cfg: &ExpConfig) -> String {
+    /// Timeline runs this much faster than real time; delivery schedules
+    /// keep their shape, the race just plays back quicker.
+    const ACCEL: f64 = 25.0;
+    let [(_, uniform), _] = datasets(cfg);
+    let q = WorkloadQuery::Q3A.query();
+
+    // The deterministic anchor: the virtual-clock federated run.
+    let virtual_answer = {
+        let mut sources = federated_mirror_sources(
+            &uniform,
+            &q,
+            cfg,
+            &[MirrorKind::FastFlaky, MirrorKind::SteadySlow],
+        );
+        let run = run_static(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            cfg.batch_size,
+            CpuCostModel::PerTupleNs(200),
+        )
+        .expect("virtual mirror run");
+        canonicalize_approx(&run.rows)
+    };
+
+    struct WallRun {
+        real_s: f64,
+        timeline_s: f64,
+        rows: Vec<String>,
+        failovers: u64,
+        stalls: u64,
+        dupes: u64,
+        blocked: u64,
+    }
+    let run_wall = |mk: &dyn Fn(Arc<dyn Clock>) -> Vec<Box<dyn Source>>| -> WallRun {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
+        let mut sources = mk(clock.clone());
+        let start = Instant::now();
+        let out = run_static_with_driver(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            SimDriver::new(cfg.batch_size, CpuCostModel::Measured).with_clock(clock),
+            None,
+        )
+        .expect("wall mirror run");
+        let real_s = start.elapsed().as_secs_f64();
+        let (mut failovers, mut stalls, mut dupes, mut blocked) = (0u64, 0u64, 0u64, 0u64);
+        for r in sources.iter().filter_map(|s| fed_report_of(s.as_ref())) {
+            failovers += r.failovers;
+            stalls += r.candidates.iter().map(|c| c.stalls).sum::<u64>();
+            dupes += r.candidates.iter().map(|c| c.duplicates).sum::<u64>();
+            blocked += r.candidates.iter().map(|c| c.blocked_sends).sum::<u64>();
+        }
+        WallRun {
+            real_s,
+            timeline_s: out.exec.virtual_us as f64 / 1e6,
+            rows: canonicalize_approx(&out.rows),
+            failovers,
+            stalls,
+            dupes,
+            blocked,
+        }
+    };
+
+    eprintln!("[mirrors-wall] static flaky pin");
+    let flaky = run_wall(&|clock| {
+        // Pinned mirrors have no producer threads; only the driver waits
+        // on the clock.
+        let _ = clock;
+        pinned_mirror_sources(&uniform, &q, cfg, MirrorKind::FastFlaky)
+    });
+    eprintln!("[mirrors-wall] static steady pin");
+    let steady = run_wall(&|clock| {
+        let _ = clock;
+        pinned_mirror_sources(&uniform, &q, cfg, MirrorKind::SteadySlow)
+    });
+    eprintln!("[mirrors-wall] threaded federated [flaky,steady]");
+    let fed = run_wall(&|clock| {
+        concurrent_mirror_sources(
+            &uniform,
+            &q,
+            cfg,
+            &[MirrorKind::FastFlaky, MirrorKind::SteadySlow],
+            clock,
+        )
+    });
+    eprintln!("[mirrors-wall] threaded federated [steady,flaky]");
+    let fed_rev = run_wall(&|clock| {
+        concurrent_mirror_sources(
+            &uniform,
+            &q,
+            cfg,
+            &[MirrorKind::SteadySlow, MirrorKind::FastFlaky],
+            clock,
+        )
+    });
+
+    // Render the diagnostic table *before* asserting, so a failed run
+    // (e.g. a timing flake on a loaded machine) still shows its data.
+    let mut t = TextTable::new(&[
+        "strategy",
+        "real-s",
+        "timeline-s",
+        "rows",
+        "failovers",
+        "stalls",
+        "deduped",
+        "blocked",
+    ]);
+    for (name, r) in [
+        ("static flaky mirror (wall)", &flaky),
+        ("static steady mirror (wall)", &steady),
+        ("threaded federated [flaky,steady]", &fed),
+        ("threaded federated [steady,flaky]", &fed_rev),
+    ] {
+        t.row(vec![
+            name.into(),
+            secs(r.real_s),
+            secs(r.timeline_s),
+            count(r.rows.len()),
+            r.failovers.to_string(),
+            r.stalls.to_string(),
+            r.dupes.to_string(),
+            r.blocked.to_string(),
+        ]);
+    }
+    let rendered = t.render();
+
+    // Dual-clock equivalence: whatever the race's interleaving, the
+    // deduped answer is byte-identical to the deterministic virtual run.
+    assert_eq!(
+        flaky.rows, virtual_answer,
+        "static flaky wall answer diverged\n{rendered}"
+    );
+    assert_eq!(
+        steady.rows, virtual_answer,
+        "static steady wall answer diverged\n{rendered}"
+    );
+    assert_eq!(
+        fed.rows, virtual_answer,
+        "threaded answer diverged from virtual\n{rendered}"
+    );
+    assert_eq!(
+        fed_rev.rows, virtual_answer,
+        "permutation changed the answer\n{rendered}"
+    );
+    let worst = flaky.real_s.max(steady.real_s);
+    assert!(
+        fed.real_s < worst && fed_rev.real_s < worst,
+        "threaded hedging ({:.3}s / {:.3}s real) must beat the worst static pin \
+         ({worst:.3}s real)\n{rendered}",
+        fed.real_s,
+        fed_rev.real_s,
+    );
+
+    format!(
+        "{rendered}\nthreaded hedging vs worst static pin: {:.2}× faster in real time \
+         (×{ACCEL:.0} accelerated playback; answers byte-identical to the virtual-clock run)\n",
+        worst / fed.real_s.max(1e-9)
     )
 }
 

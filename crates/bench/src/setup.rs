@@ -1,11 +1,13 @@
 //! Experiment configuration, datasets, sources, and workload wiring.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
 use tukwila_federation::{FederatedCatalog, FederationConfig};
 use tukwila_optimizer::LogicalQuery;
 use tukwila_source::{DelayModel, DelayedSource, MemSource, Source};
+use tukwila_stats::Clock;
 
 /// Global experiment knobs (CLI-settable).
 #[derive(Debug, Clone, Copy)]
@@ -234,6 +236,29 @@ pub fn federated_mirror_sources(
         }
     }
     catalog.into_sources().expect("valid catalog")
+}
+
+/// [`federated_mirror_sources`], but racing the mirrors on real producer
+/// threads against the shared wall `clock` (the same instance the driver
+/// of the run must use).
+pub fn concurrent_mirror_sources(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    order: &[MirrorKind],
+    clock: Arc<dyn Clock>,
+) -> Vec<Box<dyn Source>> {
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    for t in queries::tables_of(q) {
+        for &kind in order {
+            catalog
+                .register(t.key_cols(), mirror(d, t, kind, cfg))
+                .expect("uniform mirrors");
+        }
+    }
+    catalog
+        .into_concurrent_sources(clock)
+        .expect("valid catalog")
 }
 
 /// True per-relation cardinalities ("Given cardinalities" mode).

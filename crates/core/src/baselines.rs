@@ -46,6 +46,19 @@ pub fn run_static_from(
     cpu: CpuCostModel,
     order: Option<&[u32]>,
 ) -> Result<StaticRun> {
+    run_static_with_driver(q, sources, ctx, SimDriver::new(batch_size, cpu), order)
+}
+
+/// [`run_static_from`] with a caller-built driver — the hook for
+/// wall-clock runs (`SimDriver::with_clock`), where the driver must share
+/// its clock with the sources racing against it.
+pub fn run_static_with_driver(
+    q: &LogicalQuery,
+    sources: &mut [Box<dyn Source>],
+    ctx: OptimizerContext,
+    driver: SimDriver,
+    order: Option<&[u32]>,
+) -> Result<StaticRun> {
     let opt = Optimizer::new(ctx);
     let plan = match order {
         Some(o) => opt.plan_with_order(q, o)?,
@@ -54,7 +67,6 @@ pub fn run_static_from(
     let desc = plan.describe();
     let lowered = lower_plan(&plan, None, true)?;
     let mut pipeline = lowered.pipeline;
-    let driver = SimDriver::new(batch_size, cpu);
     let (rows, exec) = driver.run(&mut pipeline, sources)?;
     Ok(StaticRun {
         rows,

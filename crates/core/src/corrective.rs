@@ -5,12 +5,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use tukwila_exec::{Batch, CpuCostModel, ExecReport};
+use tukwila_exec::driver::charged_cost;
+use tukwila_exec::{Batch, CpuCostModel, ExecReport, Timeline};
 use tukwila_optimizer::{LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig};
 use tukwila_relation::{Result, Tuple};
 use tukwila_source::{Poll, Source};
 use tukwila_stats::selectivity::SourceProgress;
-use tukwila_stats::SelectivityCatalog;
+use tukwila_stats::{Clock, SelectivityCatalog};
 use tukwila_storage::registry::ReuseStats;
 use tukwila_storage::StateRegistry;
 
@@ -49,6 +50,11 @@ pub struct CorrectiveConfig {
     /// Stitch-up reuses registered intermediates (§3.4.2). `false` only in
     /// the reuse ablation.
     pub stitch_reuse: bool,
+    /// `Some` drives the execution off this shared clock instead of the
+    /// virtual accumulator — the wall-clock mode of the dual-clock
+    /// design. Every source of the run (notably threaded federated
+    /// sources) must share the same instance; idling really waits on it.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for CorrectiveConfig {
@@ -65,6 +71,7 @@ impl Default for CorrectiveConfig {
             initial_order: None,
             min_remaining_fraction: 0.3,
             stitch_reuse: true,
+            clock: None,
         }
     }
 }
@@ -170,12 +177,14 @@ impl CorrectiveExec {
         let mut phase = 0usize;
 
         let mut answers: Batch = Vec::new();
-        let mut clock_us: f64 = 0.0;
-        let mut cpu_us: f64 = 0.0;
-        let mut idle_us: f64 = 0.0;
+        // The shared clock-mode accounting (virtual accumulator or wall
+        // clock) lives in exec::Timeline so this driver and SimDriver
+        // cannot drift apart on clock semantics.
+        let mut timeline = Timeline::new(cfg.clock.clone());
         let mut eof: Vec<bool> = vec![false; sources.len()];
 
         loop {
+            timeline.resync();
             let mut any_ready = false;
             let mut next_ready: Option<u64> = None;
             let mut all_done = true;
@@ -184,7 +193,7 @@ impl CorrectiveExec {
                     continue;
                 }
                 all_done = false;
-                match src.poll(clock_us as u64, cfg.batch_size) {
+                match src.poll(timeline.now_us(), cfg.batch_size) {
                     Poll::Ready(batch) => {
                         any_ready = true;
                         total_batches += 1;
@@ -192,11 +201,10 @@ impl CorrectiveExec {
                         let rel = src.rel_id();
                         *consumed_total.entry(rel).or_insert(0) += batch.len() as u64;
                         *consumed_phase.entry(rel).or_insert(0) += batch.len() as u64;
-                        let cost = charged(cfg.cpu, batch.len(), || {
+                        let cost = charged_cost(cfg.cpu, &timeline, batch.len(), || {
                             lowered.pipeline.push_source(rel, &batch, &mut answers)
                         })?;
-                        clock_us += cost;
-                        cpu_us += cost;
+                        timeline.charge(cost);
                     }
                     Poll::Pending { next_ready_us } => {
                         next_ready = Some(match next_ready {
@@ -215,11 +223,10 @@ impl CorrectiveExec {
                                 eof: true,
                             },
                         );
-                        let cost = charged(cfg.cpu, 0, || {
+                        let cost = charged_cost(cfg.cpu, &timeline, 0, || {
                             lowered.pipeline.finish_source(rel, &mut answers)
                         })?;
-                        clock_us += cost;
-                        cpu_us += cost;
+                        timeline.charge(cost);
                     }
                 }
             }
@@ -228,9 +235,7 @@ impl CorrectiveExec {
             }
             if !any_ready {
                 if let Some(n) = next_ready {
-                    let target = (n as f64).max(clock_us);
-                    idle_us += target - clock_us;
-                    clock_us = target;
+                    timeline.idle_toward(n);
                 }
                 continue;
             }
@@ -258,7 +263,7 @@ impl CorrectiveExec {
                 // charge its cost to the clock but not to query CPU.
                 let reopt_us = start.elapsed().as_secs_f64() * 1e6;
                 if matches!(cfg.cpu, CpuCostModel::Measured) {
-                    clock_us += reopt_us;
+                    timeline.charge_background(reopt_us);
                 }
                 if std::env::var_os("TUKWILA_DEBUG").is_some() {
                     eprintln!(
@@ -318,7 +323,7 @@ impl CorrectiveExec {
         });
 
         // Stitch-up phase.
-        let stitch_start_clock = clock_us;
+        let stitch_start_clock = timeline.clock_us();
         let mut stitch = StitchUpStats::default();
         if nphases > 1 {
             let stitcher = StitchUp::new(&self.q, &registry, nphases).with_reuse(cfg.stitch_reuse);
@@ -346,14 +351,17 @@ impl CorrectiveExec {
             };
             stitch = stitcher.run(&current_phys.root, &mut sink)?;
             let cost = match cfg.cpu {
-                CpuCostModel::Measured => wall.elapsed().as_secs_f64() * 1e6,
+                CpuCostModel::Measured => {
+                    timeline.measured_to_timeline(wall.elapsed().as_secs_f64() * 1e6)
+                }
                 CpuCostModel::PerTupleNs(ns) => stitch.join.probes as f64 * ns as f64 / 1000.0,
                 CpuCostModel::Zero => 0.0,
             };
-            clock_us += cost;
-            cpu_us += cost;
+            timeline.charge(cost);
+            // A shared clock advanced on its own while stitch-up blocked.
+            timeline.resync();
         }
-        let stitch_us = (clock_us - stitch_start_clock) as u64;
+        let stitch_us = (timeline.clock_us() - stitch_start_clock) as u64;
 
         // Finalize.
         let rows = match &shared {
@@ -369,9 +377,9 @@ impl CorrectiveExec {
         Ok(CorrectiveReport {
             phases,
             exec: ExecReport {
-                virtual_us: clock_us as u64,
-                cpu_us: cpu_us as u64,
-                idle_us: idle_us as u64,
+                virtual_us: timeline.clock_us() as u64,
+                cpu_us: timeline.cpu_us() as u64,
+                idle_us: timeline.idle_us() as u64,
                 tuples_out: rows.len() as u64,
                 batches: total_batches,
             },
@@ -455,24 +463,6 @@ impl CorrectiveExec {
     }
 }
 
-fn charged(cpu: CpuCostModel, tuples: usize, f: impl FnOnce() -> Result<()>) -> Result<f64> {
-    match cpu {
-        CpuCostModel::Measured => {
-            let start = Instant::now();
-            f()?;
-            Ok(start.elapsed().as_secs_f64() * 1e6)
-        }
-        CpuCostModel::PerTupleNs(ns) => {
-            f()?;
-            Ok(tuples as f64 * ns as f64 / 1000.0)
-        }
-        CpuCostModel::Zero => {
-            f()?;
-            Ok(0.0)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +513,7 @@ mod tests {
             initial_order: None,
             min_remaining_fraction: 0.0,
             stitch_reuse: true,
+            clock: None,
         }
     }
 

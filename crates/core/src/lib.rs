@@ -36,7 +36,7 @@ pub mod stitchup;
 
 pub use baselines::{
     race_plans, run_plan_partitioning, run_plan_partitioning_from, run_static, run_static_from,
-    StaticRun,
+    run_static_with_driver, StaticRun,
 };
 pub use complementary::{ComplementaryJoinPair, ComplementaryStats, RouterKind};
 pub use corrective::{CorrectiveConfig, CorrectiveExec, CorrectiveReport, PhaseInfo};

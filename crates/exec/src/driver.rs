@@ -1,11 +1,25 @@
-//! Single-plan execution against simulated sources under the virtual
-//! clock. (The adaptive, multi-phase driver lives in `tukwila-core`; this
-//! one runs the static baselines and the inner loop of tests.)
+//! Single-plan execution against sources. (The adaptive, multi-phase
+//! driver lives in `tukwila-core`; this one runs the static baselines and
+//! the inner loop of tests.)
+//!
+//! The driver runs in one of two clock modes:
+//!
+//! * **Virtual** (default): the clock is a local accumulator — CPU costs
+//!   and source delays advance it, waiting is free, runs are
+//!   deterministic. This is the seed behavior, unchanged.
+//! * **Wall** ([`SimDriver::with_clock`] with a
+//!   [`tukwila_stats::WallClock`]): the clock reads real elapsed time
+//!   (optionally accelerated), so "idle until the next arrival" really
+//!   sleeps, and sources backed by concurrent producer threads (the
+//!   threaded federation layer) race in real time while this driver
+//!   consumes.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tukwila_relation::Result;
 use tukwila_source::{Poll, Source};
+use tukwila_stats::Clock;
 
 use crate::metrics::ExecReport;
 use crate::op::Batch;
@@ -22,10 +36,114 @@ pub enum CpuCostModel {
     Zero,
 }
 
+/// Clock-mode accounting shared by the batch drivers (`SimDriver` here,
+/// `CorrectiveExec` in `tukwila-core`): one timeline, driven either by a
+/// virtual accumulator (CPU costs and source delays advance it, waiting
+/// is free) or by a shared [`Clock`] (real time is authoritative, idling
+/// really waits). Keeping this logic in one place is what guarantees the
+/// two drivers agree on wall-clock semantics — the dual-clock
+/// equivalence tests depend on that.
+pub struct Timeline {
+    clock: Option<Arc<dyn Clock>>,
+    clock_us: f64,
+    cpu_us: f64,
+    idle_us: f64,
+}
+
+impl Timeline {
+    pub fn new(clock: Option<Arc<dyn Clock>>) -> Timeline {
+        Timeline {
+            clock,
+            clock_us: 0.0,
+            cpu_us: 0.0,
+            idle_us: 0.0,
+        }
+    }
+
+    /// Re-read a shared clock (it advances on its own); no-op for the
+    /// virtual accumulator. Call at the top of every poll sweep and after
+    /// any untracked blocking section.
+    pub fn resync(&mut self) {
+        if let Some(clock) = &self.clock {
+            self.clock_us = self
+                .clock_us
+                .max(clock.observe(self.clock_us as u64) as f64);
+        }
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.clock_us as u64
+    }
+
+    /// Charge a CPU cost (timeline µs): advances the virtual clock; a
+    /// shared clock already advanced on its own while the work ran, so
+    /// adding it again would double-count.
+    pub fn charge(&mut self, cost_us: f64) {
+        if self.clock.is_none() {
+            self.clock_us += cost_us;
+        }
+        self.cpu_us += cost_us;
+    }
+
+    /// Charge clock time without CPU time (work modeled as happening off
+    /// the query thread, e.g. background re-optimization).
+    pub fn charge_background(&mut self, cost_us: f64) {
+        if self.clock.is_none() {
+            self.clock_us += cost_us;
+        }
+    }
+
+    /// Wait toward `target_us`, accounting the advance as idle: the
+    /// virtual accumulator jumps; a shared clock really waits one bounded
+    /// chunk (callers loop — re-poll until the deadline passes or data
+    /// shows up earlier).
+    pub fn idle_toward(&mut self, target_us: u64) {
+        match &self.clock {
+            Some(clock) => {
+                let before = self.clock_us;
+                self.clock_us = self.clock_us.max(clock.sleep_toward(target_us) as f64);
+                self.idle_us += self.clock_us - before;
+            }
+            None => {
+                let target = (target_us as f64).max(self.clock_us);
+                self.idle_us += target - self.clock_us;
+                self.clock_us = target;
+            }
+        }
+    }
+
+    /// Convert a *measured real* duration (µs) into timeline µs, so
+    /// `CpuCostModel::Measured` costs land in the same unit as the
+    /// timeline (accelerated wall clocks span `scale` timeline µs per
+    /// real µs).
+    pub fn measured_to_timeline(&self, real_us: f64) -> f64 {
+        match &self.clock {
+            Some(clock) => clock.scale_to_timeline(real_us),
+            None => real_us,
+        }
+    }
+
+    pub fn clock_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    pub fn cpu_us(&self) -> f64 {
+        self.cpu_us
+    }
+
+    pub fn idle_us(&self) -> f64 {
+        self.idle_us
+    }
+}
+
 /// Round-robin batch driver.
 pub struct SimDriver {
     pub batch_size: usize,
     pub cpu: CpuCostModel,
+    /// `Some` switches the driver from the virtual accumulator to this
+    /// shared clock: `now` is read from it each sweep and idling really
+    /// waits on it. All sources of the run must share the same instance.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for SimDriver {
@@ -33,13 +151,25 @@ impl Default for SimDriver {
         SimDriver {
             batch_size: 1024,
             cpu: CpuCostModel::Measured,
+            clock: None,
         }
     }
 }
 
 impl SimDriver {
     pub fn new(batch_size: usize, cpu: CpuCostModel) -> SimDriver {
-        SimDriver { batch_size, cpu }
+        SimDriver {
+            batch_size,
+            cpu,
+            clock: None,
+        }
+    }
+
+    /// Drive the run off `clock` (wall-clock mode when it is a
+    /// [`tukwila_stats::WallClock`]) instead of the virtual accumulator.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> SimDriver {
+        self.clock = Some(clock);
+        self
     }
 
     /// Run `plan` to completion over `sources`, returning root output and a
@@ -55,12 +185,11 @@ impl SimDriver {
     ) -> Result<(Batch, ExecReport)> {
         let mut out = Batch::new();
         let mut report = ExecReport::default();
-        let mut clock_us: f64 = 0.0;
-        let mut cpu_us: f64 = 0.0;
-        let mut idle_us: f64 = 0.0;
+        let mut timeline = Timeline::new(self.clock.clone());
         let mut finished = vec![false; sources.len()];
 
         loop {
+            timeline.resync();
             let mut any_ready = false;
             let mut next_ready: Option<u64> = None;
             let mut all_done = true;
@@ -69,15 +198,14 @@ impl SimDriver {
                     continue;
                 }
                 all_done = false;
-                match src.poll(clock_us as u64, self.batch_size) {
+                match src.poll(timeline.now_us(), self.batch_size) {
                     Poll::Ready(batch) => {
                         any_ready = true;
                         report.batches += 1;
-                        let cost = self.charged_cost(batch.len(), || {
+                        let cost = charged_cost(self.cpu, &timeline, batch.len(), || {
                             plan.push_source(src.rel_id(), &batch, &mut out)
                         })?;
-                        clock_us += cost;
-                        cpu_us += cost;
+                        timeline.charge(cost);
                     }
                     Poll::Pending { next_ready_us } => {
                         next_ready = Some(match next_ready {
@@ -87,10 +215,10 @@ impl SimDriver {
                     }
                     Poll::Eof => {
                         finished[i] = true;
-                        let cost =
-                            self.charged_cost(0, || plan.finish_source(src.rel_id(), &mut out))?;
-                        clock_us += cost;
-                        cpu_us += cost;
+                        let cost = charged_cost(self.cpu, &timeline, 0, || {
+                            plan.finish_source(src.rel_id(), &mut out)
+                        })?;
+                        timeline.charge(cost);
                     }
                 }
             }
@@ -99,36 +227,40 @@ impl SimDriver {
             }
             if !any_ready {
                 if let Some(n) = next_ready {
-                    let target = (n as f64).max(clock_us);
-                    idle_us += target - clock_us;
-                    clock_us = target;
+                    timeline.idle_toward(n);
                 }
             }
         }
 
-        report.virtual_us = clock_us as u64;
-        report.cpu_us = cpu_us as u64;
-        report.idle_us = idle_us as u64;
+        report.virtual_us = timeline.clock_us() as u64;
+        report.cpu_us = timeline.cpu_us() as u64;
+        report.idle_us = timeline.idle_us() as u64;
         report.tuples_out = out.len() as u64;
         Ok((out, report))
     }
+}
 
-    /// Run `f`, returning the virtual-time cost (µs) to charge for it.
-    fn charged_cost(&self, tuples: usize, f: impl FnOnce() -> Result<()>) -> Result<f64> {
-        match self.cpu {
-            CpuCostModel::Measured => {
-                let start = Instant::now();
-                f()?;
-                Ok(start.elapsed().as_secs_f64() * 1e6)
-            }
-            CpuCostModel::PerTupleNs(ns) => {
-                f()?;
-                Ok(tuples as f64 * ns as f64 / 1000.0)
-            }
-            CpuCostModel::Zero => {
-                f()?;
-                Ok(0.0)
-            }
+/// Run `f`, returning the timeline cost (µs) to charge for it.
+pub fn charged_cost(
+    cpu: CpuCostModel,
+    timeline: &Timeline,
+    tuples: usize,
+    f: impl FnOnce() -> Result<()>,
+) -> Result<f64> {
+    match cpu {
+        CpuCostModel::Measured => {
+            let start = Instant::now();
+            f()?;
+            let real_us = start.elapsed().as_secs_f64() * 1e6;
+            Ok(timeline.measured_to_timeline(real_us))
+        }
+        CpuCostModel::PerTupleNs(ns) => {
+            f()?;
+            Ok(tuples as f64 * ns as f64 / 1000.0)
+        }
+        CpuCostModel::Zero => {
+            f()?;
+            Ok(0.0)
         }
     }
 }
@@ -188,6 +320,41 @@ mod tests {
         assert_eq!(out.len(), 100);
         assert!(report.virtual_us >= 1000);
         assert!(report.idle_us > 0);
+    }
+
+    #[test]
+    fn wall_clock_driver_really_waits_and_matches_virtual_answer() {
+        use tukwila_stats::WallClock;
+        let model = DelayModel::Bandwidth {
+            bytes_per_sec: 2e6,
+            initial_latency_us: 20_000, // 20 timeline ms up front
+        };
+        let mk = || -> Vec<Box<dyn Source>> {
+            vec![
+                Box::new(DelayedSource::new(1, "l", schema("l"), tuples(100), &model)),
+                Box::new(DelayedSource::new(2, "r", schema("r"), tuples(100), &model)),
+            ]
+        };
+        let mut plan_v = join_plan();
+        let (out_v, _) = SimDriver::new(16, CpuCostModel::Zero)
+            .run(&mut plan_v, &mut mk())
+            .unwrap();
+
+        // 100× acceleration: the 20ms initial latency costs ~200µs real.
+        let clock = std::sync::Arc::new(WallClock::accelerated(100.0));
+        let start = Instant::now();
+        let mut plan_w = join_plan();
+        let (out_w, report) = SimDriver::new(16, CpuCostModel::Measured)
+            .with_clock(clock)
+            .run(&mut plan_w, &mut mk())
+            .unwrap();
+        assert!(
+            start.elapsed().as_micros() >= 150,
+            "the initial latency must cost real time"
+        );
+        assert_eq!(out_w.len(), out_v.len(), "same join result in both modes");
+        assert!(report.virtual_us >= 20_000, "timeline covers the latency");
+        assert!(report.idle_us > 0, "waiting was accounted as idle");
     }
 
     #[test]

@@ -21,8 +21,11 @@
 //! * [`split::Split`] / [`split::combine`] / [`split::Router`] and the
 //!   cross-thread [`queue::queue_pair`] — the special operators for
 //!   sharing data between subplans.
-//! * [`driver::SimDriver`] — single-plan execution against simulated
-//!   sources under the virtual clock.
+//! * [`driver::SimDriver`] — single-plan execution against sources, under
+//!   either clock of the dual-clock design: the simulated
+//!   [`tukwila_stats::VirtualClock`] (deterministic, idle time is free) or
+//!   a real [`tukwila_stats::WallClock`] (idle time really sleeps, sources
+//!   may be fed by concurrent producer threads).
 //! * [`reference::RefQuery`] — a naive full-materialization executor used
 //!   as a correctness oracle by the test suite.
 
@@ -38,7 +41,8 @@ pub mod queue;
 pub mod reference;
 pub mod split;
 
-pub use driver::{CpuCostModel, SimDriver};
+pub use driver::{CpuCostModel, SimDriver, Timeline};
 pub use metrics::ExecReport;
 pub use op::{Batch, ExtractedState, IncOp};
 pub use plan::{PipelinePlan, PlanBuilder};
+pub use queue::{queue_pair, QueueReader, QueueWriter, TryRecv};

@@ -9,9 +9,10 @@
 //! whose producer end is an [`IncOp`] (so a pipeline can *end* in a queue)
 //! and whose consumer end feeds another pipeline (or is drained manually).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, SendError, Sender};
+use crossbeam::channel::{bounded, Receiver, SendError, Sender, TryRecvError, TrySendError};
 use tukwila_relation::{Error, Result, Schema, Tuple};
 use tukwila_stats::OpCounters;
 
@@ -22,12 +23,30 @@ pub struct QueueWriter {
     schema: Schema,
     tx: Option<Sender<Batch>>,
     counters: Arc<OpCounters>,
+    /// Sends that found the queue full and had to block (backpressure).
+    blocked: Arc<AtomicU64>,
 }
 
 /// Consumer half: iterate received batches on another thread.
 pub struct QueueReader {
     schema: Schema,
     rx: Receiver<Batch>,
+}
+
+/// Outcome of a non-blocking receive. `Empty` and `Closed` are distinct on
+/// purpose: a consumer multiplexing several producer queues (the threaded
+/// federation consumer) must be able to tell "no data *yet*" from "this
+/// producer is done", or it either spins forever on a finished queue or —
+/// worse — declares EOF while the final batches are still buffered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TryRecv {
+    /// A batch was waiting.
+    Batch(Batch),
+    /// Nothing buffered, but the producer is still alive.
+    Empty,
+    /// The producer finished (or dropped its writer) and every buffered
+    /// batch has been drained. Nothing more will ever arrive.
+    Closed,
 }
 
 /// Create a connected queue pair with the given batch capacity.
@@ -38,9 +57,56 @@ pub fn queue_pair(schema: Schema, capacity: usize) -> (QueueWriter, QueueReader)
             schema: schema.clone(),
             tx: Some(tx),
             counters: OpCounters::new(),
+            blocked: Arc::new(AtomicU64::new(0)),
         },
         QueueReader { schema, rx },
     )
+}
+
+impl QueueWriter {
+    /// Send an owned batch without the slice copy [`IncOp::push`] incurs.
+    /// Blocks while the queue is at capacity (counting the event as
+    /// backpressure); errors once the consumer hung up.
+    pub fn send(&mut self, batch: Batch) -> Result<()> {
+        let n = batch.len() as u64;
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| Error::Exec("queue already closed".into()))?;
+        let blocked_send = match tx.try_send(batch) {
+            Ok(()) => {
+                self.counters.add_in(n);
+                self.counters.add_out(n);
+                return Ok(());
+            }
+            Err(TrySendError::Full(b)) => {
+                self.blocked.fetch_add(1, Ordering::Relaxed);
+                tx.send(b)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(Error::Exec("queue consumer hung up".into()));
+            }
+        };
+        match blocked_send {
+            Ok(()) => {
+                self.counters.add_in(n);
+                self.counters.add_out(n);
+                Ok(())
+            }
+            Err(SendError(_)) => Err(Error::Exec("queue consumer hung up".into())),
+        }
+    }
+
+    /// Handle to the backpressure counter, readable after the writer has
+    /// moved into its producer thread.
+    pub fn blocked_handle(&self) -> Arc<AtomicU64> {
+        self.blocked.clone()
+    }
+
+    /// Sends (so far) that had to block on a full queue.
+    pub fn blocked_sends(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
 }
 
 impl IncOp for QueueWriter {
@@ -84,17 +150,39 @@ impl QueueReader {
         &self.schema
     }
 
-    /// Receive the next batch; `None` once the producer finished.
+    /// Receive the next batch; `None` once the producer finished *and*
+    /// every buffered batch has been drained. Batches buffered when the
+    /// writer dropped are still delivered — a writer drop never loses
+    /// in-flight data.
     pub fn recv(&self) -> Option<Batch> {
         self.rx.recv().ok()
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive with explicit EOF: see [`TryRecv`]. This is
+    /// the call multiplexing consumers must use — the historical
+    /// [`QueueReader::try_recv`] collapsed `Empty` and `Closed` into
+    /// `None`, which disagreed with [`QueueReader::recv`] after a writer
+    /// drop (recv still surfaced the buffered final batches; a
+    /// `try_recv`-driven loop treating `None` as EOF walked away from
+    /// them).
+    pub fn try_recv_status(&self) -> TryRecv {
+        match self.rx.try_recv() {
+            Ok(b) => TryRecv::Batch(b),
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    /// Non-blocking receive, conflating "empty" with "closed". Only safe
+    /// when the caller never uses `None` as an EOF signal; prefer
+    /// [`QueueReader::try_recv_status`].
     pub fn try_recv(&self) -> Option<Batch> {
         self.rx.try_recv().ok()
     }
 
-    /// Drain everything remaining (blocks until producer EOF).
+    /// Drain everything remaining (blocks until producer EOF). Built on
+    /// [`QueueReader::recv`], so batches that were still buffered when the
+    /// writer dropped are included.
     pub fn drain(&self) -> Vec<Tuple> {
         let mut out = Vec::new();
         while let Some(b) = self.recv() {
@@ -157,6 +245,65 @@ mod tests {
         writer.push(0, &[t(2)], &mut sink).unwrap();
         assert_eq!(reader.try_recv().unwrap().len(), 1);
         assert!(reader.try_recv().is_none());
+    }
+
+    #[test]
+    fn try_recv_status_distinguishes_empty_from_closed() {
+        let (mut writer, reader) = queue_pair(schema(), 2);
+        assert_eq!(reader.try_recv_status(), TryRecv::Empty);
+        writer.send(vec![t(1)]).unwrap();
+        assert_eq!(reader.try_recv_status(), TryRecv::Batch(vec![t(1)]));
+        assert_eq!(reader.try_recv_status(), TryRecv::Empty, "alive, no data");
+        writer.finish(&mut Batch::new()).unwrap();
+        assert_eq!(reader.try_recv_status(), TryRecv::Closed);
+        assert_eq!(reader.try_recv_status(), TryRecv::Closed, "closed latches");
+    }
+
+    #[test]
+    fn writer_drop_mid_stream_loses_nothing() {
+        // The writer enqueues two batches and is dropped without finish()
+        // (a producer thread dying mid-batch). The buffered batches must
+        // still come out, *then* the queue reads Closed — recv and
+        // try_recv_status agree.
+        let (mut writer, reader) = queue_pair(schema(), 4);
+        writer.send(vec![t(1), t(2)]).unwrap();
+        writer.send(vec![t(3)]).unwrap();
+        drop(writer);
+        assert_eq!(reader.try_recv_status(), TryRecv::Batch(vec![t(1), t(2)]));
+        assert_eq!(reader.recv().unwrap(), vec![t(3)]);
+        assert_eq!(reader.try_recv_status(), TryRecv::Closed);
+        assert!(reader.recv().is_none());
+    }
+
+    #[test]
+    fn send_counts_backpressure() {
+        let (mut writer, reader) = queue_pair(schema(), 1);
+        let blocked = writer.blocked_handle();
+        writer.send(vec![t(1)]).unwrap();
+        assert_eq!(writer.blocked_sends(), 0);
+        // The queue is now full, so this producer's next send must take
+        // the blocked path; the consumer only starts draining once the
+        // backpressure event has been recorded, keeping the test
+        // deterministic.
+        let producer = std::thread::spawn(move || {
+            writer.send(vec![t(2)]).unwrap();
+            writer.finish(&mut Batch::new()).unwrap();
+            writer
+        });
+        while blocked.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(reader.drain().len(), 2);
+        let writer = producer.join().unwrap();
+        assert_eq!(writer.blocked_sends(), 1);
+        assert_eq!(writer.counters().tuples_out(), 2);
+    }
+
+    #[test]
+    fn send_after_consumer_hangup_errors() {
+        let (mut writer, reader) = queue_pair(schema(), 1);
+        drop(reader);
+        assert!(writer.send(vec![t(1)]).is_err());
     }
 
     /// A producer pipeline on one thread feeding a consumer join on

@@ -3,9 +3,11 @@
 //! the [`FederatedSource`] adapters the engine runs over.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use tukwila_relation::{Error, Result};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
+use tukwila_stats::Clock;
 
 use crate::federated::FederatedSource;
 
@@ -30,6 +32,17 @@ pub struct FederationConfig {
     /// stall lasts; the demoted candidate is still drained when everything
     /// ranked ahead of it is pending (demotion, not abandonment).
     pub hedge: bool,
+    /// Threaded mode only: bounded depth (in batches) of each candidate's
+    /// delivery queue. A full queue blocks that candidate's producer
+    /// thread (backpressure) until the consumer catches up.
+    pub queue_capacity: usize,
+    /// Threaded mode only: how many tuples a producer thread pulls from
+    /// its candidate per poll.
+    pub producer_batch: usize,
+    /// Threaded mode only: how far ahead (timeline µs) the consumer
+    /// schedules its next look when every queue is empty and no stall
+    /// deadline is nearer. Smaller reacts faster, wakes more.
+    pub poll_tick_us: u64,
 }
 
 impl Default for FederationConfig {
@@ -39,6 +52,9 @@ impl Default for FederationConfig {
             min_stall_us: 20_000,
             prior_rate_tuples_per_sec: 0.0,
             hedge: true,
+            queue_capacity: 8,
+            producer_batch: 256,
+            poll_tick_us: 500,
         }
     }
 }
@@ -107,6 +123,27 @@ impl FederatedCatalog {
             .map(|entry| {
                 FederatedSource::new(entry.key_cols, entry.candidates, config.clone())
                     .map(|f| Box::new(f) as Box<dyn Source>)
+            })
+            .collect()
+    }
+
+    /// Consume the catalog, producing one
+    /// [`ConcurrentFederatedSource`](crate::concurrent::ConcurrentFederatedSource)
+    /// per registered relation: every candidate runs on its own producer
+    /// thread, racing for real against `clock` (normally an accelerated
+    /// [`tukwila_stats::WallClock`] shared with the driver).
+    pub fn into_concurrent_sources(self, clock: Arc<dyn Clock>) -> Result<Vec<Box<dyn Source>>> {
+        let config = self.config;
+        self.relations
+            .into_values()
+            .map(|entry| {
+                crate::concurrent::ConcurrentFederatedSource::new(
+                    entry.key_cols,
+                    entry.candidates,
+                    config.clone(),
+                    clock.clone(),
+                )
+                .map(|f| Box::new(f) as Box<dyn Source>)
             })
             .collect()
     }

@@ -19,14 +19,105 @@
 //! complete; the key-dedupe makes any *overlap* harmless.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tukwila_relation::value::{group_key, GroupKey};
 use tukwila_relation::{Error, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
+use tukwila_stats::clock::{Clock, VirtualClock};
 use tukwila_stats::RateEstimator;
 
 use crate::catalog::FederationConfig;
 use crate::scheduler::PermutationScheduler;
+
+/// The key-based dedupe shared by the sequential [`FederatedSource`] and
+/// the threaded [`crate::concurrent::ConcurrentFederatedSource`]: drop
+/// keys another replica already delivered, and catch misdeclared keys by
+/// provenance (a candidate re-delivering its *own* key proves the
+/// declared key columns are not unique).
+pub(crate) struct KeyDedup {
+    rel_id: u32,
+    key_cols: Vec<usize>,
+    /// Keys delivered to the engine, with the candidate that delivered
+    /// each first.
+    seen: HashMap<GroupKey, usize>,
+}
+
+impl KeyDedup {
+    pub(crate) fn new(rel_id: u32, key_cols: Vec<usize>) -> KeyDedup {
+        KeyDedup {
+            rel_id,
+            key_cols,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Filter `batch` down to tuples whose key has not been delivered yet.
+    ///
+    /// Panics if `candidate` (identified by `name` in the diagnostic)
+    /// re-delivers a key it delivered itself: each candidate reads its own
+    /// data sequentially exactly once, so that can only mean the declared
+    /// key columns are not a real key, and silently dropping the tuple
+    /// would corrupt the union.
+    pub(crate) fn filter(&mut self, candidate: usize, name: &str, batch: Vec<Tuple>) -> Vec<Tuple> {
+        let mut fresh = Vec::with_capacity(batch.len());
+        for t in batch {
+            match self.seen.entry(group_key(t.values(), &self.key_cols)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(candidate);
+                    fresh.push(t);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_ne!(
+                        *e.get(),
+                        candidate,
+                        "relation {}: candidate '{name}' delivered key columns {:?} twice — \
+                         the declared key is not unique, so deduping would drop real tuples",
+                        self.rel_id,
+                        self.key_cols,
+                    );
+                }
+            }
+        }
+        fresh
+    }
+}
+
+/// Validate a candidate set for one relation: at least one candidate, a
+/// shared `rel_id` and schema, key columns within arity. Returns the
+/// shared `(rel_id, schema)`.
+pub(crate) fn validate_candidates(
+    key_cols: &[usize],
+    candidates: &[Box<dyn Source>],
+) -> Result<(u32, Schema)> {
+    let first = candidates
+        .first()
+        .ok_or_else(|| Error::Plan("federated source needs at least one candidate".into()))?;
+    let rel_id = first.rel_id();
+    let schema = first.schema().clone();
+    if key_cols.is_empty() || key_cols.iter().any(|&c| c >= schema.arity()) {
+        return Err(Error::Plan(format!(
+            "relation {rel_id}: key columns {key_cols:?} invalid for arity {}",
+            schema.arity()
+        )));
+    }
+    for c in candidates {
+        if c.rel_id() != rel_id {
+            return Err(Error::Plan(format!(
+                "candidate '{}' serves relation {}, expected {rel_id}",
+                c.name(),
+                c.rel_id()
+            )));
+        }
+        if c.schema() != &schema {
+            return Err(Error::Plan(format!(
+                "candidate '{}' schema disagrees within relation {rel_id}",
+                c.name()
+            )));
+        }
+    }
+    Ok((rel_id, schema))
+}
 
 /// Post-run statistics for one candidate.
 #[derive(Debug, Clone)]
@@ -40,6 +131,10 @@ pub struct CandidateReport {
     pub activated: bool,
     pub eof: bool,
     pub rate_tuples_per_sec: Option<f64>,
+    /// Threaded mode only: times this candidate's producer found its
+    /// delivery queue full and had to block (backpressure). Always 0 in
+    /// sequential mode, which has no queues.
+    pub blocked_sends: u64,
 }
 
 /// Post-run statistics for a whole federated relation.
@@ -61,13 +156,17 @@ pub struct FederatedSource {
     rel_id: u32,
     name: String,
     schema: Schema,
-    key_cols: Vec<usize>,
     candidates: Vec<Box<dyn Source>>,
     scheduler: PermutationScheduler,
-    /// Keys already delivered to the engine, with the candidate that
-    /// delivered each first (the dedupe set; the provenance catches
-    /// misdeclared keys — see [`FederatedSource::new`]).
-    seen: HashMap<GroupKey, usize>,
+    /// The dedupe set (with misdeclared-key provenance check), shared
+    /// logic with the threaded adapter.
+    dedup: KeyDedup,
+    /// The timeline all scheduling decisions are stamped against. Under
+    /// the default [`VirtualClock`] the driver's `poll(now_us, ..)`
+    /// argument advances it, reproducing the seed behavior exactly; under
+    /// a wall clock real time is authoritative and the poll argument is
+    /// ignored.
+    clock: Arc<dyn Clock>,
     /// What the engine observes: distinct tuples and their arrival rate.
     fed_rate: RateEstimator,
     delivered: u64,
@@ -91,42 +190,31 @@ impl FederatedSource {
         candidates: Vec<Box<dyn Source>>,
         config: FederationConfig,
     ) -> Result<FederatedSource> {
-        let first = candidates
-            .first()
-            .ok_or_else(|| Error::Plan("federated source needs at least one candidate".into()))?;
-        let rel_id = first.rel_id();
-        let schema = first.schema().clone();
-        if key_cols.is_empty() || key_cols.iter().any(|&c| c >= schema.arity()) {
-            return Err(Error::Plan(format!(
-                "relation {rel_id}: key columns {key_cols:?} invalid for arity {}",
-                schema.arity()
-            )));
-        }
-        for c in &candidates {
-            if c.rel_id() != rel_id {
-                return Err(Error::Plan(format!(
-                    "candidate '{}' serves relation {}, expected {rel_id}",
-                    c.name(),
-                    c.rel_id()
-                )));
-            }
-            if c.schema() != &schema {
-                return Err(Error::Plan(format!(
-                    "candidate '{}' schema disagrees within relation {rel_id}",
-                    c.name()
-                )));
-            }
-        }
-        let name = format!("fed({}×{})", first.name(), candidates.len());
+        FederatedSource::with_clock(key_cols, candidates, config, Arc::new(VirtualClock::new()))
+    }
+
+    /// [`FederatedSource::new`] with an explicit clock. The default is a
+    /// private virtual clock driven by the `poll` argument (the seed
+    /// behavior); pass the run's shared clock to stamp scheduling
+    /// decisions against the same timeline the driver uses — including a
+    /// wall clock for sequential real-time pacing.
+    pub fn with_clock(
+        key_cols: Vec<usize>,
+        candidates: Vec<Box<dyn Source>>,
+        config: FederationConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<FederatedSource> {
+        let (rel_id, schema) = validate_candidates(&key_cols, &candidates)?;
+        let name = format!("fed({}×{})", candidates[0].name(), candidates.len());
         let scheduler = PermutationScheduler::new(candidates.len(), config);
         Ok(FederatedSource {
             rel_id,
             name,
             schema,
-            key_cols,
             candidates,
             scheduler,
-            seen: HashMap::new(),
+            dedup: KeyDedup::new(rel_id, key_cols),
+            clock,
             fed_rate: RateEstimator::default(),
             delivered: 0,
             done: false,
@@ -156,39 +244,10 @@ impl FederatedSource {
                     activated: p.is_active(),
                     eof: p.eof,
                     rate_tuples_per_sec: p.rate.rate_tuples_per_sec(),
+                    blocked_sends: 0,
                 })
                 .collect(),
         }
-    }
-
-    /// Drop keys another replica already delivered, recording the rest.
-    ///
-    /// Panics if `candidate` re-delivers a key it delivered itself: each
-    /// candidate reads its own data sequentially exactly once, so that can
-    /// only mean the declared `key_cols` are not a real key, and silently
-    /// dropping the tuple would corrupt the union.
-    fn dedup(&mut self, candidate: usize, batch: Vec<Tuple>) -> Vec<Tuple> {
-        let mut fresh = Vec::with_capacity(batch.len());
-        for t in batch {
-            match self.seen.entry(group_key(t.values(), &self.key_cols)) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(candidate);
-                    fresh.push(t);
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    assert_ne!(
-                        *e.get(),
-                        candidate,
-                        "relation {}: candidate '{}' delivered key columns {:?} twice — \
-                         the declared key is not unique, so deduping would drop real tuples",
-                        self.rel_id,
-                        self.candidates[candidate].name(),
-                        self.key_cols,
-                    );
-                }
-            }
-        }
-        fresh
     }
 }
 
@@ -209,6 +268,7 @@ impl Source for FederatedSource {
         if self.done {
             return Poll::Eof;
         }
+        let now_us = self.clock.observe(now_us);
         let mut wake: Option<u64> = None;
         let note = |wake: &mut Option<u64>, t: u64| {
             *wake = Some(wake.map_or(t, |w: u64| w.min(t)));
@@ -233,7 +293,7 @@ impl Source for FederatedSource {
                 match self.candidates[idx].poll(now_us, max_tuples) {
                     Poll::Ready(batch) => {
                         let raw = batch.len() as u64;
-                        let fresh = self.dedup(idx, batch);
+                        let fresh = self.dedup.filter(idx, self.candidates[idx].name(), batch);
                         self.scheduler
                             .note_arrival(idx, now_us, raw, fresh.len() as u64);
                         if fresh.is_empty() {

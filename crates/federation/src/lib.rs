@@ -30,18 +30,28 @@
 //!   sources unchanged. Its observed delivery rate is published through
 //!   `Source::observed_rate`, which corrective re-optimization forwards
 //!   into the optimizer's delivery-bound scan costing.
+//! * [`concurrent::ConcurrentFederatedSource`] — the same scheduling
+//!   logic racing the candidates for real: one producer thread per
+//!   candidate behind a bounded `tukwila_exec::queue_pair` queue,
+//!   consumed and re-ranked from real arrival timestamps.
 //!
-//! Everything is driven by the virtual clock, so federated executions are
-//! deterministic and replayable (the acceptance property: any source
+//! Time comes from a [`tukwila_stats::Clock`] — the dual-clock design.
+//! Under the default [`tukwila_stats::VirtualClock`] federated executions
+//! are deterministic and replayable (the acceptance property: any source
 //! permutation yields the same final answer, and the adaptive permutation
-//! completes no later than the worst static choice).
+//! completes no later than the worst static choice). Under a
+//! [`tukwila_stats::WallClock`] the mirrors race on real threads, and the
+//! invariant becomes: the *deduped answer set* is identical to the
+//! virtual run's, whatever the interleaving.
 
 pub mod catalog;
+pub mod concurrent;
 pub mod federated;
 pub mod profile;
 pub mod scheduler;
 
 pub use catalog::{FederatedCatalog, FederationConfig, PartialReplica};
+pub use concurrent::ConcurrentFederatedSource;
 pub use federated::{CandidateReport, FederatedSource, FederationReport};
 pub use profile::BehaviorProfile;
 pub use scheduler::PermutationScheduler;

@@ -13,7 +13,11 @@ use tukwila_stats::RateEstimator;
 
 use crate::catalog::FederationConfig;
 
-/// Online profile of one candidate source under the virtual clock.
+/// Online profile of one candidate source. All timestamps are timeline
+/// µs from whichever [`tukwila_stats::Clock`] drives the run — the
+/// profile itself is clock-agnostic, which is what lets the same
+/// scheduling logic serve the deterministic virtual mode and the
+/// threaded wall mode.
 #[derive(Debug, Clone)]
 pub struct BehaviorProfile {
     /// Arrival-rate / gap-variance estimator (see `tukwila_stats::rate`).
@@ -26,8 +30,8 @@ pub struct BehaviorProfile {
     pub duplicates: u64,
     /// Candidate reached end of stream.
     pub eof: bool,
-    /// Virtual time this candidate was activated (started being polled);
-    /// `None` while it is still a standby.
+    /// Timeline instant this candidate was activated (started being
+    /// polled); `None` while it is still a standby.
     activated_at_us: Option<u64>,
     /// Whether the current silence has already been counted as a stall
     /// (reset on every arrival, so one silence = one stall).
@@ -70,7 +74,15 @@ impl BehaviorProfile {
         self.rate.last_arrival_us().or(self.activated_at_us)
     }
 
-    /// Virtual instant after which the current silence counts as a stall.
+    /// How long this candidate has been silent at `now_us`; `None` while
+    /// it is an unactivated standby (a standby is not "silent", it was
+    /// never asked). Diagnostic companion to the stall machinery below.
+    pub fn silence_us(&self, now_us: u64) -> Option<u64> {
+        self.last_activity_us()
+            .map(|last| now_us.saturating_sub(last))
+    }
+
+    /// Timeline instant after which the current silence counts as a stall.
     pub fn stall_deadline_us(&self, config: &FederationConfig) -> Option<u64> {
         let last = self.last_activity_us()?;
         Some(

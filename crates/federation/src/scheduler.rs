@@ -16,8 +16,12 @@
 //!   permutation re-ranks itself — e.g. a recovered fast mirror moves back
 //!   ahead of the slow backup that covered its outage.
 //!
-//! Every decision is a pure function of the virtual clock and observed
-//! tuple counts, so runs are deterministic and replayable.
+//! Every decision is a pure function of the supplied timeline instants
+//! and observed tuple counts — the scheduler never reads a clock itself.
+//! Under the virtual clock that makes runs deterministic and replayable;
+//! under the wall clock (`crate::concurrent`) the *decisions* follow real
+//! arrival timestamps while the logic stays identical, which is the
+//! contract the dual-clock equivalence tests pin down.
 
 use crate::catalog::FederationConfig;
 use crate::profile::BehaviorProfile;

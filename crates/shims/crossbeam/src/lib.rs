@@ -5,7 +5,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// Blocking bounded sender (crossbeam's `Sender` over a bounded channel).
     #[derive(Debug, Clone)]
@@ -24,6 +24,12 @@ pub mod channel {
         /// Blocks while the channel is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: `Full` when at capacity, `Disconnected` when
+        /// the receiver hung up.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
@@ -62,5 +68,15 @@ mod tests {
         let (tx, rx) = bounded::<i32>(1);
         drop(rx);
         assert!(matches!(tx.send(7), Err(SendError(7))));
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<i32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
     }
 }

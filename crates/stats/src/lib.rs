@@ -20,9 +20,15 @@
 //!   to predict join output cardinalities from a prefix of the data, the
 //!   §4.5 experiment.
 //! * [`rate::RateEstimator`] — online delivery-rate/burstiness profiling of
-//!   a source under the virtual clock; drives the federation layer's
-//!   stall thresholds and the re-optimizer's delivery-bound costing.
+//!   a source; drives the federation layer's stall thresholds and the
+//!   re-optimizer's delivery-bound costing.
+//! * [`clock::Clock`] — the dual-clock timeline ([`clock::VirtualClock`]
+//!   simulated / [`clock::WallClock`] real, optionally accelerated) that
+//!   every timestamp above is measured against, so the same adaptive
+//!   logic runs deterministically in tests and on real threads in
+//!   production.
 
+pub mod clock;
 pub mod counters;
 pub mod estimate;
 pub mod histogram;
@@ -30,6 +36,7 @@ pub mod order_detect;
 pub mod rate;
 pub mod selectivity;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use counters::OpCounters;
 pub use histogram::DynamicHistogram;
 pub use order_detect::{OrderDetector, Orderedness, UniquenessDetector};

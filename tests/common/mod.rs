@@ -1,0 +1,48 @@
+//! Helpers shared by the federation integration suites
+//! (`tests/federation.rs`, `tests/concurrent.rs`).
+
+use tukwila::core::run_static;
+use tukwila::datagen::flights::{self, FlightsData};
+use tukwila::exec::reference::canonicalize_approx;
+use tukwila::exec::CpuCostModel;
+use tukwila::optimizer::{LogicalQuery, OptimizerContext};
+use tukwila::relation::{Schema, Tuple};
+use tukwila::source::{MemSource, Source};
+
+/// The flights workload's three base relations.
+pub fn tables(d: &FlightsData) -> [(u32, &'static str, Schema, &Vec<Tuple>); 3] {
+    [
+        (flights::FLIGHTS, "F", flights::flights_schema(), &d.flights),
+        (
+            flights::TRAVELERS,
+            "T",
+            flights::travelers_schema(),
+            &d.travelers,
+        ),
+        (
+            flights::CHILDREN,
+            "C",
+            flights::children_schema(),
+            &d.children,
+        ),
+    ]
+}
+
+/// Ground truth: the query over plain local sources.
+pub fn mem_answer(d: &FlightsData, q: &LogicalQuery) -> Vec<String> {
+    let mut sources: Vec<Box<dyn Source>> = tables(d)
+        .into_iter()
+        .map(|(rel, name, schema, rows)| {
+            Box::new(MemSource::new(rel, name, schema, rows.clone())) as Box<dyn Source>
+        })
+        .collect();
+    let run = run_static(
+        q,
+        &mut sources,
+        OptimizerContext::no_statistics(),
+        256,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    canonicalize_approx(&run.rows)
+}

@@ -3,53 +3,22 @@
 //! the engine — same answers as plain single sources, no lost or
 //! duplicated tuples — while adapting to stalls mid-query.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
-use tukwila::core::{run_static, CorrectiveConfig, CorrectiveExec};
+use tukwila::core::{run_static, run_static_with_driver, CorrectiveConfig, CorrectiveExec};
 use tukwila::datagen::flights::{self, FlightsData};
 use tukwila::exec::reference::canonicalize_approx;
-use tukwila::exec::CpuCostModel;
+use tukwila::exec::{CpuCostModel, SimDriver};
 use tukwila::federation::{FederatedCatalog, FederatedSource, FederationConfig, PartialReplica};
-use tukwila::optimizer::{LogicalQuery, OptimizerContext};
+use tukwila::optimizer::OptimizerContext;
 use tukwila::relation::{Schema, Tuple};
-use tukwila::source::{DelayModel, DelayedSource, MemSource, Source};
+use tukwila::source::{DelayModel, DelayedSource, Source};
+use tukwila::stats::{Clock, WallClock};
 
-fn tables(d: &FlightsData) -> [(u32, &'static str, Schema, &Vec<Tuple>); 3] {
-    [
-        (flights::FLIGHTS, "F", flights::flights_schema(), &d.flights),
-        (
-            flights::TRAVELERS,
-            "T",
-            flights::travelers_schema(),
-            &d.travelers,
-        ),
-        (
-            flights::CHILDREN,
-            "C",
-            flights::children_schema(),
-            &d.children,
-        ),
-    ]
-}
-
-/// Ground truth: the query over plain local sources.
-fn mem_answer(d: &FlightsData, q: &LogicalQuery) -> Vec<String> {
-    let mut sources: Vec<Box<dyn Source>> = tables(d)
-        .into_iter()
-        .map(|(rel, name, schema, rows)| {
-            Box::new(MemSource::new(rel, name, schema, rows.clone())) as Box<dyn Source>
-        })
-        .collect();
-    let run = run_static(
-        q,
-        &mut sources,
-        OptimizerContext::no_statistics(),
-        256,
-        CpuCostModel::Zero,
-    )
-    .unwrap();
-    canonicalize_approx(&run.rows)
-}
+mod common;
+use common::{mem_answer, tables};
 
 fn delayed(
     rel: u32,
@@ -235,6 +204,153 @@ fn overlapping_partial_replicas_union_to_full_relation() {
         travelers.candidates.iter().all(|c| c.activated),
         "both partial replicas must be read to cover the relation"
     );
+}
+
+/// Build the candidate catalog for each federation scenario this suite
+/// covers, so the dual-clock equivalence test can replay all of them
+/// under both clocks.
+fn scenario_catalog(name: &str, d: &FlightsData, seed: u64) -> FederatedCatalog {
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    match name {
+        // Every relation: a flaky preferred mirror plus a steady backup.
+        "mirrors" => {
+            for (rel, name, schema, rows) in tables(d) {
+                catalog
+                    .register(
+                        vec![0],
+                        delayed(
+                            rel,
+                            format!("{name}-flaky"),
+                            schema.clone(),
+                            rows.clone(),
+                            &flaky_model(seed ^ u64::from(rel)),
+                        ),
+                    )
+                    .unwrap();
+                catalog
+                    .register(
+                        vec![0],
+                        delayed(
+                            rel,
+                            format!("{name}-steady"),
+                            schema,
+                            rows.clone(),
+                            &steady_model(),
+                        ),
+                    )
+                    .unwrap();
+            }
+        }
+        // TRAVELERS split into two overlapping partial replicas.
+        "partial" => {
+            for (rel, name, schema, rows) in tables(d) {
+                if rel == flights::TRAVELERS {
+                    let cut_hi = rows.len() * 6 / 10;
+                    let cut_lo = rows.len() * 4 / 10;
+                    for (suffix, slice, model) in [
+                        ("head", &rows[..cut_hi], flaky_model(seed)),
+                        ("tail", &rows[cut_lo..], steady_model()),
+                    ] {
+                        catalog
+                            .register(
+                                vec![0],
+                                Box::new(PartialReplica::new(delayed(
+                                    rel,
+                                    format!("{name}-{suffix}"),
+                                    schema.clone(),
+                                    slice.to_vec(),
+                                    &model,
+                                ))),
+                            )
+                            .unwrap();
+                    }
+                } else {
+                    catalog
+                        .register(
+                            vec![0],
+                            delayed(rel, name.into(), schema, rows.clone(), &steady_model()),
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        // Three full mirrors of mixed behavior per relation.
+        "triple" => {
+            let models = [
+                flaky_model(seed ^ 0xA5),
+                steady_model(),
+                DelayModel::Wireless {
+                    bytes_per_sec: 80_000.0,
+                    burst_ms: 20.0,
+                    gap_ms: 40.0,
+                    seed: seed ^ 0x5A,
+                },
+            ];
+            for (rel, name, schema, rows) in tables(d) {
+                for (m, model) in models.iter().enumerate() {
+                    catalog
+                        .register(
+                            vec![0],
+                            delayed(
+                                rel,
+                                format!("{name}-m{m}"),
+                                schema.clone(),
+                                rows.clone(),
+                                model,
+                            ),
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+    catalog
+}
+
+/// The dual-clock equivalence property: every scenario of this suite,
+/// with a fixed seed, must produce the identical deduped answer whether
+/// the mirrors are polled sequentially under the deterministic virtual
+/// clock or race on real threads against an accelerated wall clock.
+#[test]
+fn dual_clock_equivalence_across_all_scenarios() {
+    let d = flights::generate(200, 1200, 1, 41);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    for scenario in ["mirrors", "partial", "triple"] {
+        // Virtual: deterministic sequential run.
+        let mut virt = scenario_catalog(scenario, &d, 41).into_sources().unwrap();
+        let virt_run = run_static(
+            &q,
+            &mut virt,
+            OptimizerContext::no_statistics(),
+            256,
+            CpuCostModel::Zero,
+        )
+        .unwrap();
+        let virt_answer = canonicalize_approx(&virt_run.rows);
+        assert_eq!(virt_answer, expected, "{scenario}: virtual run diverged");
+
+        // Threaded: same candidates, real producer threads, real racing.
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+        let mut threaded = scenario_catalog(scenario, &d, 41)
+            .into_concurrent_sources(clock.clone())
+            .unwrap();
+        let wall_run = run_static_with_driver(
+            &q,
+            &mut threaded,
+            OptimizerContext::no_statistics(),
+            SimDriver::new(256, CpuCostModel::Measured).with_clock(clock),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            canonicalize_approx(&wall_run.rows),
+            virt_answer,
+            "{scenario}: threaded answer diverged from the virtual-clock answer"
+        );
+    }
 }
 
 proptest! {
