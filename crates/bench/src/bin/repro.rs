@@ -14,6 +14,7 @@
 //!   ablation stitch-up reuse on/off; polling-interval sweep
 //!   mirrors  federated mirror failover (online source-permutation scheduling)
 //!   mirrors-wall  the same mirrors racing on real threads (wall clock)
+//!   fragments-wall  threaded plan fragments vs the sequential plan (wall clock)
 //!   all      everything above
 //! ```
 //!
@@ -27,7 +28,8 @@ use tukwila_bench::ExpConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] \
-         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|all>"
+         <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|\
+         fragments-wall|all>"
     );
     std::process::exit(2);
 }
@@ -43,7 +45,7 @@ fn save(name: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "fig2",
         "table1",
         "fig3",
@@ -55,6 +57,7 @@ fn main() {
         "ablation",
         "mirrors",
         "mirrors-wall",
+        "fragments-wall",
         "all",
     ];
     let mut cfg = ExpConfig::default();
@@ -169,6 +172,12 @@ fn main() {
         let out = experiments::mirror_failover_wall_suite(&cfg);
         println!("{out}");
         save("mirrors-wall", &out);
+    }
+    if want("fragments-wall") {
+        println!("== Threaded plan fragments: parallel subplans over queue_pair ==\n");
+        let out = experiments::fragments_wall_suite(&cfg);
+        println!("{out}");
+        save("fragments-wall", &out);
     }
     if all {
         println!("== Example 2.1 sanity run ==\n");

@@ -26,7 +26,8 @@ use tukwila_stats::{Clock, WallClock};
 use crate::fmt::{count, secs, secs_ci, TextTable};
 use crate::setup::{
     concurrent_mirror_sources, datasets, federated_mirror_sources, local_sources, mean_ci,
-    pinned_mirror_sources, true_cards, wireless_sources, ExpConfig, MirrorKind, WorkloadQuery,
+    pinned_mirror_sources, slow_customer_mirror_sources, true_cards, wireless_sources, ExpConfig,
+    MirrorKind, WorkloadQuery,
 };
 use tukwila_source::Source;
 
@@ -59,6 +60,7 @@ fn corrective_cfg(
         min_remaining_fraction: 0.15,
         stitch_reuse: true,
         clock: None,
+        fragments: None,
     }
 }
 
@@ -900,6 +902,176 @@ pub fn mirror_failover_wall_suite(cfg: &ExpConfig) -> String {
          (×{ACCEL:.0} accelerated playback; answers byte-identical to the virtual-clock run)\n",
         worst / fed.real_s.max(1e-9)
     )
+}
+
+/// Threaded plan fragments (the §5 parallel-subplan configuration):
+/// Q3A pinned to `(orders ⋈ lineitem) ⋈ customer`, with CUSTOMER served
+/// by slow federated mirrors (delivery-bound) and ORDERS/LINEITEM local
+/// (the CPU-heavy join subtree). The fragmentation pass — fed the
+/// customer delivery rate *observed by a profiling run* — cuts the
+/// `orders ⋈ lineitem` subtree into its own producer fragment, and the
+/// suite compares the same fragmented plan executed sequentially vs
+/// threaded over `exec::queue_pair` exchanges, both on an accelerated
+/// wall clock.
+///
+/// Asserts: both wall runs (and each other) produce the byte-identical
+/// canonicalized answer of the deterministic virtual-clock run; and, on
+/// hosts with ≥ 2 CPUs, that the threaded run beats the sequential one
+/// ≥ 1.1× in real time (the producer fragment's CPU overlaps the slow
+/// federated deliveries on another core — on a single-core host there is
+/// no parallelism to win, so only correctness is asserted).
+pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
+    use tukwila_core::lower_fragmented;
+    use tukwila_datagen::TableId;
+    use tukwila_exec::FragmentOptions;
+    use tukwila_optimizer::{choose_cuts, FragmentationConfig, Optimizer};
+    use tukwila_stats::SelectivityCatalog;
+
+    /// Timeline plays back this much faster than real time.
+    const ACCEL: f64 = 25.0;
+    // The CPU-heavy subtree must be genuinely heavy relative to both the
+    // customer delivery schedule and thread/sleep-chunk overheads, or
+    // there is nothing for the producer fragment to overlap; floor the
+    // scale factor.
+    let cfg = ExpConfig {
+        scale: cfg.scale.max(0.04),
+        ..*cfg
+    };
+    let [(_, uniform), _] = datasets(&cfg);
+    let q = WorkloadQuery::Q3A.query();
+    let order = [
+        TableId::Orders.rel_id(),
+        TableId::Lineitem.rel_id(),
+        TableId::Customer.rel_id(),
+    ];
+
+    // 1. The deterministic anchor doubles as the profiling run: the
+    //    sequential federated adapter observes customer's delivery rate
+    //    under the virtual clock.
+    eprintln!("[fragments-wall] virtual anchor + rate profiling");
+    let mut vsources = slow_customer_mirror_sources(&uniform, &q, &cfg, None);
+    let vrun = tukwila_core::run_static_from(
+        &q,
+        &mut vsources,
+        OptimizerContext::no_statistics(),
+        cfg.batch_size,
+        CpuCostModel::Zero,
+        Some(&order),
+    )
+    .expect("virtual fragments run");
+    let virtual_answer = canonicalize_approx(&vrun.rows);
+    let customer_rate = vsources
+        .iter()
+        .find(|s| s.rel_id() == TableId::Customer.rel_id())
+        .and_then(|s| s.observed_rate())
+        .expect("federated customer profiles its delivery rate");
+
+    // 2. Fragmentation from the observed source properties: the slow
+    //    customer rate makes its sibling subtree worth its own fragment.
+    let catalog = Arc::new(SelectivityCatalog::new());
+    catalog.observe_source_rate(TableId::Customer.rel_id(), customer_rate);
+    let ctx = OptimizerContext {
+        catalog: Some(catalog),
+        ..OptimizerContext::no_statistics()
+    };
+    let plan = Optimizer::new(ctx.clone())
+        .plan_with_order(&q, &order)
+        .expect("pinned Q3A plan");
+    let cuts = choose_cuts(&plan, &ctx, &FragmentationConfig::default());
+    assert!(
+        !cuts.is_empty(),
+        "customer rate {customer_rate:.0} t/s must be slow enough to cut orders⋈lineitem"
+    );
+
+    struct WallRun {
+        real_s: f64,
+        timeline_s: f64,
+        rows: Vec<String>,
+        fragments: usize,
+    }
+    let run_wall = |threaded: bool| -> WallRun {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
+        let sources = slow_customer_mirror_sources(&uniform, &q, &cfg, Some(clock.clone()));
+        let frag = lower_fragmented(&plan, &cuts, None, true).expect("fragmented lowering");
+        let fragments = frag.plan.fragment_count();
+        let driver = SimDriver::new(cfg.batch_size, CpuCostModel::Measured).with_clock(clock);
+        // Exchange knobs sized for the accelerated clock: the poll tick
+        // is authored in timeline µs, so at ×25 playback the default
+        // 200µs tick would wake the consumer every 8 real µs.
+        let opts = FragmentOptions {
+            queue_capacity: 16,
+            poll_tick_us: 10_000,
+        };
+        let start = Instant::now();
+        let (rows, report) = if threaded {
+            driver.run_fragments_threaded(frag.plan, sources, &opts)
+        } else {
+            driver.run_fragments_sequential(frag.plan, sources)
+        }
+        .expect("wall fragments run");
+        WallRun {
+            real_s: start.elapsed().as_secs_f64(),
+            timeline_s: report.virtual_us as f64 / 1e6,
+            rows: canonicalize_approx(&rows),
+            fragments,
+        }
+    };
+
+    eprintln!("[fragments-wall] sequential fragmented plan (wall clock)");
+    let sequential = run_wall(false);
+    eprintln!("[fragments-wall] threaded fragmented plan (wall clock)");
+    let threaded = run_wall(true);
+
+    let mut t = TextTable::new(&["strategy", "fragments", "real-s", "timeline-s", "rows"]);
+    for (name, r) in [
+        ("sequential fragments (wall)", &sequential),
+        ("threaded fragments (wall)", &threaded),
+    ] {
+        t.row(vec![
+            name.into(),
+            r.fragments.to_string(),
+            secs(r.real_s),
+            secs(r.timeline_s),
+            count(r.rows.len()),
+        ]);
+    }
+    let rendered = t.render();
+
+    assert_eq!(
+        sequential.rows, virtual_answer,
+        "sequential wall answer diverged from the virtual-clock run\n{rendered}"
+    );
+    assert_eq!(
+        threaded.rows, virtual_answer,
+        "threaded answer diverged from the virtual-clock run\n{rendered}"
+    );
+    assert!(threaded.fragments >= 2, "an exchange must exist");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = sequential.real_s / threaded.real_s.max(1e-9);
+    if cores >= 2 {
+        assert!(
+            speedup >= 1.1,
+            "threaded fragments ({:.3}s real) must beat the sequential plan \
+             ({:.3}s real) ≥1.1× on a {cores}-core host\n{rendered}",
+            threaded.real_s,
+            sequential.real_s,
+        );
+    }
+    let note = if cores >= 2 {
+        format!(
+            "threaded fragments vs sequential: {speedup:.2}× faster in real time \
+             (×{ACCEL:.0} accelerated playback; answers byte-identical to the \
+             virtual-clock run)\n"
+        )
+    } else {
+        format!(
+            "single-core host: no parallelism to win ({speedup:.2}×); answers verified \
+             byte-identical to the virtual-clock run. Re-run on ≥2 cores for the \
+             overlap measurement.\n"
+        )
+    };
+    format!("{rendered}\n{note}")
 }
 
 /// Ablations over the design choices DESIGN.md calls out: the value of

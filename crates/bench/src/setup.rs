@@ -261,6 +261,55 @@ pub fn concurrent_mirror_sources(
         .expect("valid catalog")
 }
 
+/// Sources for the fragments scenario: every relation local and
+/// in-memory except CUSTOMER, which is served by two federated mirrors
+/// on slow links (a delivery-bound relation). With `clock: None` the
+/// mirrors go behind the sequential `FederatedSource` (virtual-clock
+/// runs); with a wall clock they race on real producer threads.
+pub fn slow_customer_mirror_sources(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    clock: Option<Arc<dyn Clock>>,
+) -> Vec<Box<dyn Source>> {
+    let customer = TableId::Customer;
+    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    for (i, frac) in [0.2, 0.16].into_iter().enumerate() {
+        catalog
+            .register(
+                customer.key_cols(),
+                Box::new(DelayedSource::new(
+                    customer.rel_id(),
+                    format!("customer-slow{i}"),
+                    Dataset::schema(customer),
+                    d.table(customer).to_vec(),
+                    &DelayModel::Bandwidth {
+                        bytes_per_sec: cfg.wireless_bps * frac,
+                        initial_latency_us: 2_000,
+                    },
+                )),
+            )
+            .expect("uniform mirrors");
+    }
+    let mut sources = match clock {
+        None => catalog.into_sources().expect("valid catalog"),
+        Some(clock) => catalog
+            .into_concurrent_sources(clock)
+            .expect("valid catalog"),
+    };
+    for t in queries::tables_of(q) {
+        if t != customer {
+            sources.push(Box::new(MemSource::new(
+                t.rel_id(),
+                t.name(),
+                Dataset::schema(t),
+                d.table(t).to_vec(),
+            )));
+        }
+    }
+    sources
+}
+
 /// True per-relation cardinalities ("Given cardinalities" mode).
 pub fn true_cards(d: &Dataset, q: &LogicalQuery) -> HashMap<u32, u64> {
     queries::tables_of(q)

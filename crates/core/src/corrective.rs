@@ -5,17 +5,20 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use tukwila_exec::agg::SharedGroupTable;
 use tukwila_exec::driver::charged_cost;
-use tukwila_exec::{Batch, CpuCostModel, ExecReport, Timeline};
-use tukwila_optimizer::{LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig};
-use tukwila_relation::{Result, Tuple};
+use tukwila_exec::{Batch, CpuCostModel, ExecReport, FragmentRun, PushTarget, Timeline};
+use tukwila_optimizer::{
+    FragmentationConfig, LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig,
+};
+use tukwila_relation::{Expr, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source};
 use tukwila_stats::selectivity::SourceProgress;
 use tukwila_stats::{Clock, SelectivityCatalog};
 use tukwila_storage::registry::ReuseStats;
 use tukwila_storage::StateRegistry;
 
-use crate::lowering::{apply_post_project, lower_plan, LoweredPlan};
+use crate::lowering::{apply_post_project, lower_fragmented};
 use crate::stitchup::{StitchUp, StitchUpStats};
 
 /// Configuration of the corrective executor.
@@ -55,6 +58,14 @@ pub struct CorrectiveConfig {
     /// design. Every source of the run (notably threaded federated
     /// sources) must share the same instance; idling really waits on it.
     pub clock: Option<Arc<dyn Clock>>,
+    /// `Some` fragments every phase plan at exchange boundaries chosen by
+    /// the optimizer's fragmentation pass (re-evaluated at each switch
+    /// with the live catalog, so cuts follow observed delivery rates).
+    /// Fragments execute sequentially in the corrective loop — exchange
+    /// handoff is immediate, so a mid-stream switch seals across fragment
+    /// boundaries without any buffered tuples to lose. `None` (default)
+    /// preserves the unfragmented behavior.
+    pub fragments: Option<FragmentationConfig>,
 }
 
 impl Default for CorrectiveConfig {
@@ -72,6 +83,7 @@ impl Default for CorrectiveConfig {
             min_remaining_fraction: 0.3,
             stitch_reuse: true,
             clock: None,
+            fragments: None,
         }
     }
 }
@@ -83,6 +95,9 @@ pub struct PhaseInfo {
     pub batches: u64,
     /// Tuples of each source consumed during this phase.
     pub consumed: HashMap<u32, u64>,
+    /// Pipeline fragments the phase plan was split into (1 =
+    /// unfragmented).
+    pub fragments: usize,
 }
 
 /// Outcome of a corrective execution.
@@ -102,6 +117,17 @@ impl CorrectiveReport {
     }
 }
 
+/// A phase plan lowered for corrective execution: the (possibly
+/// single-fragment) fragment run plus the lowering metadata the monitor
+/// needs.
+struct PhaseLowered {
+    run: FragmentRun,
+    join_nodes: Vec<(usize, u64)>,
+    table: Option<Arc<SharedGroupTable>>,
+    post_project: Option<(Vec<Expr>, Schema)>,
+    fragments: usize,
+}
+
 /// The corrective query processing executor.
 pub struct CorrectiveExec {
     pub q: LogicalQuery,
@@ -111,6 +137,30 @@ pub struct CorrectiveExec {
 impl CorrectiveExec {
     pub fn new(q: LogicalQuery, config: CorrectiveConfig) -> CorrectiveExec {
         CorrectiveExec { q, config }
+    }
+
+    /// Lower a phase plan, fragmenting it at the cuts the optimizer's
+    /// fragmentation pass chooses from the *current* context (observed
+    /// delivery rates included) when fragments are enabled.
+    fn lower_phase(
+        &self,
+        phys: &PhysPlan,
+        ctx: &OptimizerContext,
+        shared: Option<Arc<SharedGroupTable>>,
+    ) -> Result<PhaseLowered> {
+        let cuts = match &self.config.fragments {
+            Some(fcfg) => tukwila_optimizer::choose_cuts(phys, ctx, fcfg),
+            None => Vec::new(),
+        };
+        let fl = lower_fragmented(phys, &cuts, shared, false)?;
+        let fragments = fl.plan.fragment_count();
+        Ok(PhaseLowered {
+            run: fl.plan.into_run(),
+            join_nodes: fl.join_nodes,
+            table: fl.table,
+            post_project: fl.post_project,
+            fragments,
+        })
     }
 
     fn make_ctx(
@@ -166,7 +216,11 @@ impl CorrectiveExec {
             Some(order) => optimizer.plan_with_order(&self.q, order)?,
             None => optimizer.optimize(&self.q)?,
         };
-        let mut lowered: LoweredPlan = lower_plan(&current_phys, None, false)?;
+        let mut lowered: PhaseLowered = self.lower_phase(
+            &current_phys,
+            &self.make_ctx(&catalog, &consumed_total),
+            None,
+        )?;
         let shared = lowered.table.clone();
         let post_project = lowered.post_project.clone();
 
@@ -202,7 +256,7 @@ impl CorrectiveExec {
                         *consumed_total.entry(rel).or_insert(0) += batch.len() as u64;
                         *consumed_phase.entry(rel).or_insert(0) += batch.len() as u64;
                         let cost = charged_cost(cfg.cpu, &timeline, batch.len(), || {
-                            lowered.pipeline.push_source(rel, &batch, &mut answers)
+                            lowered.run.push_source(rel, &batch, &mut answers)
                         })?;
                         timeline.charge(cost);
                     }
@@ -224,7 +278,7 @@ impl CorrectiveExec {
                             },
                         );
                         let cost = charged_cost(cfg.cpu, &timeline, 0, || {
-                            lowered.pipeline.finish_source(rel, &mut answers)
+                            lowered.run.finish_source(rel, &mut answers)
                         })?;
                         timeline.charge(cost);
                     }
@@ -278,10 +332,20 @@ impl CorrectiveExec {
                     && candidate.describe() != current_phys.describe()
                 {
                     // Switch: seal the current phase, register its state,
-                    // resume into the new plan.
-                    let fresh = lower_plan(&candidate, shared.clone(), false)?;
+                    // resume into the new plan. Sealing covers *every*
+                    // fragment of the old plan — exchange handoff is
+                    // immediate in the sequential fragment run, so there
+                    // are no buffered in-flight exchange tuples to lose,
+                    // and state buffered on exchange leaves registers
+                    // under the producer subtree's signature.
+                    let fresh = self.lower_phase(
+                        &candidate,
+                        &self.make_ctx(&catalog, &consumed_total),
+                        shared.clone(),
+                    )?;
                     let old = std::mem::replace(&mut lowered, fresh);
-                    for state in old.pipeline.seal() {
+                    let old_fragments = old.fragments;
+                    for state in old.run.seal() {
                         if let Some(sig) = state.sig {
                             registry.register(sig, phase, state.schema, state.structure);
                         }
@@ -290,6 +354,7 @@ impl CorrectiveExec {
                         plan: current_phys.describe(),
                         batches: phase_batches,
                         consumed: consumed_phase.clone(),
+                        fragments: old_fragments,
                     });
                     current_phys = candidate;
                     phase += 1;
@@ -300,7 +365,7 @@ impl CorrectiveExec {
                     let mut sink = Batch::new();
                     for (i, src) in sources.iter().enumerate() {
                         if eof[i] {
-                            lowered.pipeline.finish_source(src.rel_id(), &mut sink)?;
+                            lowered.run.finish_source(src.rel_id(), &mut sink)?;
                         }
                     }
                     answers.extend(sink);
@@ -311,7 +376,8 @@ impl CorrectiveExec {
         // Seal the final phase.
         let nphases = phase + 1;
         let final_lowered = lowered;
-        for state in final_lowered.pipeline.seal() {
+        let final_fragments = final_lowered.fragments;
+        for state in final_lowered.run.seal() {
             if let Some(sig) = state.sig {
                 registry.register(sig, phase, state.schema, state.structure);
             }
@@ -320,6 +386,7 @@ impl CorrectiveExec {
             plan: current_phys.describe(),
             batches: phase_batches,
             consumed: consumed_phase.clone(),
+            fragments: final_fragments,
         });
 
         // Stitch-up phase.
@@ -391,11 +458,13 @@ impl CorrectiveExec {
     }
 
     /// Push the current plan's observations into the shared catalog
-    /// (paper §3.3 / §4.2).
+    /// (paper §3.3 / §4.2). Observations span every fragment of the phase
+    /// plan — node ids are plan-wide, so the multiplicative-join flags
+    /// keep working across exchange boundaries.
     fn update_catalog(
         &self,
         catalog: &Arc<SelectivityCatalog>,
-        lowered: &LoweredPlan,
+        lowered: &PhaseLowered,
         sources: &[Box<dyn Source>],
         consumed_total: &HashMap<u32, u64>,
         consumed_phase: &HashMap<u32, u64>,
@@ -423,7 +492,7 @@ impl CorrectiveExec {
         // with the same signature (the node nearest the join is the
         // effective producer).
         let mut per_sig: HashMap<tukwila_storage::ExprSig, (u64, f64)> = HashMap::new();
-        for obs in lowered.pipeline.observations() {
+        for obs in lowered.run.observations() {
             let Some(sig) = obs.output_sig.clone() else {
                 continue;
             };
@@ -447,7 +516,7 @@ impl CorrectiveExec {
             catalog.observe_subexpr(sig, out, product);
         }
         // Multiplicative-join flags.
-        for obs in lowered.pipeline.observations() {
+        for obs in lowered.run.observations() {
             if let Some((_, pred_id)) = lowered
                 .join_nodes
                 .iter()
@@ -514,6 +583,7 @@ mod tests {
             min_remaining_fraction: 0.0,
             stitch_reuse: true,
             clock: None,
+            fragments: None,
         }
     }
 
@@ -551,6 +621,50 @@ mod tests {
         );
         assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
         assert!(report.reuse.reused_tuples > 0 || report.stitch.recomputed_pure > 0);
+    }
+
+    #[test]
+    fn forced_multi_phase_with_fragments_matches_static() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let mut cfg = corrective_config(true);
+        cfg.initial_order = Some(vec![
+            TableId::Orders.rel_id(),
+            TableId::Lineitem.rel_id(),
+            TableId::Customer.rel_id(),
+        ]);
+        // Aggressive fragmentation: every phase plan is split at an
+        // exchange, so the forced switch seals across a fragment
+        // boundary mid-stream.
+        cfg.fragments = Some(tukwila_optimizer::FragmentationConfig::aggressive());
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(
+            report.phase_count() > 1,
+            "expected a forced switch, got {} phase(s)",
+            report.phase_count()
+        );
+        assert!(
+            report.phases.iter().any(|p| p.fragments > 1),
+            "at least one phase must actually have been fragmented: {:?}",
+            report
+                .phases
+                .iter()
+                .map(|p| p.fragments)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(canonicalize_approx(&report.rows), static_answer(&d, &q));
+    }
+
+    #[test]
+    fn fragments_off_is_single_fragment() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(false));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(report.phases.iter().all(|p| p.fragments == 1));
     }
 
     #[test]

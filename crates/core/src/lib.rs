@@ -40,5 +40,5 @@ pub use baselines::{
 };
 pub use complementary::{ComplementaryJoinPair, ComplementaryStats, RouterKind};
 pub use corrective::{CorrectiveConfig, CorrectiveExec, CorrectiveReport, PhaseInfo};
-pub use lowering::{lower_plan, LoweredPlan};
+pub use lowering::{lower_fragmented, lower_plan, FragmentedLower, LoweredPlan};
 pub use stitchup::{StitchUp, StitchUpStats};

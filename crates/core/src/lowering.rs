@@ -61,8 +61,11 @@ pub fn canonical_agg(plan: &PhysPlan) -> Option<(Vec<Expr>, Schema, GroupSpec)> 
 enum Lowered {
     /// A node in the builder.
     Node(usize),
-    /// A bare unfiltered scan: the source binds directly to the consumer.
-    Source(u32),
+    /// A bare unfiltered scan: the source binds directly to the consumer,
+    /// carrying the scan node's logical signature (a single relation for
+    /// real scans; the producer subtree's signature for exchange leaves
+    /// of a fragmented plan).
+    Source(u32, tukwila_storage::ExprSig),
 }
 
 struct LowerCtx<'a> {
@@ -81,13 +84,14 @@ impl<'a> LowerCtx<'a> {
             .iter()
             .map(|c| match c {
                 Lowered::Node(n) => Some(*n),
-                Lowered::Source(_) => None,
+                Lowered::Source(..) => None,
             })
             .collect();
         let id = self.b.add_op(op, &slots, Some(sig.sig.clone()))?;
         for (port, c) in children.iter().enumerate() {
-            if let Lowered::Source(rel) = c {
-                self.b.bind_source(*rel, id, port)?;
+            if let Lowered::Source(rel, leaf_sig) = c {
+                self.b
+                    .bind_source_with_sig(*rel, id, port, leaf_sig.clone())?;
             }
         }
         Ok(id)
@@ -96,7 +100,7 @@ impl<'a> LowerCtx<'a> {
     fn lower_node(&mut self, node: &PhysNode) -> Result<Lowered> {
         match &node.kind {
             PhysKind::Scan { rel, filter, .. } => match filter {
-                None => Ok(Lowered::Source(*rel)),
+                None => Ok(Lowered::Source(*rel, node.sig.clone())),
                 Some(pred) => {
                     let op = Box::new(FilterOp::new(pred.clone(), node.schema.clone()));
                     let slots: Vec<Option<usize>> = vec![None];
@@ -227,11 +231,11 @@ pub fn lower_plan(
             let proj = Box::new(ProjectOp::new(exprs, canon_schema.clone()));
             let proj_slots = match rooted {
                 Lowered::Node(n) => vec![Some(n)],
-                Lowered::Source(_) => vec![None],
+                Lowered::Source(..) => vec![None],
             };
             let proj_id = b.add_op(proj, &proj_slots, Some(plan.root.sig.clone()))?;
-            if let Lowered::Source(rel) = rooted {
-                b.bind_source(rel, proj_id, 0)?;
+            if let Lowered::Source(rel, sig) = rooted {
+                b.bind_source_with_sig(rel, proj_id, 0, sig)?;
             }
             let t = match shared {
                 Some(t) => {
@@ -257,14 +261,14 @@ pub fn lower_plan(
             table = Some(t);
         }
         None => {
-            if let Lowered::Source(rel) = rooted {
+            if let Lowered::Source(rel, sig) = rooted {
                 // Single unfiltered scan as a whole query: wrap in a
                 // pass-through projection so the plan has a root operator.
                 let schema = plan.root.schema.clone();
                 let cols: Vec<usize> = (0..schema.arity()).collect();
                 let p = Box::new(ProjectOp::columns(&cols, &schema));
                 let id = b.add_op(p, &[None], Some(plan.root.sig.clone()))?;
-                b.bind_source(rel, id, 0)?;
+                b.bind_source_with_sig(rel, id, 0, sig)?;
             }
         }
     }
@@ -274,6 +278,207 @@ pub fn lower_plan(
         join_nodes,
         table,
         post_project,
+    })
+}
+
+/// A physical plan lowered into exchange-connected pipeline fragments,
+/// plus the metadata the corrective executor needs (the fragmented
+/// counterpart of [`LoweredPlan`]).
+pub struct FragmentedLower {
+    /// The validated fragment plan (producers first, root last). One
+    /// fragment when no cuts were requested.
+    pub plan: tukwila_exec::FragmentPlan,
+    /// `(plan-wide node index, join predicate id)` across every fragment,
+    /// matching [`tukwila_exec::FragmentRun::observations`] numbering.
+    pub join_nodes: Vec<(usize, u64)>,
+    /// The shared group table (when the query aggregates) — lives in the
+    /// root fragment.
+    pub table: Option<Arc<SharedGroupTable>>,
+    /// Post-aggregation projection, applied by whoever finalizes the
+    /// table.
+    pub post_project: Option<(Vec<Expr>, Schema)>,
+}
+
+/// Rewrite the plan tree for fragmentation: each subtree whose signature
+/// is in `cuts` (and is not the root or a bare scan) is replaced by a
+/// synthetic exchange scan carrying the subtree's schema and signature,
+/// and the subtree itself is appended to `producers` (nested cuts first,
+/// so producers always precede their consumers).
+fn split_at_cuts(
+    node: &PhysNode,
+    is_root: bool,
+    cuts: &[tukwila_storage::ExprSig],
+    next_exchange: &mut u32,
+    producers: &mut Vec<(u32, PhysNode)>,
+) -> PhysNode {
+    // The *outermost* node bearing a cut signature wins: a PreAgg shares
+    // its child's signature (the pre-aggregation doesn't change which
+    // relations are joined), so the same signature must not cut both the
+    // PreAgg and the join directly beneath it — one chosen cut yields
+    // exactly one producer fragment.
+    let cut_here =
+        !is_root && !matches!(node.kind, PhysKind::Scan { .. }) && cuts.contains(&node.sig);
+    let inner_cuts: Vec<tukwila_storage::ExprSig>;
+    let cuts_below: &[tukwila_storage::ExprSig] = if cut_here {
+        inner_cuts = cuts.iter().filter(|s| **s != node.sig).cloned().collect();
+        &inner_cuts
+    } else {
+        cuts
+    };
+    let rewritten_kind = match &node.kind {
+        PhysKind::Scan { .. } => node.kind.clone(),
+        PhysKind::Join {
+            algo,
+            left,
+            right,
+            left_col,
+            right_col,
+            pred_id,
+            residual,
+        } => PhysKind::Join {
+            algo: *algo,
+            left: Box::new(split_at_cuts(
+                left,
+                false,
+                cuts_below,
+                next_exchange,
+                producers,
+            )),
+            right: Box::new(split_at_cuts(
+                right,
+                false,
+                cuts_below,
+                next_exchange,
+                producers,
+            )),
+            left_col: *left_col,
+            right_col: *right_col,
+            pred_id: *pred_id,
+            residual: residual.clone(),
+        },
+        PhysKind::PreAgg {
+            child,
+            mode,
+            group_cols,
+            aggs,
+        } => PhysKind::PreAgg {
+            child: Box::new(split_at_cuts(
+                child,
+                false,
+                cuts_below,
+                next_exchange,
+                producers,
+            )),
+            mode: *mode,
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+        },
+    };
+    let rewritten = PhysNode {
+        kind: rewritten_kind,
+        schema: node.schema.clone(),
+        col_map: node.col_map.clone(),
+        partials: node.partials.clone(),
+        sig: node.sig.clone(),
+        est_card: node.est_card,
+        est_cost: node.est_cost,
+    };
+    if cut_here {
+        let ex = *next_exchange;
+        *next_exchange += 1;
+        producers.push((ex, rewritten));
+        PhysNode {
+            kind: PhysKind::Scan {
+                rel: ex,
+                name: format!("exchange-{}", ex - tukwila_exec::EXCHANGE_REL_BASE),
+                filter: None,
+            },
+            schema: node.schema.clone(),
+            col_map: node.col_map.clone(),
+            partials: node.partials.clone(),
+            sig: node.sig.clone(),
+            est_card: node.est_card,
+            est_cost: 0.0,
+        }
+    } else {
+        rewritten
+    }
+}
+
+/// Lower a physical plan into exchange-connected pipeline fragments.
+///
+/// `cuts` names the subtrees (by logical signature, as chosen by the
+/// optimizer's fragmentation pass) that become producer fragments; an
+/// empty list degenerates to one fragment with exactly [`lower_plan`]'s
+/// semantics. The root fragment carries the canonical answer projection
+/// and the (optionally `shared`) group table, so fragmented phase plans
+/// compose with corrective execution unchanged. Exchange leaves are bound
+/// with the producer subtree's logical signature, so sealing a fragmented
+/// phase registers buffered exchange-side state under the signature
+/// stitch-up reuse expects.
+pub fn lower_fragmented(
+    plan: &PhysPlan,
+    cuts: &[tukwila_storage::ExprSig],
+    shared: Option<Arc<SharedGroupTable>>,
+    emit_on_finish: bool,
+) -> Result<FragmentedLower> {
+    let mut next_exchange = tukwila_exec::EXCHANGE_REL_BASE;
+    let mut producers: Vec<(u32, PhysNode)> = Vec::new();
+    let rewritten_root = split_at_cuts(&plan.root, true, cuts, &mut next_exchange, &mut producers);
+
+    let mut fragments = Vec::with_capacity(producers.len() + 1);
+    let mut join_nodes: Vec<(usize, u64)> = Vec::new();
+    let mut node_offset = 0usize;
+    for (ex, subtree) in &producers {
+        let mut b = PipelinePlan::builder();
+        let mut ctx = LowerCtx {
+            b: &mut b,
+            join_nodes: Vec::new(),
+        };
+        let rooted = ctx.lower_node(subtree)?;
+        let frag_joins = std::mem::take(&mut ctx.join_nodes);
+        if let Lowered::Source(rel, sig) = rooted {
+            // A producer fragment that is a bare scan only forwards
+            // batches; wrap in a pass-through projection so it still has
+            // a root operator (the fragmentation pass avoids these cuts,
+            // but hand-built cut lists may not).
+            let schema = subtree.schema.clone();
+            let cols: Vec<usize> = (0..schema.arity()).collect();
+            let p = Box::new(ProjectOp::columns(&cols, &schema));
+            let id = b.add_op(p, &[None], Some(subtree.sig.clone()))?;
+            b.bind_source_with_sig(rel, id, 0, sig)?;
+        }
+        let pipeline = b.build()?;
+        join_nodes.extend(frag_joins.iter().map(|&(n, p)| (n + node_offset, p)));
+        node_offset += pipeline.node_count();
+        fragments.push(tukwila_exec::Fragment {
+            pipeline,
+            output: Some(*ex),
+        });
+    }
+
+    let root_plan = PhysPlan {
+        root: rewritten_root,
+        agg: plan.agg.clone(),
+        est_cost: plan.est_cost,
+    };
+    let root_lowered = lower_plan(&root_plan, shared, emit_on_finish)?;
+    join_nodes.extend(
+        root_lowered
+            .join_nodes
+            .iter()
+            .map(|&(n, p)| (n + node_offset, p)),
+    );
+    fragments.push(tukwila_exec::Fragment {
+        pipeline: root_lowered.pipeline,
+        output: None,
+    });
+
+    Ok(FragmentedLower {
+        plan: tukwila_exec::FragmentPlan::new(fragments)?,
+        join_nodes,
+        table: root_lowered.table,
+        post_project: root_lowered.post_project,
     })
 }
 
@@ -368,6 +573,100 @@ mod tests {
         assert_eq!(plain, trad);
         assert_eq!(plain, pseudo);
         assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn fragmented_lowering_matches_single_plan_both_modes() {
+        use tukwila_exec::FragmentOptions;
+        use tukwila_optimizer::fragment::FragmentationConfig;
+        use tukwila_stats::WallClock;
+
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let ctx = OptimizerContext::no_statistics();
+        let opt = Optimizer::new(ctx.clone());
+        let plan = opt
+            .plan_with_order(
+                &q,
+                &[
+                    TableId::Orders.rel_id(),
+                    TableId::Lineitem.rel_id(),
+                    TableId::Customer.rel_id(),
+                ],
+            )
+            .unwrap();
+
+        // Reference: the unfragmented plan.
+        let lowered = lower_plan(&plan, None, true).unwrap();
+        let mut pipeline = lowered.pipeline;
+        let (rows, _) = SimDriver::new(512, CpuCostModel::Zero)
+            .run(&mut pipeline, &mut sources_for(&d, &q))
+            .unwrap();
+        let expected = tukwila_exec::reference::canonicalize_approx(&rows);
+
+        // Fragmented, every eligible subtree cut.
+        let cuts = tukwila_optimizer::choose_cuts(&plan, &ctx, &FragmentationConfig::aggressive());
+        assert!(!cuts.is_empty(), "aggressive config must cut Q3A");
+        let frag = lower_fragmented(&plan, &cuts, None, true).unwrap();
+        assert!(frag.plan.fragment_count() >= 2, "an exchange must exist");
+        assert!(!frag.join_nodes.is_empty());
+        let (rows_seq, _) = SimDriver::new(512, CpuCostModel::Zero)
+            .run_fragments_sequential(frag.plan, sources_for(&d, &q))
+            .unwrap();
+        assert_eq!(
+            tukwila_exec::reference::canonicalize_approx(&rows_seq),
+            expected,
+            "sequential fragmented run diverged"
+        );
+
+        // Threaded, same cuts.
+        let frag = lower_fragmented(&plan, &cuts, None, true).unwrap();
+        let clock = std::sync::Arc::new(WallClock::accelerated(100.0));
+        let (rows_thr, _) = SimDriver::new(512, CpuCostModel::Measured)
+            .with_clock(clock)
+            .run_fragments(frag.plan, sources_for(&d, &q), &FragmentOptions::default())
+            .unwrap();
+        assert_eq!(
+            tukwila_exec::reference::canonicalize_approx(&rows_thr),
+            expected,
+            "threaded fragmented run diverged"
+        );
+    }
+
+    #[test]
+    fn preagg_sharing_child_sig_cuts_once() {
+        use tukwila_optimizer::fragment::FragmentationConfig;
+
+        // PreAgg nodes carry their child's signature; one chosen cut
+        // signature must produce exactly one producer fragment, not a
+        // PreAgg fragment stacked on a join fragment.
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q10a();
+        let mut ctx = OptimizerContext::no_statistics();
+        ctx.preagg = PreAggConfig::Insert(tukwila_optimizer::PreAggMode::AdaptiveWindow);
+        let plan = Optimizer::new(ctx.clone()).optimize(&q).unwrap();
+        let cuts = tukwila_optimizer::choose_cuts(&plan, &ctx, &FragmentationConfig::aggressive());
+        assert!(!cuts.is_empty());
+        let frag = lower_fragmented(&plan, &cuts, None, true).unwrap();
+        assert!(
+            frag.plan.fragment_count() <= cuts.len() + 1,
+            "{} fragments for {} cut signatures — a shared PreAgg/child sig was cut twice",
+            frag.plan.fragment_count(),
+            cuts.len()
+        );
+
+        let lowered = lower_plan(&plan, None, true).unwrap();
+        let mut pipeline = lowered.pipeline;
+        let (rows, _) = SimDriver::new(512, CpuCostModel::Zero)
+            .run(&mut pipeline, &mut sources_for(&d, &q))
+            .unwrap();
+        let (rows_frag, _) = SimDriver::new(512, CpuCostModel::Zero)
+            .run_fragments_sequential(frag.plan, sources_for(&d, &q))
+            .unwrap();
+        assert_eq!(
+            tukwila_exec::reference::canonicalize_approx(&rows_frag),
+            tukwila_exec::reference::canonicalize_approx(&rows),
+        );
     }
 
     #[test]

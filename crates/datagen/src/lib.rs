@@ -1,7 +1,7 @@
 //! Synthetic TPC-H-style data and the paper's query workload (§3.5).
 //!
 //! The paper evaluates on TPC-H at scale factor 0.1 plus "a similar
-//! [dataset] that has a skewed distribution ... using a Zipf factor z of
+//! \[dataset\] that has a skewed distribution ... using a Zipf factor z of
 //! 0.5 on the major attributes". This crate regenerates both worlds,
 //! schema-faithfully (same key/foreign-key structure and
 //! selectivity-bearing attributes), at any scale factor:

@@ -22,6 +22,7 @@ pub struct HashAggOp {
 }
 
 impl HashAggOp {
+    /// A blocking hash aggregation for `spec` over `input_schema`.
     pub fn new(spec: GroupSpec, input_schema: &Schema) -> HashAggOp {
         let out_schema = spec.output_schema(input_schema);
         HashAggOp {
@@ -32,6 +33,7 @@ impl HashAggOp {
         }
     }
 
+    /// Distinct groups accumulated so far.
     pub fn group_count(&self) -> usize {
         self.groups.len()
     }

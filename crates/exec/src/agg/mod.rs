@@ -16,18 +16,23 @@ use tukwila_relation::{DataType, Field, Schema};
 /// One aggregate over an input column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AggSpec {
+    /// The aggregate function.
     pub func: AggFunc,
+    /// Input column the aggregate consumes.
     pub col: usize,
 }
 
 /// A grouping specification: group columns plus aggregates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupSpec {
+    /// Input columns forming the group key.
     pub group_cols: Vec<usize>,
+    /// Aggregates computed per group.
     pub aggs: Vec<AggSpec>,
 }
 
 impl GroupSpec {
+    /// A specification grouping on `group_cols` and computing `aggs`.
     pub fn new(group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> GroupSpec {
         GroupSpec { group_cols, aggs }
     }

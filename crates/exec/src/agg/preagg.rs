@@ -31,10 +31,15 @@ pub enum WindowPolicy {
     /// Adjustable: grow (×2) when `emitted/consumed <= grow_below`, shrink
     /// (÷2) when above `shrink_above`.
     Adaptive {
+        /// Starting window size (tuples).
         initial: usize,
+        /// Smallest window the policy will shrink to.
         min: usize,
+        /// Largest window the policy will grow to.
         max: usize,
+        /// Grow when the window's output/input ratio is at or below this.
         grow_below: f64,
+        /// Shrink when the window's output/input ratio exceeds this.
         shrink_above: f64,
     },
 }
@@ -55,9 +60,13 @@ impl WindowPolicy {
 /// Per-operator effectiveness statistics (drives Figure 6's analysis).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PreAggStats {
+    /// Windows aggregated and emitted.
     pub windows: u64,
+    /// Input tuples consumed.
     pub consumed: u64,
+    /// Partial-aggregate tuples emitted.
     pub emitted: u64,
+    /// Window size when the operator finished (or was observed).
     pub final_window: usize,
 }
 
@@ -99,12 +108,14 @@ impl PreAggOp {
         PreAggOp::new(spec, input_schema, WindowPolicy::Fixed(1))
     }
 
+    /// Effectiveness statistics, including the current window size.
     pub fn stats(&self) -> PreAggStats {
         let mut s = self.stats;
         s.final_window = self.w;
         s
     }
 
+    /// The current window size (tuples).
     pub fn current_window(&self) -> usize {
         self.w
     }

@@ -27,6 +27,7 @@ pub struct SharedGroupTable {
 }
 
 impl SharedGroupTable {
+    /// A fresh table for `spec` over `input_schema`, shared-ready.
     pub fn new(spec: GroupSpec, input_schema: &Schema) -> Arc<SharedGroupTable> {
         let out_schema = spec.output_schema(input_schema);
         Arc::new(SharedGroupTable {
@@ -37,10 +38,12 @@ impl SharedGroupTable {
         })
     }
 
+    /// The grouping specification the table accumulates under.
     pub fn spec(&self) -> &GroupSpec {
         &self.spec
     }
 
+    /// Schema of the finalized output tuples.
     pub fn output_schema(&self) -> &Schema {
         &self.out_schema
     }
@@ -60,6 +63,7 @@ impl SharedGroupTable {
         self.tuples_in.tuples_in()
     }
 
+    /// Distinct groups accumulated so far.
     pub fn group_count(&self) -> usize {
         self.groups.lock().len()
     }
@@ -82,6 +86,7 @@ pub struct SharedGroupOp {
 }
 
 impl SharedGroupOp {
+    /// A plan-resident feeder for `table`.
     pub fn new(table: Arc<SharedGroupTable>, emit_on_finish: bool) -> SharedGroupOp {
         SharedGroupOp {
             table,

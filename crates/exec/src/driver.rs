@@ -17,13 +17,44 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tukwila_relation::Result;
+use tukwila_relation::{Result, Tuple};
 use tukwila_source::{Poll, Source};
 use tukwila_stats::Clock;
 
 use crate::metrics::ExecReport;
 use crate::op::Batch;
 use crate::plan::PipelinePlan;
+
+/// Anything the round-robin driver can feed source batches into: a single
+/// [`PipelinePlan`], or a [`crate::fragments::FragmentRun`] that routes
+/// each batch to the fragment owning its relation and pumps produced
+/// batches across exchange boundaries.
+pub trait PushTarget {
+    /// Push a source batch for `rel_id`; root output lands in `out`.
+    fn push_source(&mut self, rel_id: u32, batch: &[Tuple], out: &mut Batch) -> Result<()>;
+
+    /// Signal EOF of source `rel_id`, flushing whatever that closes.
+    fn finish_source(&mut self, rel_id: u32, out: &mut Batch) -> Result<()>;
+
+    /// Ship output buffered by the preceding push/finish. The driver
+    /// calls this *outside* the charged CPU section, so targets whose
+    /// delivery can block (a producer fragment sending into a bounded
+    /// exchange queue) park their batches during push and send them
+    /// here — backpressure wait must not be billed as CPU.
+    fn ship(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl PushTarget for PipelinePlan {
+    fn push_source(&mut self, rel_id: u32, batch: &[Tuple], out: &mut Batch) -> Result<()> {
+        PipelinePlan::push_source(self, rel_id, batch, out)
+    }
+
+    fn finish_source(&mut self, rel_id: u32, out: &mut Batch) -> Result<()> {
+        PipelinePlan::finish_source(self, rel_id, out)
+    }
+}
 
 /// How CPU work advances the virtual clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +82,7 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// A zeroed timeline; `Some(clock)` selects shared-clock mode.
     pub fn new(clock: Option<Arc<dyn Clock>>) -> Timeline {
         Timeline {
             clock,
@@ -71,6 +103,7 @@ impl Timeline {
         }
     }
 
+    /// The current timeline instant (µs).
     pub fn now_us(&self) -> u64 {
         self.clock_us as u64
     }
@@ -123,14 +156,17 @@ impl Timeline {
         }
     }
 
+    /// Timeline instant as a float (µs).
     pub fn clock_us(&self) -> f64 {
         self.clock_us
     }
 
+    /// CPU time charged so far (timeline µs).
     pub fn cpu_us(&self) -> f64 {
         self.cpu_us
     }
 
+    /// Idle (waiting) time accumulated so far (timeline µs).
     pub fn idle_us(&self) -> f64 {
         self.idle_us
     }
@@ -138,7 +174,9 @@ impl Timeline {
 
 /// Round-robin batch driver.
 pub struct SimDriver {
+    /// Maximum tuples pulled from a source per poll.
     pub batch_size: usize,
+    /// How CPU work is charged to the timeline.
     pub cpu: CpuCostModel,
     /// `Some` switches the driver from the virtual accumulator to this
     /// shared clock: `now` is read from it each sweep and idling really
@@ -157,6 +195,8 @@ impl Default for SimDriver {
 }
 
 impl SimDriver {
+    /// A driver with the given batch size and CPU cost model, on the
+    /// virtual clock.
     pub fn new(batch_size: usize, cpu: CpuCostModel) -> SimDriver {
         SimDriver {
             batch_size,
@@ -183,6 +223,17 @@ impl SimDriver {
         plan: &mut PipelinePlan,
         sources: &mut [Box<dyn Source>],
     ) -> Result<(Batch, ExecReport)> {
+        self.run_target(plan, sources)
+    }
+
+    /// [`SimDriver::run`] generalized over [`PushTarget`]: the same
+    /// poll/push/idle loop drives a single pipeline, one fragment of a
+    /// threaded fragment plan, or a whole fragmented plan sequentially.
+    pub fn run_target(
+        &self,
+        plan: &mut dyn PushTarget,
+        sources: &mut [Box<dyn Source>],
+    ) -> Result<(Batch, ExecReport)> {
         let mut out = Batch::new();
         let mut report = ExecReport::default();
         let mut timeline = Timeline::new(self.clock.clone());
@@ -206,6 +257,11 @@ impl SimDriver {
                             plan.push_source(src.rel_id(), &batch, &mut out)
                         })?;
                         timeline.charge(cost);
+                        // Possibly-blocking delivery happens uncharged;
+                        // the next resync reads whatever real time the
+                        // backpressure wait consumed.
+                        plan.ship()?;
+                        timeline.resync();
                     }
                     Poll::Pending { next_ready_us } => {
                         next_ready = Some(match next_ready {
@@ -219,6 +275,8 @@ impl SimDriver {
                             plan.finish_source(src.rel_id(), &mut out)
                         })?;
                         timeline.charge(cost);
+                        plan.ship()?;
+                        timeline.resync();
                     }
                 }
             }

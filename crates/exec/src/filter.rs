@@ -15,6 +15,7 @@ pub struct FilterOp {
 }
 
 impl FilterOp {
+    /// A filter keeping tuples for which `predicate` evaluates true.
     pub fn new(predicate: Expr, schema: Schema) -> FilterOp {
         FilterOp {
             predicate,

@@ -1,0 +1,905 @@
+//! Threaded plan fragments: racing parallel subplans over
+//! [`queue_pair`](crate::queue::queue_pair()) (the §5 parallel-subplan
+//! configuration).
+//!
+//! A [`FragmentPlan`] is an operator tree split into *pipeline fragments*
+//! at **exchange** boundaries. Each fragment is an ordinary
+//! [`PipelinePlan`] whose leaves bind either real source relations or
+//! exchange streams (identified by synthetic relation ids at
+//! [`EXCHANGE_REL_BASE`]); a fragment's root output feeds the consumer
+//! fragment's exchange leaf. The same fragment plan executes in both
+//! modes of the dual-clock design:
+//!
+//! * **Sequential** ([`FragmentRun`], [`SimDriver::run_fragments_sequential`]):
+//!   all fragments run on the driver thread; a batch produced by one
+//!   fragment is pushed into its consumer immediately, so the execution
+//!   is byte-for-byte the cascade of the unfragmented plan —
+//!   deterministic under a [`tukwila_stats::VirtualClock`] and
+//!   seed-compatible.
+//! * **Threaded** ([`SimDriver::run_fragments_threaded`]): every producer
+//!   fragment runs on its own thread, shipping root output through a
+//!   bounded [`queue_pair`](crate::queue::queue_pair()) queue that the
+//!   consumer reads as an ordinary [`Source`] ([`ExchangeSource`]). A
+//!   CPU-heavy join subtree then genuinely overlaps a slow federated
+//!   scan — the driver thread can block on a delivery-bound relation
+//!   while another core burns through the build side.
+//!
+//! ## EOF, shutdown, and panic semantics
+//!
+//! The threaded mode reuses the lifecycle discipline of the threaded
+//! federation layer (`federation::concurrent`):
+//!
+//! * A producer fragment `finish`es its queue only after all of its own
+//!   inputs reached EOF and its pipeline flushed; the consumer sees
+//!   [`TryRecv::Closed`] only after
+//!   draining every buffered batch — a producer finishing early never
+//!   loses in-flight tuples.
+//! * If the consumer side fails, dropping its [`ExchangeSource`]s hangs
+//!   up the queues; blocked producers error out of their send and exit,
+//!   and every thread is joined before the driver returns.
+//! * A panicking producer thread also drops its writer, which at the
+//!   queue level is indistinguishable from clean EOF. The driver
+//!   therefore joins every fragment thread before returning and
+//!   re-raises the first panic on the calling thread, so a dying
+//!   fragment reads as a failure — never as a silently truncated answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tukwila_relation::{Error, Result, Schema, Tuple};
+use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
+use tukwila_stats::Clock;
+
+use crate::driver::{PushTarget, SimDriver};
+use crate::metrics::ExecReport;
+use crate::op::{Batch, IncOp};
+use crate::plan::{NodeObservation, PipelinePlan, SealedState};
+use crate::queue::{queue_pair, QueueReader, QueueWriter, TryRecv};
+
+/// First synthetic relation id used for exchange streams. Real base
+/// relations live far below this; the two id spaces never collide.
+pub const EXCHANGE_REL_BASE: u32 = 0xF000_0000;
+
+/// Whether a leaf relation id names an exchange stream rather than a real
+/// base relation.
+pub fn is_exchange(rel_id: u32) -> bool {
+    rel_id >= EXCHANGE_REL_BASE
+}
+
+/// Tunables of threaded fragment execution.
+#[derive(Debug, Clone)]
+pub struct FragmentOptions {
+    /// Bounded depth (in batches) of each exchange queue. A full queue
+    /// blocks the producer fragment (backpressure) until the consumer
+    /// catches up.
+    pub queue_capacity: usize,
+    /// How far ahead (timeline µs) an [`ExchangeSource`] schedules its
+    /// next look when its queue is empty. Smaller reacts faster, wakes
+    /// more.
+    pub poll_tick_us: u64,
+}
+
+impl Default for FragmentOptions {
+    fn default() -> Self {
+        FragmentOptions {
+            queue_capacity: 8,
+            poll_tick_us: 200,
+        }
+    }
+}
+
+/// One pipeline fragment of a [`FragmentPlan`].
+pub struct Fragment {
+    /// The fragment's operator tree. Leaves bind real source relations
+    /// and/or exchange inputs (ids ≥ [`EXCHANGE_REL_BASE`]).
+    pub pipeline: PipelinePlan,
+    /// The exchange stream this fragment's root output feeds, or `None`
+    /// for the root fragment (whose output is the query answer).
+    pub output: Option<u32>,
+}
+
+impl Fragment {
+    /// Real source relations bound by this fragment's leaves.
+    pub fn source_rels(&self) -> Vec<u32> {
+        self.pipeline
+            .leaves()
+            .iter()
+            .map(|l| l.rel_id)
+            .filter(|&r| !is_exchange(r))
+            .collect()
+    }
+
+    /// Exchange streams this fragment consumes.
+    pub fn exchange_inputs(&self) -> Vec<u32> {
+        self.pipeline
+            .leaves()
+            .iter()
+            .map(|l| l.rel_id)
+            .filter(|&r| is_exchange(r))
+            .collect()
+    }
+}
+
+/// An operator tree split into exchange-connected pipeline fragments.
+///
+/// Fragments are stored in topological order: every producer precedes its
+/// consumer, and the last fragment is the root (its output is the query
+/// answer). Built by [`FragmentPlan::new`], validated on construction.
+pub struct FragmentPlan {
+    fragments: Vec<Fragment>,
+}
+
+impl FragmentPlan {
+    /// Validate and assemble a fragment plan.
+    ///
+    /// Requirements: the last fragment (and only it) has `output: None`;
+    /// every other fragment outputs a distinct exchange id ≥
+    /// [`EXCHANGE_REL_BASE`]; each exchange is consumed by exactly one
+    /// *later* fragment; every exchange input has a producer; and each
+    /// real source relation is bound by exactly one fragment.
+    pub fn new(fragments: Vec<Fragment>) -> Result<FragmentPlan> {
+        if fragments.is_empty() {
+            return Err(Error::Plan(
+                "fragment plan needs at least one fragment".into(),
+            ));
+        }
+        let last = fragments.len() - 1;
+        let mut producers: HashMap<u32, usize> = HashMap::new();
+        let mut owners: HashMap<u32, usize> = HashMap::new();
+        for (i, f) in fragments.iter().enumerate() {
+            match f.output {
+                None if i != last => {
+                    return Err(Error::Plan(format!(
+                        "fragment {i} has no output exchange but is not the root"
+                    )));
+                }
+                Some(_) if i == last => {
+                    return Err(Error::Plan(
+                        "the root fragment must not output an exchange".into(),
+                    ));
+                }
+                Some(ex) => {
+                    if !is_exchange(ex) {
+                        return Err(Error::Plan(format!(
+                            "fragment {i} output {ex} is below EXCHANGE_REL_BASE"
+                        )));
+                    }
+                    if producers.insert(ex, i).is_some() {
+                        return Err(Error::Plan(format!("exchange {ex} has two producers")));
+                    }
+                }
+                None => {}
+            }
+            for rel in f.source_rels() {
+                if owners.insert(rel, i).is_some() {
+                    return Err(Error::Plan(format!(
+                        "relation {rel} is bound by two fragments"
+                    )));
+                }
+            }
+        }
+        let mut consumed: HashMap<u32, usize> = HashMap::new();
+        for (i, f) in fragments.iter().enumerate() {
+            for ex in f.exchange_inputs() {
+                match producers.get(&ex) {
+                    Some(&p) if p < i => {
+                        if consumed.insert(ex, i).is_some() {
+                            return Err(Error::Plan(format!("exchange {ex} has two consumers")));
+                        }
+                    }
+                    Some(_) => {
+                        return Err(Error::Plan(format!(
+                            "exchange {ex} consumed before its producer (fragment order)"
+                        )));
+                    }
+                    None => {
+                        return Err(Error::Plan(format!("exchange {ex} has no producer")));
+                    }
+                }
+            }
+        }
+        for (&ex, &p) in &producers {
+            if !consumed.contains_key(&ex) {
+                return Err(Error::Plan(format!(
+                    "exchange {ex} (fragment {p}) has no consumer"
+                )));
+            }
+        }
+        Ok(FragmentPlan { fragments })
+    }
+
+    /// The fragments, topological order, root last.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Number of fragments (1 = unfragmented).
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Output schema of the root fragment.
+    pub fn root_schema(&self) -> &Schema {
+        self.fragments
+            .last()
+            .expect("validated non-empty")
+            .pipeline
+            .root_schema()
+    }
+
+    /// The fragment index owning real source relation `rel_id`.
+    pub fn fragment_of(&self, rel_id: u32) -> Option<usize> {
+        self.fragments
+            .iter()
+            .position(|f| f.source_rels().contains(&rel_id))
+    }
+
+    /// Convert into the incremental sequential executor.
+    pub fn into_run(self) -> FragmentRun {
+        let mut owner = HashMap::new();
+        let mut consumer = HashMap::new();
+        let mut open_inputs = Vec::with_capacity(self.fragments.len());
+        for (i, f) in self.fragments.iter().enumerate() {
+            for rel in f.source_rels() {
+                owner.insert(rel, i);
+            }
+            for ex in f.exchange_inputs() {
+                consumer.insert(ex, i);
+            }
+            open_inputs.push(f.pipeline.leaves().len());
+        }
+        FragmentRun {
+            fragments: self.fragments,
+            owner,
+            consumer,
+            open_inputs,
+        }
+    }
+}
+
+/// Sequential, incremental execution of a [`FragmentPlan`]: one thread,
+/// direct handoff across exchanges.
+///
+/// Implements [`PushTarget`], so the ordinary drivers (`SimDriver`, the
+/// corrective executor) feed it exactly like a single [`PipelinePlan`]:
+/// a pushed batch cascades through its owning fragment, any produced
+/// batches are pushed across exchange boundaries immediately, and root
+/// output lands in `out`. Because the handoff is immediate, nothing is
+/// ever buffered *between* pushes — a mid-stream plan switch (corrective
+/// execution) can seal the run at any batch boundary without losing
+/// in-flight exchange tuples.
+pub struct FragmentRun {
+    fragments: Vec<Fragment>,
+    /// Real relation → owning fragment.
+    owner: HashMap<u32, usize>,
+    /// Exchange id → consuming fragment.
+    consumer: HashMap<u32, usize>,
+    /// Unclosed leaf bindings per fragment.
+    open_inputs: Vec<usize>,
+}
+
+impl FragmentRun {
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Counter/signature snapshots across every fragment, with node ids
+    /// offset so they are unique plan-wide (fragment 0's nodes first).
+    pub fn observations(&self) -> Vec<NodeObservation> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        for f in &self.fragments {
+            for mut obs in f.pipeline.observations() {
+                obs.node += offset;
+                out.push(obs);
+            }
+            offset += f.pipeline.node_count();
+        }
+        out
+    }
+
+    /// Seal every fragment (end of a suspended phase), extracting each
+    /// operator's state structures with plan-wide node ids. State buffered
+    /// on an exchange leaf carries the producer subtree's signature, so
+    /// cross-phase reuse works across fragment boundaries.
+    pub fn seal(self) -> Vec<SealedState> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        for f in self.fragments {
+            let count = f.pipeline.node_count();
+            for mut s in f.pipeline.seal() {
+                s.node += offset;
+                out.push(s);
+            }
+            offset += count;
+        }
+        out
+    }
+
+    fn fragment_for(&self, rel_id: u32) -> Result<usize> {
+        self.owner
+            .get(&rel_id)
+            .or_else(|| self.consumer.get(&rel_id))
+            .copied()
+            .ok_or_else(|| Error::Plan(format!("no fragment binds relation {rel_id}")))
+    }
+
+    fn push_into(&mut self, f: usize, rel: u32, batch: &[Tuple], out: &mut Batch) -> Result<()> {
+        let mut produced = Batch::new();
+        self.fragments[f]
+            .pipeline
+            .push_source(rel, batch, &mut produced)?;
+        self.forward(f, produced, out)
+    }
+
+    /// Route a fragment's produced batch: root output to `out`, otherwise
+    /// across its exchange into the consumer (recursion depth is bounded
+    /// by the fragment count — fragments form a DAG toward the root).
+    fn forward(&mut self, f: usize, produced: Batch, out: &mut Batch) -> Result<()> {
+        if produced.is_empty() {
+            return Ok(());
+        }
+        match self.fragments[f].output {
+            None => {
+                out.extend(produced);
+                Ok(())
+            }
+            Some(ex) => {
+                let c = self.consumer[&ex];
+                self.push_into(c, ex, &produced, out)
+            }
+        }
+    }
+
+    fn finish_in(&mut self, f: usize, rel: u32, out: &mut Batch) -> Result<()> {
+        let mut produced = Batch::new();
+        self.fragments[f]
+            .pipeline
+            .finish_source(rel, &mut produced)?;
+        self.open_inputs[f] -= 1;
+        self.forward(f, produced, out)?;
+        if self.open_inputs[f] == 0 {
+            // Every input of this fragment closed: its pipeline has
+            // flushed, so its output stream ends — close the exchange
+            // leaf downstream (which may complete the consumer, and so
+            // on up to the root).
+            if let Some(ex) = self.fragments[f].output {
+                let c = self.consumer[&ex];
+                self.finish_in(c, ex, out)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PushTarget for FragmentRun {
+    fn push_source(&mut self, rel_id: u32, batch: &[Tuple], out: &mut Batch) -> Result<()> {
+        let f = self.fragment_for(rel_id)?;
+        self.push_into(f, rel_id, batch, out)
+    }
+
+    fn finish_source(&mut self, rel_id: u32, out: &mut Batch) -> Result<()> {
+        let f = self.fragment_for(rel_id)?;
+        self.finish_in(f, rel_id, out)
+    }
+}
+
+/// The consumer end of an exchange, adapted to the [`Source`] trait so a
+/// consumer fragment's driver loop polls it exactly like a base relation:
+/// `Ready` while batches are queued (respecting `max_tuples` via a carry
+/// buffer), `Pending` one poll tick ahead while the producer is alive but
+/// quiet, `Eof` once the producer finished and the queue drained.
+pub struct ExchangeSource {
+    ex_id: u32,
+    name: String,
+    schema: Schema,
+    reader: Option<QueueReader>,
+    carry: Vec<Tuple>,
+    poll_tick_us: u64,
+    delivered: u64,
+    done: bool,
+}
+
+impl ExchangeSource {
+    /// Wrap the reader half of an exchange queue.
+    pub fn new(ex_id: u32, schema: Schema, reader: QueueReader, poll_tick_us: u64) -> Self {
+        ExchangeSource {
+            ex_id,
+            name: format!("exchange-{}", ex_id - EXCHANGE_REL_BASE),
+            schema,
+            reader: Some(reader),
+            carry: Vec::new(),
+            poll_tick_us: poll_tick_us.max(1),
+            delivered: 0,
+            done: false,
+        }
+    }
+
+    fn emit(&mut self, mut fresh: Vec<Tuple>, max_tuples: usize) -> Poll {
+        let cap = max_tuples.max(1);
+        if fresh.len() > cap {
+            self.carry = fresh.split_off(cap);
+        }
+        self.delivered += fresh.len() as u64;
+        Poll::Ready(fresh)
+    }
+}
+
+impl Source for ExchangeSource {
+    fn rel_id(&self) -> u32 {
+        self.ex_id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll {
+        if !self.carry.is_empty() {
+            let cap = max_tuples.max(1).min(self.carry.len());
+            let rest = self.carry.split_off(cap);
+            let head = std::mem::replace(&mut self.carry, rest);
+            self.delivered += head.len() as u64;
+            return Poll::Ready(head);
+        }
+        if self.done {
+            return Poll::Eof;
+        }
+        let status = match &self.reader {
+            Some(r) => r.try_recv_status(),
+            None => TryRecv::Closed,
+        };
+        match status {
+            TryRecv::Batch(b) => self.emit(b, max_tuples),
+            TryRecv::Empty => Poll::Pending {
+                next_ready_us: now_us + self.poll_tick_us,
+            },
+            TryRecv::Closed => {
+                self.done = true;
+                self.reader = None;
+                Poll::Eof
+            }
+        }
+    }
+
+    fn progress(&self) -> SourceProgressView {
+        SourceProgressView {
+            tuples_read: self.delivered,
+            fraction_read: None,
+            eof: self.done,
+        }
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            rel_id: self.ex_id,
+            name: self.name.clone(),
+            complete: true,
+        }
+    }
+}
+
+/// A producer fragment's [`PushTarget`]: cascades through the fragment's
+/// pipeline and ships every produced batch into the exchange queue
+/// immediately (owned send, no copy), so downstream consumption overlaps
+/// this fragment's remaining work.
+struct PipeToQueue<'a> {
+    pipeline: &'a mut PipelinePlan,
+    writer: &'a mut QueueWriter,
+    /// Output produced by the last push/finish, parked until the driver's
+    /// uncharged [`PushTarget::ship`] call — a send into a full queue
+    /// blocks on backpressure, and that wait must not be billed as CPU.
+    pending: Batch,
+}
+
+impl PushTarget for PipeToQueue<'_> {
+    fn push_source(&mut self, rel_id: u32, batch: &[Tuple], out: &mut Batch) -> Result<()> {
+        let _ = out;
+        self.pipeline.push_source(rel_id, batch, &mut self.pending)
+    }
+
+    fn finish_source(&mut self, rel_id: u32, out: &mut Batch) -> Result<()> {
+        let _ = out;
+        self.pipeline.finish_source(rel_id, &mut self.pending)
+    }
+
+    fn ship(&mut self) -> Result<()> {
+        if !self.pending.is_empty() {
+            self.writer.send(std::mem::take(&mut self.pending))?;
+        }
+        Ok(())
+    }
+}
+
+impl SimDriver {
+    /// Execute a fragmented plan, dispatching on the driver's clock:
+    /// threaded when a wall clock drives the run, sequential otherwise
+    /// (the virtual clock is single-threaded by construction — producer
+    /// naps would teleport the shared timeline).
+    pub fn run_fragments(
+        &self,
+        plan: FragmentPlan,
+        sources: Vec<Box<dyn Source>>,
+        opts: &FragmentOptions,
+    ) -> Result<(Batch, ExecReport)> {
+        match &self.clock {
+            Some(c) if c.is_wall() => self.run_fragments_threaded(plan, sources, opts),
+            _ => self.run_fragments_sequential(plan, sources),
+        }
+    }
+
+    /// Sequential execution of a fragmented plan: the standard driver loop
+    /// over [`FragmentRun`]. Identical semantics (and, under the virtual
+    /// clock, identical timing) to running the unfragmented plan.
+    pub fn run_fragments_sequential(
+        &self,
+        plan: FragmentPlan,
+        mut sources: Vec<Box<dyn Source>>,
+    ) -> Result<(Batch, ExecReport)> {
+        let mut run = plan.into_run();
+        self.run_target(&mut run, &mut sources)
+    }
+
+    /// Threaded execution of a fragmented plan: every producer fragment
+    /// runs the same driver loop on its own thread, shipping root output
+    /// through a bounded exchange queue; the root fragment runs on the
+    /// calling thread over its own sources plus the [`ExchangeSource`]s.
+    ///
+    /// Every fragment thread is joined before this returns; a producer
+    /// panic is re-raised here (never read as EOF), and a producer error
+    /// supersedes the root's (possibly truncated) result.
+    pub fn run_fragments_threaded(
+        &self,
+        plan: FragmentPlan,
+        sources: Vec<Box<dyn Source>>,
+        opts: &FragmentOptions,
+    ) -> Result<(Batch, ExecReport)> {
+        let clock: Arc<dyn Clock> = match &self.clock {
+            Some(c) if c.is_wall() => c.clone(),
+            _ => {
+                return Err(Error::Plan(
+                    "threaded fragments need a wall clock; use run_fragments_sequential \
+                     for virtual-clock runs"
+                        .into(),
+                ))
+            }
+        };
+
+        // Partition the sources among the fragments that bind them.
+        let nfrag = plan.fragment_count();
+        let mut per_fragment: Vec<Vec<Box<dyn Source>>> = (0..nfrag).map(|_| Vec::new()).collect();
+        for src in sources {
+            let f = plan.fragment_of(src.rel_id()).ok_or_else(|| {
+                Error::Plan(format!(
+                    "no fragment binds source relation {}",
+                    src.rel_id()
+                ))
+            })?;
+            per_fragment[f].push(src);
+        }
+
+        // Exchange → consuming fragment index, computed before the
+        // fragment vec is consumed (a producer's exchange may feed
+        // another producer, not only the root — multi-level chains).
+        let mut consumer_of: HashMap<u32, usize> = HashMap::new();
+        for (i, f) in plan.fragments.iter().enumerate() {
+            for ex in f.exchange_inputs() {
+                consumer_of.insert(ex, i);
+            }
+        }
+
+        // Spawn each producer fragment (topological order: producers
+        // first), handing its ExchangeSource to the consumer fragment's
+        // source list. Because producers precede consumers, the
+        // consumer's list is always still on this thread when we push.
+        struct FragThread {
+            handle: JoinHandle<Result<ExecReport>>,
+        }
+        let mut threads: Vec<FragThread> = Vec::with_capacity(nfrag - 1);
+        let mut fragments = plan.fragments;
+        let root = fragments.pop().expect("validated non-empty");
+        for (idx, frag) in fragments.into_iter().enumerate() {
+            let ex = frag.output.expect("non-root fragments output an exchange");
+            let (mut writer, reader) =
+                queue_pair(frag.pipeline.root_schema().clone(), opts.queue_capacity);
+            let exchange_source = ExchangeSource::new(
+                ex,
+                frag.pipeline.root_schema().clone(),
+                reader,
+                opts.poll_tick_us,
+            );
+            let consumer_idx = consumer_of[&ex]; // validated by FragmentPlan::new
+            per_fragment[consumer_idx].push(Box::new(exchange_source));
+
+            let mut frag_sources = std::mem::take(&mut per_fragment[idx]);
+            let driver = SimDriver {
+                batch_size: self.batch_size,
+                cpu: self.cpu,
+                clock: Some(clock.clone()),
+            };
+            let mut pipeline = frag.pipeline;
+            let handle = std::thread::Builder::new()
+                .name(format!("fragment-{idx}"))
+                .spawn(move || -> Result<ExecReport> {
+                    let mut target = PipeToQueue {
+                        pipeline: &mut pipeline,
+                        writer: &mut writer,
+                        pending: Batch::new(),
+                    };
+                    let (_, report) = driver.run_target(&mut target, &mut frag_sources)?;
+                    let _ = writer.finish(&mut Batch::new());
+                    Ok(report)
+                })
+                .map_err(|e| Error::Exec(format!("spawning fragment {idx} failed: {e}")))?;
+            threads.push(FragThread { handle });
+        }
+
+        // Root fragment on this thread.
+        let mut root_pipeline = root.pipeline;
+        let mut root_sources = std::mem::take(&mut per_fragment[nfrag - 1]);
+        let root_result = self.run_target(&mut root_pipeline, &mut root_sources);
+
+        // Tear down: drop the root's exchange readers (errors any blocked
+        // producer send), then join everything, re-raising panics.
+        drop(root_sources);
+        let mut producer_err: Option<Error> = None;
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut cpu_extra: u64 = 0;
+        for t in threads {
+            match t.handle.join() {
+                Ok(Ok(report)) => cpu_extra += report.cpu_us,
+                Ok(Err(e)) => {
+                    // A consumer hang-up during teardown is benign; any
+                    // other producer error must surface.
+                    let benign = root_result.is_err() || crate::queue::is_hangup(&e);
+                    if !benign && producer_err.is_none() {
+                        producer_err = Some(e);
+                    }
+                }
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            eprintln!("fragment producer thread panicked");
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(e) = producer_err {
+            return Err(e);
+        }
+        let (out, mut report) = root_result?;
+        report.cpu_us += cpu_extra;
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::CpuCostModel;
+    use crate::join::pipelined_hash::PipelinedHashJoin;
+    use tukwila_relation::{DataType, Field, Value};
+    use tukwila_source::{DelayModel, DelayedSource, MemSource};
+    use tukwila_stats::WallClock;
+
+    fn schema(p: &str) -> Schema {
+        Schema::new(vec![Field::new(format!("{p}.k"), DataType::Int)])
+    }
+
+    fn tuples(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect()
+    }
+
+    /// (a ⋈ b) in a producer fragment, (exchange ⋈ c) in the root.
+    fn two_fragment_plan() -> FragmentPlan {
+        let ex = EXCHANGE_REL_BASE;
+        let mut pb = PipelinePlan::builder();
+        let j1 = Box::new(PipelinedHashJoin::new(schema("a"), schema("b"), 0, 0));
+        let j1_schema = j1.schema().clone();
+        let n1 = pb.add_op(j1, &[], None).unwrap();
+        pb.bind_source(1, n1, 0).unwrap();
+        pb.bind_source(2, n1, 1).unwrap();
+        let producer = Fragment {
+            pipeline: pb.build().unwrap(),
+            output: Some(ex),
+        };
+
+        let mut rb = PipelinePlan::builder();
+        let j2 = Box::new(PipelinedHashJoin::new(j1_schema, schema("c"), 0, 0));
+        let n2 = rb.add_op(j2, &[], None).unwrap();
+        rb.bind_source(ex, n2, 0).unwrap();
+        rb.bind_source(3, n2, 1).unwrap();
+        let root = Fragment {
+            pipeline: rb.build().unwrap(),
+            output: None,
+        };
+        FragmentPlan::new(vec![producer, root]).unwrap()
+    }
+
+    fn single_plan() -> PipelinePlan {
+        let mut b = PipelinePlan::builder();
+        let j1 = Box::new(PipelinedHashJoin::new(schema("a"), schema("b"), 0, 0));
+        let j1_schema = j1.schema().clone();
+        let n1 = b.add_op(j1, &[], None).unwrap();
+        let j2 = Box::new(PipelinedHashJoin::new(j1_schema, schema("c"), 0, 0));
+        let n2 = b.add_op(j2, &[Some(n1)], None).unwrap();
+        b.bind_source(1, n1, 0).unwrap();
+        b.bind_source(2, n1, 1).unwrap();
+        b.bind_source(3, n2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn mem_sources() -> Vec<Box<dyn Source>> {
+        vec![
+            Box::new(MemSource::new(1, "a", schema("a"), tuples(80))),
+            Box::new(MemSource::new(2, "b", schema("b"), tuples(60))),
+            Box::new(MemSource::new(3, "c", schema("c"), tuples(40))),
+        ]
+    }
+
+    fn keys(batch: &Batch) -> Vec<i64> {
+        let mut k: Vec<i64> = batch.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        k.sort_unstable();
+        k
+    }
+
+    #[test]
+    fn sequential_fragments_match_single_plan() {
+        let driver = SimDriver::new(16, CpuCostModel::Zero);
+        let (single_out, _) = driver.run(&mut single_plan(), &mut mem_sources()).unwrap();
+        let (frag_out, report) = driver
+            .run_fragments_sequential(two_fragment_plan(), mem_sources())
+            .unwrap();
+        assert_eq!(keys(&frag_out), keys(&single_out));
+        assert_eq!(frag_out.len(), 40, "a⋈b⋈c over prefixes of 0..n");
+        assert_eq!(report.tuples_out, 40);
+    }
+
+    #[test]
+    fn threaded_fragments_match_single_plan() {
+        let clock = Arc::new(WallClock::accelerated(100.0));
+        let driver = SimDriver::new(16, CpuCostModel::Measured).with_clock(clock);
+        let (single_out, _) = SimDriver::new(16, CpuCostModel::Zero)
+            .run(&mut single_plan(), &mut mem_sources())
+            .unwrap();
+        let (frag_out, _) = driver
+            .run_fragments(
+                two_fragment_plan(),
+                mem_sources(),
+                &FragmentOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(keys(&frag_out), keys(&single_out));
+    }
+
+    #[test]
+    fn threaded_fragments_with_delayed_sources_lose_nothing() {
+        let clock = Arc::new(WallClock::accelerated(500.0));
+        let driver = SimDriver::new(32, CpuCostModel::Measured).with_clock(clock);
+        let model = DelayModel::Bandwidth {
+            bytes_per_sec: 1e6,
+            initial_latency_us: 5_000,
+        };
+        let sources: Vec<Box<dyn Source>> = vec![
+            Box::new(DelayedSource::new(1, "a", schema("a"), tuples(200), &model)),
+            Box::new(DelayedSource::new(2, "b", schema("b"), tuples(200), &model)),
+            Box::new(DelayedSource::new(3, "c", schema("c"), tuples(200), &model)),
+        ];
+        let (out, report) = driver
+            .run_fragments_threaded(two_fragment_plan(), sources, &FragmentOptions::default())
+            .unwrap();
+        assert_eq!(keys(&out), (0..200).collect::<Vec<_>>());
+        assert_eq!(report.tuples_out, 200);
+    }
+
+    #[test]
+    fn plan_validation_rejects_malformed_shapes() {
+        // Producer without a consumer.
+        let mut pb = PipelinePlan::builder();
+        let j = Box::new(PipelinedHashJoin::new(schema("a"), schema("b"), 0, 0));
+        let n = pb.add_op(j, &[], None).unwrap();
+        pb.bind_source(1, n, 0).unwrap();
+        pb.bind_source(2, n, 1).unwrap();
+        let orphan = Fragment {
+            pipeline: pb.build().unwrap(),
+            output: Some(EXCHANGE_REL_BASE),
+        };
+        let mut rb = PipelinePlan::builder();
+        let j2 = Box::new(PipelinedHashJoin::new(schema("a"), schema("c"), 0, 0));
+        let n2 = rb.add_op(j2, &[], None).unwrap();
+        rb.bind_source(4, n2, 0).unwrap();
+        rb.bind_source(3, n2, 1).unwrap();
+        let root = Fragment {
+            pipeline: rb.build().unwrap(),
+            output: None,
+        };
+        assert!(FragmentPlan::new(vec![orphan, root]).is_err());
+
+        // Root in the wrong position.
+        let plan = two_fragment_plan();
+        let mut frags: Vec<Fragment> = plan.fragments.into_iter().collect();
+        frags.swap(0, 1);
+        assert!(FragmentPlan::new(frags).is_err());
+    }
+
+    #[test]
+    fn exchange_source_respects_max_tuples_and_eof() {
+        let (mut writer, reader) = queue_pair(schema("x"), 4);
+        let mut ex = ExchangeSource::new(EXCHANGE_REL_BASE, schema("x"), reader, 100);
+        assert!(matches!(
+            ex.poll(0, 8),
+            Poll::Pending { next_ready_us: 100 }
+        ));
+        writer.send(tuples(25)).unwrap();
+        let mut got = Vec::new();
+        loop {
+            match ex.poll(0, 10) {
+                Poll::Ready(b) => {
+                    assert!(b.len() <= 10, "Ready respects max_tuples");
+                    got.extend(b);
+                }
+                Poll::Pending { .. } => {
+                    writer.finish(&mut Batch::new()).unwrap();
+                }
+                Poll::Eof => break,
+            }
+        }
+        assert_eq!(got.len(), 25);
+        assert!(ex.progress().eof);
+    }
+
+    #[test]
+    #[should_panic(expected = "fragment exploded")]
+    fn producer_panic_is_reraised_not_read_as_eof() {
+        struct Exploding {
+            schema: Schema,
+            sent: i64,
+        }
+        impl Source for Exploding {
+            fn rel_id(&self) -> u32 {
+                1
+            }
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn schema(&self) -> &Schema {
+                &self.schema
+            }
+            fn poll(&mut self, _now_us: u64, _max: usize) -> Poll {
+                if self.sent >= 5 {
+                    panic!("fragment exploded");
+                }
+                self.sent += 1;
+                Poll::Ready(vec![Tuple::new(vec![Value::Int(self.sent - 1)])])
+            }
+            fn progress(&self) -> SourceProgressView {
+                SourceProgressView {
+                    tuples_read: self.sent as u64,
+                    fraction_read: None,
+                    eof: false,
+                }
+            }
+        }
+        let clock = Arc::new(WallClock::accelerated(100.0));
+        let driver = SimDriver::new(16, CpuCostModel::Measured).with_clock(clock);
+        let mut sources = mem_sources();
+        sources[0] = Box::new(Exploding {
+            schema: schema("a"),
+            sent: 0,
+        });
+        let _ = driver.run_fragments_threaded(
+            two_fragment_plan(),
+            sources,
+            &FragmentOptions::default(),
+        );
+    }
+}

@@ -12,7 +12,9 @@ use tukwila_storage::{StateStructure, TupleHashTable};
 /// Statistics from batch/stitch-up join primitives.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BatchJoinStats {
+    /// Hash-table probes performed.
     pub probes: usize,
+    /// Output tuples produced.
     pub output: usize,
     /// Structures that had to be rehashed because their advertised key did
     /// not match the join key.

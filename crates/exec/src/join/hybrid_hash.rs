@@ -31,6 +31,8 @@ pub struct HybridHashJoin {
 }
 
 impl HybridHashJoin {
+    /// A hybrid hash join building on port 0 and probing from port 1
+    /// (probe tuples buffer until the build side closes).
     pub fn new(
         build_schema: Schema,
         probe_schema: Schema,

@@ -33,6 +33,7 @@ pub struct MergeJoin {
 }
 
 impl MergeJoin {
+    /// A merge join over inputs sorted ascending on their key columns.
     pub fn new(
         left_schema: Schema,
         right_schema: Schema,

@@ -46,6 +46,8 @@ pub struct OverflowHashJoin {
 }
 
 impl OverflowHashJoin {
+    /// A symmetric hash join that spills partitions once resident state
+    /// exceeds `mem_limit_bytes`.
     pub fn new(
         left_schema: Schema,
         right_schema: Schema,
@@ -75,6 +77,7 @@ impl OverflowHashJoin {
         self.spilled.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Probe/output statistics accumulated so far.
     pub fn join_stats(&self) -> BatchJoinStats {
         self.stats
     }

@@ -27,6 +27,8 @@ pub struct PipelinedHashJoin {
 }
 
 impl PipelinedHashJoin {
+    /// A symmetric hash join on `left_key = right_key` (key positions in
+    /// the respective input schemas).
     pub fn new(
         left_schema: Schema,
         right_schema: Schema,

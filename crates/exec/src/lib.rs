@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Pipelined query operators and the incremental, push-based execution
 //! engine (paper §3).
 //!
@@ -32,6 +34,7 @@
 pub mod agg;
 pub mod driver;
 pub mod filter;
+pub mod fragments;
 pub mod join;
 pub mod metrics;
 pub mod op;
@@ -41,7 +44,11 @@ pub mod queue;
 pub mod reference;
 pub mod split;
 
-pub use driver::{CpuCostModel, SimDriver, Timeline};
+pub use driver::{CpuCostModel, PushTarget, SimDriver, Timeline};
+pub use fragments::{
+    is_exchange, ExchangeSource, Fragment, FragmentOptions, FragmentPlan, FragmentRun,
+    EXCHANGE_REL_BASE,
+};
 pub use metrics::ExecReport;
 pub use op::{Batch, ExtractedState, IncOp};
 pub use plan::{PipelinePlan, PlanBuilder};

@@ -16,10 +16,12 @@ pub struct ExecReport {
 }
 
 impl ExecReport {
+    /// Completion time in timeline seconds.
     pub fn virtual_secs(&self) -> f64 {
         self.virtual_us as f64 / 1e6
     }
 
+    /// CPU time in seconds.
     pub fn cpu_secs(&self) -> f64 {
         self.cpu_us as f64 / 1e6
     }

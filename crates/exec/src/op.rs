@@ -14,8 +14,11 @@ pub type Batch = Vec<Tuple>;
 /// (0 = left/only input, 1 = right input); the phase manager maps ports to
 /// logical subexpression signatures and registers the structure.
 pub struct ExtractedState {
+    /// Input port whose data the structure buffered (0 = left/only).
     pub port: usize,
+    /// Schema of the buffered tuples.
     pub schema: Schema,
+    /// The extracted state structure itself.
     pub structure: Arc<dyn StateStructure>,
 }
 

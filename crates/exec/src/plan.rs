@@ -12,8 +12,11 @@ use crate::op::{Batch, IncOp};
 /// Identifies where a base relation's tuples enter the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeafBinding {
+    /// The bound source relation (or exchange stream).
     pub rel_id: u32,
+    /// Plan node the source feeds.
     pub node: usize,
+    /// Input port of that node.
     pub port: usize,
 }
 
@@ -33,20 +36,30 @@ struct PlanNode {
 /// A state structure captured when a plan was sealed, annotated with the
 /// logical subexpression it holds.
 pub struct SealedState {
+    /// Logical signature of the subexpression the structure buffered.
     pub sig: Option<ExprSig>,
+    /// Schema of the buffered tuples.
     pub schema: Schema,
+    /// The extracted state structure.
     pub structure: Arc<dyn tukwila_storage::StateStructure>,
+    /// Plan node the structure came from.
     pub node: usize,
+    /// Input port of that node.
     pub port: usize,
 }
 
 /// Snapshot of one operator's counters with its signature annotations,
 /// used by the execution monitor.
 pub struct NodeObservation {
+    /// The observed plan node.
     pub node: usize,
+    /// The operator's display name.
     pub name: String,
+    /// Logical signature of the node's output.
     pub output_sig: Option<ExprSig>,
+    /// Logical signature of the data arriving on each input port.
     pub input_sigs: Vec<Option<ExprSig>>,
+    /// The node's live counters (shared with the executor).
     pub counters: Arc<OpCounters>,
 }
 
@@ -70,18 +83,28 @@ pub struct PipelinePlan {
 }
 
 impl PipelinePlan {
+    /// Start building a plan.
     pub fn builder() -> PlanBuilder {
         PlanBuilder::default()
     }
 
+    /// Output schema of the root operator.
     pub fn root_schema(&self) -> &Schema {
         self.nodes[self.root].op.schema()
     }
 
+    /// The plan's source bindings.
     pub fn leaves(&self) -> &[LeafBinding] {
         &self.leaves
     }
 
+    /// Number of operator nodes in the plan (fragmented plans use this to
+    /// assign plan-wide node ids across fragments).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The binding for `rel_id`, if the plan has one.
     pub fn leaf_for(&self, rel_id: u32) -> Option<LeafBinding> {
         self.leaves.iter().copied().find(|l| l.rel_id == rel_id)
     }
@@ -269,6 +292,21 @@ impl PlanBuilder {
     /// Bind a source relation to an input port of a node. The port's input
     /// signature becomes the single-relation signature.
     pub fn bind_source(&mut self, rel_id: u32, node: usize, port: usize) -> Result<()> {
+        self.bind_source_with_sig(rel_id, node, port, ExprSig::single(rel_id))
+    }
+
+    /// [`PlanBuilder::bind_source`] with an explicit logical signature for
+    /// the port. Exchange leaves (fragmented plans) use this: the stream
+    /// arriving over an exchange carries the producer *subtree's*
+    /// signature, not a single base relation, and sealing must register
+    /// buffered state under that subtree signature for cross-phase reuse.
+    pub fn bind_source_with_sig(
+        &mut self,
+        rel_id: u32,
+        node: usize,
+        port: usize,
+        sig: ExprSig,
+    ) -> Result<()> {
         if node >= self.nodes.len() {
             return Err(Error::Plan(format!("node {node} not defined")));
         }
@@ -280,7 +318,7 @@ impl PlanBuilder {
                 "node {node} port {port} already fed by a child"
             )));
         }
-        self.nodes[node].input_sigs[port] = Some(ExprSig::single(rel_id));
+        self.nodes[node].input_sigs[port] = Some(sig);
         self.leaves.push(LeafBinding { rel_id, node, port });
         Ok(())
     }

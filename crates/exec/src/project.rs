@@ -16,6 +16,7 @@ pub struct ProjectOp {
 }
 
 impl ProjectOp {
+    /// A projection evaluating `exprs` into tuples of `schema`.
     pub fn new(exprs: Vec<Expr>, schema: Schema) -> ProjectOp {
         ProjectOp {
             exprs,

@@ -50,6 +50,37 @@ pub enum TryRecv {
 }
 
 /// Create a connected queue pair with the given batch capacity.
+///
+/// The writer half moves into the producer thread (it is also an
+/// [`IncOp`], so a pipeline can end in it); the reader half stays with the
+/// consumer and distinguishes "no data yet" from "producer done":
+///
+/// ```
+/// use tukwila_exec::queue::{queue_pair, TryRecv};
+/// use tukwila_relation::{DataType, Field, Schema, Tuple, Value};
+///
+/// let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+/// let (mut writer, reader) = queue_pair(schema, 4);
+///
+/// let producer = std::thread::spawn(move || {
+///     for i in 0..3 {
+///         writer.send(vec![Tuple::new(vec![Value::Int(i)])]).unwrap();
+///     }
+///     // Dropping (or finishing) the writer closes the queue — but only
+///     // after every buffered batch has been drained by the reader.
+/// });
+///
+/// let mut got = 0;
+/// loop {
+///     match reader.try_recv_status() {
+///         TryRecv::Batch(batch) => got += batch.len(),
+///         TryRecv::Empty => std::thread::yield_now(), // producer still alive
+///         TryRecv::Closed => break,                   // done AND drained
+///     }
+/// }
+/// producer.join().unwrap();
+/// assert_eq!(got, 3);
+/// ```
 pub fn queue_pair(schema: Schema, capacity: usize) -> (QueueWriter, QueueReader) {
     let (tx, rx) = bounded(capacity.max(1));
     (
@@ -61,6 +92,17 @@ pub fn queue_pair(schema: Schema, capacity: usize) -> (QueueWriter, QueueReader)
         },
         QueueReader { schema, rx },
     )
+}
+
+/// Error message for a send into a queue whose consumer dropped its
+/// reader. The single definition the teardown logic matches against
+/// (see [`is_hangup`]) — do not inline the string elsewhere.
+pub(crate) const CONSUMER_HANGUP: &str = "queue consumer hung up";
+
+/// Whether an error is specifically the consumer-hangup send failure
+/// (benign during teardown: the consumer went away on purpose).
+pub(crate) fn is_hangup(e: &Error) -> bool {
+    matches!(e, Error::Exec(msg) if msg == CONSUMER_HANGUP)
 }
 
 impl QueueWriter {
@@ -84,7 +126,7 @@ impl QueueWriter {
                 tx.send(b)
             }
             Err(TrySendError::Disconnected(_)) => {
-                return Err(Error::Exec("queue consumer hung up".into()));
+                return Err(Error::Exec(CONSUMER_HANGUP.into()));
             }
         };
         match blocked_send {
@@ -93,7 +135,7 @@ impl QueueWriter {
                 self.counters.add_out(n);
                 Ok(())
             }
-            Err(SendError(_)) => Err(Error::Exec("queue consumer hung up".into())),
+            Err(SendError(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
         }
     }
 
@@ -128,7 +170,7 @@ impl IncOp for QueueWriter {
         match &self.tx {
             Some(tx) => match tx.send(batch.to_vec()) {
                 Ok(()) => Ok(()),
-                Err(SendError(_)) => Err(Error::Exec("queue consumer hung up".into())),
+                Err(SendError(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
             },
             None => Err(Error::Exec("queue already closed".into())),
         }
@@ -146,6 +188,7 @@ impl IncOp for QueueWriter {
 }
 
 impl QueueReader {
+    /// Schema of the batches flowing through the queue.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }

@@ -15,7 +15,9 @@ use crate::agg::{AggSpec, GroupSpec};
 /// A base relation for the oracle.
 #[derive(Clone)]
 pub struct RefRelation {
+    /// The relation's schema.
     pub schema: Schema,
+    /// The relation's full contents.
     pub tuples: Vec<Tuple>,
 }
 
@@ -23,9 +25,13 @@ pub struct RefRelation {
 /// relation's schema.
 #[derive(Debug, Clone, Copy)]
 pub struct RefJoin {
+    /// Index of the left relation in [`RefQuery::relations`].
     pub left_rel: usize,
+    /// Join column within the left relation's schema.
     pub left_col: usize,
+    /// Index of the right relation in [`RefQuery::relations`].
     pub right_rel: usize,
+    /// Join column within the right relation's schema.
     pub right_col: usize,
 }
 
@@ -33,22 +39,28 @@ pub struct RefJoin {
 /// schema.
 #[derive(Debug, Clone, Copy)]
 pub struct RefCol {
+    /// Relation index in [`RefQuery::relations`].
     pub rel: usize,
+    /// Column within that relation's schema.
     pub col: usize,
 }
 
 /// A reference SPJA query.
 pub struct RefQuery {
+    /// The base relations, in combined-schema order.
     pub relations: Vec<RefRelation>,
     /// Per-relation selection predicates (applied before joins).
     pub filters: Vec<(usize, Expr)>,
+    /// Equi-join edges.
     pub joins: Vec<RefJoin>,
     /// Optional grouping over the combined schema.
     pub group_cols: Vec<RefCol>,
+    /// Aggregates over the combined schema (empty = no aggregation).
     pub aggs: Vec<(tukwila_relation::agg::AggFunc, RefCol)>,
 }
 
 impl RefQuery {
+    /// A query over `relations` with no filters, joins, or aggregates yet.
     pub fn new(relations: Vec<RefRelation>) -> RefQuery {
         RefQuery {
             relations,

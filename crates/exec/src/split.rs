@@ -18,6 +18,7 @@ pub type Port = usize;
 
 /// Decides, per tuple, which subplan receives it.
 pub trait Router: Send {
+    /// Destination port for `t`, without buffering.
     fn route(&mut self, t: &Tuple) -> Port;
 
     /// Hand a tuple to the router; it may buffer it (returning `None`) or
@@ -43,6 +44,7 @@ pub struct OrderRouter {
 }
 
 impl OrderRouter {
+    /// A router tracking ascending runs on `key_col`.
     pub fn new(key_col: usize) -> OrderRouter {
         OrderRouter {
             key_col,
@@ -101,6 +103,7 @@ impl Ord for TupleBox {
 }
 
 impl PriorityQueueRouter {
+    /// An order router buffering up to `capacity` tuples for re-sorting.
     pub fn new(key_col: usize, capacity: usize) -> PriorityQueueRouter {
         PriorityQueueRouter {
             inner: OrderRouter::new(key_col),
@@ -153,6 +156,7 @@ pub struct Split<R: Router> {
 }
 
 impl<R: Router> Split<R> {
+    /// A splitter over `n` output ports.
     pub fn new(router: R, n: usize) -> Split<R> {
         Split { router, n }
     }

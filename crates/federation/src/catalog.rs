@@ -73,6 +73,7 @@ pub struct FederatedCatalog {
 }
 
 impl FederatedCatalog {
+    /// An empty catalog whose adapters will use `config`.
     pub fn new(config: FederationConfig) -> FederatedCatalog {
         FederatedCatalog {
             relations: BTreeMap::new(),
@@ -157,6 +158,7 @@ pub struct PartialReplica {
 }
 
 impl PartialReplica {
+    /// Wrap a source, marking it as covering only part of its relation.
     pub fn new(inner: Box<dyn Source>) -> PartialReplica {
         PartialReplica { inner }
     }

@@ -296,6 +296,7 @@ impl ConcurrentFederatedSource {
         })
     }
 
+    /// The online permutation scheduler driving this adapter.
     pub fn scheduler(&self) -> &PermutationScheduler {
         &self.scheduler
     }

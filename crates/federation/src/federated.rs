@@ -122,14 +122,20 @@ pub(crate) fn validate_candidates(
 /// Post-run statistics for one candidate.
 #[derive(Debug, Clone)]
 pub struct CandidateReport {
+    /// The candidate's registration-time descriptor.
     pub descriptor: SourceDescriptor,
     /// Raw tuples pulled from this candidate.
     pub delivered: u64,
     /// Tuples dropped because another replica already delivered the key.
     pub duplicates: u64,
+    /// Times the candidate was declared stalled.
     pub stalls: u64,
+    /// Whether the candidate was ever activated (standbys that were never
+    /// needed stay `false`).
     pub activated: bool,
+    /// Whether the candidate reached end of stream.
     pub eof: bool,
+    /// Observed delivery rate (tuples per timeline second), if profiled.
     pub rate_tuples_per_sec: Option<f64>,
     /// Threaded mode only: times this candidate's producer found its
     /// delivery queue full and had to block (backpressure). Always 0 in
@@ -140,12 +146,15 @@ pub struct CandidateReport {
 /// Post-run statistics for a whole federated relation.
 #[derive(Debug, Clone)]
 pub struct FederationReport {
+    /// The federated base relation.
     pub rel_id: u32,
+    /// Display name of the federated adapter.
     pub name: String,
     /// Distinct tuples handed to the engine.
     pub delivered: u64,
     /// Candidate activations beyond the first (failovers/hedges).
     pub failovers: u64,
+    /// Per-candidate statistics, in registration order.
     pub candidates: Vec<CandidateReport>,
 }
 
@@ -221,6 +230,7 @@ impl FederatedSource {
         })
     }
 
+    /// The online permutation scheduler driving this adapter.
     pub fn scheduler(&self) -> &PermutationScheduler {
         &self.scheduler
     }

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Federated source catalog and online source-permutation scheduling.
 //!
 //! The paper's engine adapts to the *properties* of each source — delivery

@@ -39,6 +39,7 @@ pub struct BehaviorProfile {
 }
 
 impl BehaviorProfile {
+    /// A fresh profile for a not-yet-activated candidate.
     pub fn new() -> BehaviorProfile {
         BehaviorProfile {
             rate: RateEstimator::default(),
@@ -51,16 +52,20 @@ impl BehaviorProfile {
         }
     }
 
+    /// Mark the candidate activated at `now_us` (idempotent).
     pub fn activate(&mut self, now_us: u64) {
         if self.activated_at_us.is_none() {
             self.activated_at_us = Some(now_us);
         }
     }
 
+    /// Whether the candidate has ever been activated.
     pub fn is_active(&self) -> bool {
         self.activated_at_us.is_some()
     }
 
+    /// Record an arrival of `tuples` raw tuples, `fresh` of which survived
+    /// dedup.
     pub fn observe_batch(&mut self, now_us: u64, tuples: u64, fresh: u64) {
         self.rate.observe_arrival(now_us, tuples);
         self.delivered += tuples;

@@ -27,6 +27,26 @@ use crate::catalog::FederationConfig;
 use crate::profile::BehaviorProfile;
 
 /// Scheduler state for one federated relation.
+///
+/// ```
+/// use tukwila_federation::{FederationConfig, PermutationScheduler};
+///
+/// // Three mirrors; only the first registered candidate starts active.
+/// let mut sched = PermutationScheduler::new(3, FederationConfig::default());
+/// assert_eq!(sched.polling_order(0), vec![0]);
+///
+/// // Candidate 0 delivers a batch of 10 (all fresh after dedup) at t=0,
+/// // then goes silent. Its profile-derived stall deadline tells us when
+/// // the silence stops looking normal...
+/// sched.note_arrival(0, 0, 10, 10);
+/// let deadline = sched.next_deadline_us(0).expect("an active candidate has one");
+///
+/// // ...and reporting it still pending at that instant hedges onto the
+/// // next standby in registration order.
+/// assert_eq!(sched.on_pending(0, deadline), Some(1));
+/// assert_eq!(sched.failovers(), 1);
+/// assert!(sched.polling_order(deadline).contains(&1));
+/// ```
 #[derive(Debug)]
 pub struct PermutationScheduler {
     profiles: Vec<BehaviorProfile>,
@@ -39,6 +59,8 @@ pub struct PermutationScheduler {
 }
 
 impl PermutationScheduler {
+    /// A scheduler over `candidates` sources in registration order; the
+    /// first candidate starts active, the rest park as standbys.
     pub fn new(candidates: usize, config: FederationConfig) -> PermutationScheduler {
         assert!(candidates > 0, "scheduler needs at least one candidate");
         let mut s = PermutationScheduler {
@@ -52,14 +74,17 @@ impl PermutationScheduler {
         s
     }
 
+    /// Per-candidate behavior profiles, in registration order.
     pub fn profiles(&self) -> &[BehaviorProfile] {
         &self.profiles
     }
 
+    /// Mutable access to one candidate's profile.
     pub fn profile_mut(&mut self, idx: usize) -> &mut BehaviorProfile {
         &mut self.profiles[idx]
     }
 
+    /// The configuration the scheduler was built with.
     pub fn config(&self) -> &FederationConfig {
         &self.config
     }
@@ -109,6 +134,7 @@ impl PermutationScheduler {
         self.profiles[idx].observe_batch(now_us, tuples, fresh);
     }
 
+    /// Record that candidate `idx` reached end of stream.
     pub fn note_eof(&mut self, idx: usize) {
         self.profiles[idx].eof = true;
     }

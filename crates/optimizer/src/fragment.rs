@@ -1,0 +1,232 @@
+//! The fragmentation pass: decide where to cut a physical plan into
+//! exchange-connected pipeline fragments (the §5 parallel-subplan
+//! configuration).
+//!
+//! The overlap opportunity is delivery-boundedness: when one input of a
+//! join is fed by a slow source (an observed delivery rate published by
+//! the federation layer bounds how fast its tuples can arrive) and the
+//! sibling subtree is CPU-heavy, executing the sibling as its own
+//! fragment lets its CPU burn on another thread while the driver blocks
+//! on the slow deliveries. The pass walks the plan tree top-down and
+//! returns the logical signatures of the subtrees to split out; the
+//! lowering layer (in `tukwila-core`) turns each into a producer fragment
+//! behind an exchange.
+//!
+//! Cuts are chosen only where they can pay:
+//!
+//! * the sibling of the cut subtree must be *delivery-bound* — its
+//!   expected arrival time (from observed rates over remaining
+//!   cardinalities) exceeds [`FragmentationConfig::min_delivery_us`];
+//! * the cut subtree must carry real CPU work — estimated cost at least
+//!   [`FragmentationConfig::min_cpu_cost`] and at least one join (a bare
+//!   scan fragment would only forward batches);
+//! * at most [`FragmentationConfig::max_fragments`] producer fragments,
+//!   nearest to the root first (those overlap the most work).
+
+use crate::cost::OptimizerContext;
+use crate::phys::{PhysKind, PhysNode, PhysPlan};
+use tukwila_storage::ExprSig;
+
+/// Tunables of the fragmentation pass.
+#[derive(Debug, Clone)]
+pub struct FragmentationConfig {
+    /// Minimum expected delivery wait (timeline µs) on the slow side of a
+    /// join before overlapping its sibling is worth a fragment boundary.
+    pub min_delivery_us: f64,
+    /// Minimum estimated CPU cost (cost-model units) of a subtree before
+    /// it earns its own fragment.
+    pub min_cpu_cost: f64,
+    /// Upper bound on producer fragments (the root fragment is extra).
+    pub max_fragments: usize,
+}
+
+impl Default for FragmentationConfig {
+    fn default() -> Self {
+        FragmentationConfig {
+            min_delivery_us: 50_000.0,
+            min_cpu_cost: 5_000.0,
+            max_fragments: 3,
+        }
+    }
+}
+
+impl FragmentationConfig {
+    /// A configuration that cuts every eligible join subtree regardless of
+    /// observed rates or cost — used by tests that need an exchange to
+    /// exist deterministically.
+    pub fn aggressive() -> FragmentationConfig {
+        FragmentationConfig {
+            min_delivery_us: 0.0,
+            min_cpu_cost: 0.0,
+            max_fragments: 8,
+        }
+    }
+}
+
+/// Expected delivery wait (timeline µs) of the slowest source feeding the
+/// subtree: `remaining_card / observed_rate` per scan, maximum over scans.
+/// Zero when no scan in the subtree has a published rate (local/fast
+/// sources — the seed assumption).
+pub fn subtree_delivery_us(node: &PhysNode, ctx: &OptimizerContext) -> f64 {
+    match &node.kind {
+        PhysKind::Scan { rel, .. } => ctx.delivery_bound_us(*rel, ctx.remaining_card(*rel)),
+        PhysKind::Join { left, right, .. } => {
+            subtree_delivery_us(left, ctx).max(subtree_delivery_us(right, ctx))
+        }
+        PhysKind::PreAgg { child, .. } => subtree_delivery_us(child, ctx),
+    }
+}
+
+/// Choose the subtrees to split out as producer fragments.
+///
+/// Returns the logical signatures of the cut roots, outermost first. The
+/// root node itself is never cut (it anchors the consumer fragment), and
+/// a cut subtree's descendants are only considered for further (nested)
+/// cuts while the fragment budget lasts.
+pub fn choose_cuts(
+    plan: &PhysPlan,
+    ctx: &OptimizerContext,
+    config: &FragmentationConfig,
+) -> Vec<ExprSig> {
+    let mut cuts = Vec::new();
+    walk(&plan.root, ctx, config, &mut cuts);
+    cuts
+}
+
+fn eligible(node: &PhysNode, config: &FragmentationConfig) -> bool {
+    node.join_count() >= 1 && node.est_cost >= config.min_cpu_cost
+}
+
+fn walk(
+    node: &PhysNode,
+    ctx: &OptimizerContext,
+    config: &FragmentationConfig,
+    cuts: &mut Vec<ExprSig>,
+) {
+    if cuts.len() >= config.max_fragments {
+        return;
+    }
+    match &node.kind {
+        PhysKind::Join { left, right, .. } => {
+            let dl = subtree_delivery_us(left, ctx);
+            let dr = subtree_delivery_us(right, ctx);
+            // Cut the CPU-heavy sibling of a delivery-bound input. With
+            // `min_delivery_us == 0` (the aggressive/test config) any
+            // eligible sibling is cut.
+            if dr >= config.min_delivery_us && eligible(left, config) && !cuts.contains(&left.sig) {
+                cuts.push(left.sig.clone());
+            } else if dl >= config.min_delivery_us
+                && eligible(right, config)
+                && !cuts.contains(&right.sig)
+            {
+                cuts.push(right.sig.clone());
+            }
+            walk(left, ctx, config, cuts);
+            walk(right, ctx, config, cuts);
+        }
+        PhysKind::PreAgg { child, .. } => walk(child, ctx, config, cuts),
+        PhysKind::Scan { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::Optimizer;
+    use crate::logical::{JoinPred, LogicalQuery, QueryRel};
+    use std::sync::Arc;
+    use tukwila_relation::{DataType, Field, Schema};
+    use tukwila_stats::SelectivityCatalog;
+
+    fn rel(id: u32, name: &str) -> QueryRel {
+        QueryRel::new(
+            id,
+            name,
+            Schema::new(vec![Field::new(format!("{name}.k"), DataType::Int)]),
+        )
+    }
+
+    fn chain3() -> LogicalQuery {
+        LogicalQuery::new(
+            vec![rel(1, "a"), rel(2, "b"), rel(3, "c")],
+            vec![
+                JoinPred {
+                    id: 1,
+                    left_rel: 1,
+                    left_col: 0,
+                    right_rel: 2,
+                    right_col: 0,
+                },
+                JoinPred {
+                    id: 2,
+                    left_rel: 2,
+                    left_col: 0,
+                    right_rel: 3,
+                    right_col: 0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn no_observed_rates_no_cuts() {
+        let q = chain3();
+        let ctx = OptimizerContext::no_statistics();
+        let plan = Optimizer::new(ctx.clone()).optimize(&q).unwrap();
+        assert!(choose_cuts(&plan, &ctx, &FragmentationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn slow_source_cuts_the_cpu_heavy_sibling() {
+        let q = chain3();
+        let catalog = Arc::new(SelectivityCatalog::new());
+        // Relation 3 delivers at 100 tuples/s: 20k default tuples take
+        // 200 virtual seconds — massively delivery-bound.
+        catalog.observe_source_rate(3, 100.0);
+        let ctx = OptimizerContext {
+            catalog: Some(catalog),
+            ..OptimizerContext::no_statistics()
+        };
+        let plan = Optimizer::new(ctx.clone())
+            .plan_with_order(&q, &[1, 2, 3])
+            .unwrap();
+        let cuts = choose_cuts(
+            &plan,
+            &ctx,
+            &FragmentationConfig {
+                min_cpu_cost: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            cuts,
+            vec![ExprSig::new(vec![1, 2])],
+            "the a⋈b subtree overlaps c's slow deliveries"
+        );
+    }
+
+    #[test]
+    fn aggressive_config_always_finds_a_cut_on_joins() {
+        let q = chain3();
+        let ctx = OptimizerContext::no_statistics();
+        let plan = Optimizer::new(ctx.clone())
+            .plan_with_order(&q, &[1, 2, 3])
+            .unwrap();
+        let cuts = choose_cuts(&plan, &ctx, &FragmentationConfig::aggressive());
+        assert!(!cuts.is_empty());
+    }
+
+    #[test]
+    fn fragment_budget_is_respected() {
+        let q = chain3();
+        let ctx = OptimizerContext::no_statistics();
+        let plan = Optimizer::new(ctx.clone())
+            .plan_with_order(&q, &[1, 2, 3])
+            .unwrap();
+        let cfg = FragmentationConfig {
+            max_fragments: 1,
+            ..FragmentationConfig::aggressive()
+        };
+        assert!(choose_cuts(&plan, &ctx, &cfg).len() <= 1);
+    }
+}

@@ -2,13 +2,13 @@
 //!
 //! "Top-down enumeration (recursion with memoization, equivalent to dynamic
 //! programming but more flexible for sharing subexpressions between
-//! optimizer re-invocations) [that] mostly follows the System-R model",
+//! optimizer re-invocations) \[that\] mostly follows the System-R model",
 //! with:
 //!
 //! * **bushy-tree enumeration** (important for data integration, per the
 //!   paper's citations of [11, 8]),
 //! * **pre-aggregation push-down** in the style the paper adopts from
-//!   Chaudhuri & Shim ([4]), emitting adjustable-window or pseudogroup
+//!   Chaudhuri & Shim (\[4\]), emitting adjustable-window or pseudogroup
 //!   operators so every plan is schema-compatible (§3.2),
 //! * a **cost re-estimator** that folds in runtime observations: observed
 //!   subexpression selectivities (shared across all logically equivalent
@@ -25,11 +25,13 @@
 
 pub mod cost;
 pub mod enumerate;
+pub mod fragment;
 pub mod logical;
 pub mod phys;
 pub mod preagg;
 
 pub use cost::{CostModel, OptimizerContext, PreAggConfig};
 pub use enumerate::Optimizer;
+pub use fragment::{choose_cuts, FragmentationConfig};
 pub use logical::{AggRef, JoinPred, LogicalQuery, QueryAgg, QueryRel};
 pub use phys::{PhysAgg, PhysJoinAlgo, PhysKind, PhysNode, PhysPlan, PreAggMode};

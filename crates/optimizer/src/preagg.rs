@@ -1,5 +1,5 @@
 //! Pre-aggregation push-down analysis (paper §2.2, §6; following the
-//! approach of Chaudhuri & Shim [4]).
+//! approach of Chaudhuri & Shim \[4\]).
 //!
 //! Grouping distributes over union, so a *partial* grouping can be inserted
 //! below the final GROUP BY as long as the partial groups carry (a) every

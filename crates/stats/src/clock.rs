@@ -32,6 +32,28 @@ use std::time::{Duration, Instant};
 ///
 /// Implementations must be monotonic per observer: two successive
 /// `now_us` calls from the same thread never go backwards.
+///
+/// The two implementations expose the same timeline with opposite
+/// authorities — the virtual clock follows whoever calls
+/// [`Clock::observe`], the wall clock follows real elapsed time:
+///
+/// ```
+/// use tukwila_stats::{Clock, VirtualClock, WallClock};
+///
+/// // Virtual: waiting is free and external instants are authoritative.
+/// let virt = VirtualClock::new();
+/// assert_eq!(virt.observe(1_000), 1_000);   // driver advances the timeline
+/// assert_eq!(virt.sleep_toward(5_000), 5_000); // "sleeping" just jumps
+/// assert!(!virt.is_wall());
+///
+/// // Wall: real time is authoritative, optionally accelerated. At 1000×,
+/// // one real millisecond spans one timeline second.
+/// let wall = WallClock::accelerated(1000.0);
+/// let before = wall.now_us();
+/// std::thread::sleep(std::time::Duration::from_millis(2));
+/// assert!(wall.now_us() > before, "wall time advances on its own");
+/// assert_eq!(wall.scale_to_timeline(10.0), 10_000.0);
+/// ```
 pub trait Clock: Send + Sync + std::fmt::Debug {
     /// The current timeline instant in µs.
     fn now_us(&self) -> u64;
@@ -72,6 +94,7 @@ pub struct VirtualClock {
 }
 
 impl VirtualClock {
+    /// A fresh virtual clock starting at timeline instant 0.
     pub fn new() -> VirtualClock {
         VirtualClock::default()
     }

@@ -14,33 +14,40 @@ pub struct OpCounters {
 }
 
 impl OpCounters {
+    /// Fresh zeroed counters, already wrapped for sharing with a monitor.
     pub fn new() -> Arc<OpCounters> {
         Arc::new(OpCounters::default())
     }
 
+    /// Count `n` tuples arriving at the operator.
     #[inline]
     pub fn add_in(&self, n: u64) {
         self.tuples_in.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` tuples emitted by the operator.
     #[inline]
     pub fn add_out(&self, n: u64) {
         self.tuples_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` units of probe/comparison work.
     #[inline]
     pub fn add_work(&self, n: u64) {
         self.work.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Total tuples the operator has consumed.
     pub fn tuples_in(&self) -> u64 {
         self.tuples_in.load(Ordering::Relaxed)
     }
 
+    /// Total tuples the operator has produced.
     pub fn tuples_out(&self) -> u64 {
         self.tuples_out.load(Ordering::Relaxed)
     }
 
+    /// Accumulated probe/comparison work (a proxy for CPU cost).
     pub fn work(&self) -> u64 {
         self.work.load(Ordering::Relaxed)
     }

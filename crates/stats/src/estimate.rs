@@ -18,13 +18,17 @@ use tukwila_relation::Value;
 /// Statistics collector for one join column of one input.
 #[derive(Debug, Clone)]
 pub struct ColumnStats {
+    /// Value-distribution histogram over the column.
     pub histogram: DynamicHistogram,
+    /// Streaming sort-order detector.
     pub order: OrderDetector,
+    /// Streaming key-uniqueness detector.
     pub unique: UniquenessDetector,
     rows: u64,
 }
 
 impl ColumnStats {
+    /// A fresh collector with `buckets` histogram range buckets.
     pub fn new(buckets: usize) -> ColumnStats {
         ColumnStats {
             histogram: DynamicHistogram::new(buckets),
@@ -34,6 +38,7 @@ impl ColumnStats {
         }
     }
 
+    /// Feed the next value in arrival order.
     pub fn observe(&mut self, v: &Value) {
         self.histogram.insert_value(v);
         self.order.observe(v);
@@ -41,6 +46,7 @@ impl ColumnStats {
         self.rows += 1;
     }
 
+    /// Values observed so far.
     pub fn rows(&self) -> u64 {
         self.rows
     }
@@ -54,11 +60,14 @@ impl ColumnStats {
 /// Two-input equi-join estimator fed by prefixes of both inputs.
 #[derive(Debug, Clone)]
 pub struct JoinEstimator {
+    /// Statistics over the left input's join column.
     pub left: ColumnStats,
+    /// Statistics over the right input's join column.
     pub right: ColumnStats,
 }
 
 impl JoinEstimator {
+    /// An estimator with `buckets` histogram range buckets per side.
     pub fn new(buckets: usize) -> JoinEstimator {
         JoinEstimator {
             left: ColumnStats::new(buckets),

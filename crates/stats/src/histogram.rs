@@ -11,8 +11,11 @@ use tukwila_relation::Value;
 /// count estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bucket {
+    /// Inclusive lower bound of the bucket's value range.
     pub lo: f64,
+    /// Inclusive upper bound of the bucket's value range.
     pub hi: f64,
+    /// Tuples counted into the bucket.
     pub count: u64,
 }
 
@@ -85,10 +88,12 @@ impl DynamicHistogram {
         }
     }
 
+    /// Total values inserted.
     pub fn total(&self) -> u64 {
         self.total
     }
 
+    /// Current number of range buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
     }

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Runtime statistics for adaptive query processing (paper §3.3, §4.2,
 //! §4.5).
 //!
@@ -12,7 +14,7 @@
 //!   across all plans (§4.2), source-cardinality extrapolation, and the
 //!   "multiplicative join" flags.
 //! * [`histogram::DynamicHistogram`] — incremental histograms in the spirit
-//!   of the Dynamic Compressed histograms the paper cites ([7]): range
+//!   of the Dynamic Compressed histograms the paper cites (\[7\]): range
 //!   buckets plus exact counts for heavy hitters, maintainable per-tuple.
 //! * [`order_detect::OrderDetector`] / [`order_detect::UniquenessDetector`]
 //!   — streaming detection of sort order and key uniqueness (§4.5).

@@ -15,7 +15,9 @@ use tukwila_relation::Value;
 pub enum Orderedness {
     /// No data yet or still compatible with both directions.
     Unknown,
+    /// Compatible with ascending order (within tolerance).
     Ascending,
+    /// Compatible with descending order (within tolerance).
     Descending,
     /// Violations observed in both directions beyond tolerance.
     Unordered,
@@ -37,6 +39,7 @@ impl Default for OrderDetector {
 }
 
 impl OrderDetector {
+    /// A detector that has seen no values yet.
     pub fn new() -> OrderDetector {
         OrderDetector {
             prev: None,
@@ -59,6 +62,7 @@ impl OrderDetector {
         self.n += 1;
     }
 
+    /// Values observed so far.
     pub fn observed(&self) -> u64 {
         self.n
     }
@@ -72,6 +76,7 @@ impl OrderDetector {
         }
     }
 
+    /// Fraction of adjacent pairs violating descending order.
     pub fn desc_violation_rate(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -112,10 +117,12 @@ pub struct UniquenessDetector {
 }
 
 impl UniquenessDetector {
+    /// A detector that has seen no values yet.
     pub fn new() -> UniquenessDetector {
         UniquenessDetector::default()
     }
 
+    /// Feed the next value in arrival order.
     pub fn observe(&mut self, v: &Value) {
         if let Some(prev) = &self.prev {
             if prev.eq_total(v) {
@@ -140,6 +147,7 @@ impl UniquenessDetector {
         }
     }
 
+    /// Adjacent duplicates observed so far.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
     }

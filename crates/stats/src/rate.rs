@@ -70,6 +70,7 @@ impl RateEstimator {
         self.tuples += tuples;
     }
 
+    /// Total tuples delivered so far.
     pub fn tuples(&self) -> u64 {
         self.tuples
     }

@@ -12,6 +12,7 @@ use tukwila_storage::ExprSig;
 /// subexpressions, regardless of algorithms used".
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubexprObs {
+    /// Output cardinality observed for the subexpression so far.
     pub out_card: u64,
     /// Product of the input relation cardinalities fed so far.
     pub in_product: f64,
@@ -33,10 +34,12 @@ impl SubexprObs {
 /// the lifetime of the query".
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SourceProgress {
+    /// Tuples consumed from the source so far.
     pub tuples_read: u64,
     /// Fraction of the source consumed, when the source can report it
     /// (bytes read / total bytes); `None` for fully opaque sources.
     pub fraction_read: Option<f64>,
+    /// Whether the source has been fully drained.
     pub eof: bool,
 }
 
@@ -80,6 +83,7 @@ struct Inner {
 }
 
 impl SelectivityCatalog {
+    /// An empty catalog.
     pub fn new() -> SelectivityCatalog {
         SelectivityCatalog::default()
     }
@@ -92,6 +96,7 @@ impl SelectivityCatalog {
         e.in_product = in_product;
     }
 
+    /// Latest raw observation for a subexpression, if recorded.
     pub fn subexpr(&self, sig: &ExprSig) -> Option<SubexprObs> {
         self.inner.read().subexprs.get(sig).copied()
     }
@@ -101,10 +106,12 @@ impl SelectivityCatalog {
         self.subexpr(sig).and_then(|o| o.selectivity())
     }
 
+    /// Record the latest progress snapshot for a source relation.
     pub fn observe_source(&self, rel: u32, progress: SourceProgress) {
         self.inner.write().sources.insert(rel, progress);
     }
 
+    /// Latest progress snapshot for a source relation, if recorded.
     pub fn source(&self, rel: u32) -> Option<SourceProgress> {
         self.inner.read().sources.get(&rel).copied()
     }
@@ -142,6 +149,7 @@ impl SelectivityCatalog {
         }
     }
 
+    /// Largest observed blow-up factor for a flagged predicate, if any.
     pub fn multiplicative_factor(&self, pred_id: u64) -> Option<f64> {
         self.inner.read().multiplicative.get(&pred_id).copied()
     }

@@ -1,0 +1,250 @@
+//! Threaded plan fragments: correctness of racing parallel subplans over
+//! `exec::queue_pair` exchanges.
+//!
+//! Mirrors the dual-clock discipline of the federation suites:
+//!
+//! 1. **Equivalence sweep** — every fragments scenario (local, delayed,
+//!    and federated sources; the federated case feeds concurrent mirror
+//!    producers straight into fragment queues) must produce the identical
+//!    canonicalized answer whether the fragmented plan runs sequentially
+//!    under the deterministic virtual clock or threaded against an
+//!    accelerated wall clock.
+//! 2. **Teardown across an Exchange** — a proptest drives the corrective
+//!    executor with forced plan switches over fragmented phase plans:
+//!    switching mid-stream across an exchange boundary must never drop or
+//!    duplicate tuples, for any seed, data size, or polling cadence.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tukwila::core::{lower_fragmented, CorrectiveConfig, CorrectiveExec};
+use tukwila::datagen::flights::{self, FlightsData};
+use tukwila::exec::reference::canonicalize_approx;
+use tukwila::exec::{CpuCostModel, FragmentOptions, SimDriver};
+use tukwila::federation::{FederatedCatalog, FederationConfig};
+use tukwila::optimizer::{choose_cuts, FragmentationConfig, Optimizer, OptimizerContext};
+use tukwila::source::{DelayModel, DelayedSource, MemSource, Source};
+use tukwila::stats::{Clock, WallClock};
+
+mod common;
+use common::{mem_answer, tables};
+
+fn flaky_model(seed: u64) -> DelayModel {
+    DelayModel::Wireless {
+        bytes_per_sec: 200_000.0,
+        burst_ms: 30.0,
+        gap_ms: 100.0,
+        seed,
+    }
+}
+
+fn steady_model() -> DelayModel {
+    DelayModel::Bandwidth {
+        bytes_per_sec: 50_000.0,
+        initial_latency_us: 1_000,
+    }
+}
+
+/// Candidate sources for one fragments scenario. The `federated` scenario
+/// returns mirrors behind the federation layer — sequential adapters for
+/// the virtual run, per-candidate producer threads for the wall run, so
+/// federation threads deliver straight into fragment queues.
+fn scenario_sources(
+    name: &str,
+    d: &FlightsData,
+    seed: u64,
+    clock: Option<Arc<dyn Clock>>,
+) -> Vec<Box<dyn Source>> {
+    match name {
+        "local" => tables(d)
+            .into_iter()
+            .map(|(rel, name, schema, rows)| {
+                Box::new(MemSource::new(rel, name, schema, rows.clone())) as Box<dyn Source>
+            })
+            .collect(),
+        "delayed" => tables(d)
+            .into_iter()
+            .map(|(rel, name, schema, rows)| {
+                Box::new(DelayedSource::new(
+                    rel,
+                    name,
+                    schema,
+                    rows.clone(),
+                    &flaky_model(seed ^ u64::from(rel)),
+                )) as Box<dyn Source>
+            })
+            .collect(),
+        "federated" => {
+            let mut catalog = FederatedCatalog::new(FederationConfig::default());
+            for (rel, name, schema, rows) in tables(d) {
+                catalog
+                    .register(
+                        vec![0],
+                        Box::new(DelayedSource::new(
+                            rel,
+                            format!("{name}-flaky"),
+                            schema.clone(),
+                            rows.clone(),
+                            &flaky_model(seed ^ u64::from(rel)),
+                        )),
+                    )
+                    .unwrap();
+                catalog
+                    .register(
+                        vec![0],
+                        Box::new(DelayedSource::new(
+                            rel,
+                            format!("{name}-steady"),
+                            schema,
+                            rows.clone(),
+                            &steady_model(),
+                        )),
+                    )
+                    .unwrap();
+            }
+            match clock {
+                None => catalog.into_sources().unwrap(),
+                Some(clock) => catalog.into_concurrent_sources(clock).unwrap(),
+            }
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Every fragments scenario: the fragmented plan's sequential
+/// virtual-clock answer is the plain local answer, and the threaded
+/// wall-clock answer is byte-identical to it.
+#[test]
+fn dual_clock_equivalence_across_fragment_scenarios() {
+    let d = flights::generate(200, 1200, 1, 59);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let ctx = OptimizerContext::no_statistics();
+    let plan = Optimizer::new(ctx.clone()).optimize(&q).unwrap();
+    let cuts = choose_cuts(&plan, &ctx, &FragmentationConfig::aggressive());
+    assert!(!cuts.is_empty(), "the flights join tree must be cuttable");
+
+    for scenario in ["local", "delayed", "federated"] {
+        // Sequential under the virtual clock: deterministic anchor.
+        let frag = lower_fragmented(&plan, &cuts, None, true).unwrap();
+        assert!(frag.plan.fragment_count() >= 2, "{scenario}: no exchange");
+        let sources = scenario_sources(scenario, &d, 59, None);
+        let (rows_v, _) = SimDriver::new(256, CpuCostModel::Zero)
+            .run_fragments_sequential(frag.plan, sources)
+            .unwrap();
+        assert_eq!(
+            canonicalize_approx(&rows_v),
+            expected,
+            "{scenario}: sequential fragmented answer diverged from local execution"
+        );
+
+        // Threaded against an accelerated wall clock: same cuts, real
+        // producer threads per fragment (and per mirror, in the
+        // federated scenario).
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+        let frag = lower_fragmented(&plan, &cuts, None, true).unwrap();
+        let sources = scenario_sources(scenario, &d, 59, Some(clock.clone()));
+        let (rows_w, _) = SimDriver::new(256, CpuCostModel::Measured)
+            .with_clock(clock)
+            .run_fragments(frag.plan, sources, &FragmentOptions::default())
+            .unwrap();
+        assert_eq!(
+            canonicalize_approx(&rows_w),
+            expected,
+            "{scenario}: threaded fragmented answer diverged from the virtual-clock run"
+        );
+    }
+}
+
+/// The corrective executor over fragmented phase plans, driven off a
+/// shared wall clock with threaded federated mirrors — the full stack:
+/// federation producer threads feed exchange-fragmented phase plans while
+/// the monitor re-optimizes.
+#[test]
+fn corrective_with_fragments_over_threaded_federation() {
+    let d = flights::generate(200, 1200, 1, 67);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+    let mut sources = scenario_sources("federated", &d, 67, Some(clock.clone()));
+    let exec = CorrectiveExec::new(
+        q,
+        CorrectiveConfig {
+            batch_size: 256,
+            cpu: CpuCostModel::Measured,
+            poll_every_batches: 3,
+            warmup_batches: 2,
+            min_remaining_fraction: 0.0,
+            clock: Some(clock),
+            fragments: Some(FragmentationConfig::aggressive()),
+            ..Default::default()
+        },
+    );
+    let report = exec.run(&mut sources).unwrap();
+    assert_eq!(
+        canonicalize_approx(&report.rows),
+        expected,
+        "fragmented corrective answer diverged over threaded federation"
+    );
+    assert!(
+        report.phases.iter().any(|p| p.fragments > 1),
+        "phase plans must actually have been fragmented"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A mid-stream corrective switch across an Exchange never drops or
+    /// duplicates tuples: with forced switches and aggressive
+    /// fragmentation, every phase boundary seals fragmented plans
+    /// mid-pipeline, and the final answer must still equal plain local
+    /// execution — for any seed, data size, and re-optimizer cadence.
+    #[test]
+    fn corrective_switch_across_exchange_never_drops_or_duplicates(
+        seed in 0u64..500,
+        n_flights in 30usize..120,
+        n_travelers in 50usize..400,
+        poll_every in 2u64..6,
+    ) {
+        let d = flights::generate(n_flights, n_travelers, 1, seed);
+        let q = flights::query();
+        let expected = mem_answer(&d, &q);
+
+        let mut sources = scenario_sources("delayed", &d, seed, None);
+        let exec = CorrectiveExec::new(
+            q,
+            CorrectiveConfig {
+                batch_size: 64,
+                cpu: CpuCostModel::Zero,
+                poll_every_batches: poll_every,
+                warmup_batches: 2,
+                // Switch whenever the re-optimizer proposes any
+                // structurally different plan — the adversarial case for
+                // sealing across exchange boundaries.
+                switch_threshold: 100.0,
+                max_phases: 4,
+                min_remaining_fraction: 0.0,
+                fragments: Some(FragmentationConfig::aggressive()),
+                ..Default::default()
+            },
+        );
+        let report = exec.run(&mut sources).unwrap();
+        prop_assert!(
+            report.phases.iter().any(|p| p.fragments > 1),
+            "no phase was fragmented (fragments: {:?})",
+            report.phases.iter().map(|p| p.fragments).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            canonicalize_approx(&report.rows),
+            expected,
+            "corrective switch across an exchange changed the answer \
+             (seed {}, {} phases)",
+            seed,
+            report.phase_count()
+        );
+    }
+}
