@@ -15,6 +15,9 @@
 //!   mirrors  federated mirror failover (online source-permutation scheduling)
 //!   mirrors-wall  the same mirrors racing on real threads (wall clock)
 //!   fragments-wall  threaded plan fragments vs the sequential plan (wall clock)
+//!                   (--sweep-cuts additionally sweeps cut placements and reports
+//!                    model-predicted vs observed win per placement)
+//!   smoke    virtual-clock answer regression vs results/answers-*.txt (CI gate)
 //!   all      everything above
 //! ```
 //!
@@ -27,9 +30,9 @@ use tukwila_bench::ExpConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] \
+        "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] [--sweep-cuts] \
          <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|\
-         fragments-wall|all>"
+         fragments-wall|smoke|all>"
     );
     std::process::exit(2);
 }
@@ -45,7 +48,7 @@ fn save(name: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "fig2",
         "table1",
         "fig3",
@@ -58,13 +61,16 @@ fn main() {
         "mirrors",
         "mirrors-wall",
         "fragments-wall",
+        "smoke",
         "all",
     ];
     let mut cfg = ExpConfig::default();
     let mut cmds: Vec<String> = Vec::new();
+    let mut sweep_cuts = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--sweep-cuts" => sweep_cuts = true,
             "--scale" => {
                 cfg.scale = args
                     .next()
@@ -178,6 +184,22 @@ fn main() {
         let out = experiments::fragments_wall_suite(&cfg);
         println!("{out}");
         save("fragments-wall", &out);
+        if sweep_cuts {
+            println!("== Cut-placement sweep: model-predicted vs observed win ==\n");
+            let out = experiments::fragments_sweep_suite(&cfg);
+            println!("{out}");
+            save("fragments-sweep", &out);
+        }
+    }
+    if want("smoke") {
+        println!("== Smoke: virtual-clock answer regression vs results/ goldens ==\n");
+        let (out, ok) = experiments::smoke_suite(&cfg);
+        println!("{out}");
+        save("smoke", &out);
+        if !ok {
+            eprintln!("smoke: canonical answers diverged from the committed goldens");
+            std::process::exit(1);
+        }
     }
     if all {
         println!("== Example 2.1 sanity run ==\n");

@@ -173,6 +173,13 @@ pub enum MirrorKind {
     FastFlaky,
     /// Steady bandwidth at half the configured rate.
     SteadySlow,
+    /// A distant last-resort standby at a fraction of the steady rate.
+    /// Registered third behind the federated adapters: the legacy
+    /// stall-only rule would race it on every later flaky outage, the
+    /// delivery-model gate declines it while the steady mirror is healthy
+    /// (a from-scratch remote must re-deliver everything already
+    /// delivered at a pathetic rate).
+    RemoteBackup,
 }
 
 fn mirror_model(kind: MirrorKind, cfg: &ExpConfig, rel: u32) -> DelayModel {
@@ -187,6 +194,10 @@ fn mirror_model(kind: MirrorKind, cfg: &ExpConfig, rel: u32) -> DelayModel {
             bytes_per_sec: cfg.wireless_bps * 0.5,
             initial_latency_us: 2_000,
         },
+        MirrorKind::RemoteBackup => DelayModel::Bandwidth {
+            bytes_per_sec: cfg.wireless_bps * 0.1,
+            initial_latency_us: 50_000,
+        },
     }
 }
 
@@ -194,6 +205,7 @@ fn mirror(d: &Dataset, t: TableId, kind: MirrorKind, cfg: &ExpConfig) -> Box<dyn
     let suffix = match kind {
         MirrorKind::FastFlaky => "flaky",
         MirrorKind::SteadySlow => "steady",
+        MirrorKind::RemoteBackup => "remote",
     };
     Box::new(DelayedSource::new(
         t.rel_id(),

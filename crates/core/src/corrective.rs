@@ -480,10 +480,13 @@ impl CorrectiveExec {
                 },
             );
             // Self-profiling sources (the federation adapter) also publish
-            // their observed delivery rate, so re-optimization prices plans
-            // with observed rather than assumed source speeds.
-            if let Some(rate) = src.observed_rate() {
-                catalog.observe_source_rate(src.rel_id(), rate);
+            // their observed arrival schedule, so re-optimization prices
+            // plans with the shared DeliveryModel over observed — not
+            // assumed — source behavior (burst allowance included).
+            // Plain sources fall back to the uniform schedule derived
+            // from their observed rate.
+            if let Some(schedule) = src.observed_schedule() {
+                catalog.observe_source_schedule(src.rel_id(), schedule);
             }
         }
         // Observed selectivity per logical signature: output cardinality

@@ -382,6 +382,8 @@ fn split_at_cuts(
         sig: node.sig.clone(),
         est_card: node.est_card,
         est_cost: node.est_cost,
+        est_cpu: node.est_cpu,
+        est_wait_us: node.est_wait_us,
     };
     if cut_here {
         let ex = *next_exchange;
@@ -398,7 +400,11 @@ fn split_at_cuts(
             partials: node.partials.clone(),
             sig: node.sig.clone(),
             est_card: node.est_card,
+            // The producer fragment does the work; the exchange scan
+            // reading it back is free in both cost dimensions.
             est_cost: 0.0,
+            est_cpu: 0.0,
+            est_wait_us: 0.0,
         }
     } else {
         rewritten

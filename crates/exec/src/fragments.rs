@@ -481,6 +481,7 @@ impl Source for ExchangeSource {
             rel_id: self.ex_id,
             name: self.name.clone(),
             complete: true,
+            key_range: None,
         }
     }
 }

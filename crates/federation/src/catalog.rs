@@ -7,14 +7,16 @@ use std::sync::Arc;
 
 use tukwila_relation::{Error, Result};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
-use tukwila_stats::Clock;
+use tukwila_stats::{Clock, DeliveryCosts};
 
 use crate::federated::FederatedSource;
 
 /// Tunables of the federation layer. Defaults are deliberately
 /// conservative: a source must be silent for `stall_sigma` standard
 /// deviations beyond its own smoothed inter-arrival gap (and at least
-/// `min_stall_us`) before the scheduler hedges onto the next mirror.
+/// `min_stall_us`) before a hedge is even *considered*; the
+/// [`DeliveryCosts`]-driven gate then activates the race only when its
+/// expected latency win exceeds its modeled waste.
 #[derive(Debug, Clone)]
 pub struct FederationConfig {
     /// Stall threshold = `ewma_gap + stall_sigma · σ(gap)`.
@@ -23,8 +25,17 @@ pub struct FederationConfig {
     /// gap has been observed.
     pub min_stall_us: u64,
     /// Ranking score assumed for candidates with no observed rate window
-    /// yet (tuples per virtual second).
+    /// yet (tuples per virtual second). Also the standby's assumed
+    /// delivery rate in the hedge gate's break-even inequality; `0.0`
+    /// falls back to the best healthy candidate's observed rate (the
+    /// mirror assumption).
     pub prior_rate_tuples_per_sec: f64,
+    /// Unit prices of the hedge gate's waste side (duplicate dedup work,
+    /// queue backpressure, core contention). A stall only activates a
+    /// standby when the `DeliveryModel`'s expected latency win exceeds
+    /// the waste priced here. `None` restores the legacy unconditional
+    /// stall-only hedging (deprecated; kept for A/B comparison only).
+    pub hedge_costs: Option<DeliveryCosts>,
     /// When true (default), a stalled candidate stays active after the
     /// scheduler activates its backup — the two are raced and deduped
     /// (hedged read). When false, a stalled candidate is demoted to the
@@ -51,6 +62,7 @@ impl Default for FederationConfig {
             stall_sigma: 4.0,
             min_stall_us: 20_000,
             prior_rate_tuples_per_sec: 0.0,
+            hedge_costs: Some(DeliveryCosts::default()),
             hedge: true,
             queue_capacity: 8,
             producer_batch: 256,
@@ -106,6 +118,50 @@ impl FederatedCatalog {
             }
         }
         entry.candidates.push(source);
+        self.verify_coverage(rel)?;
+        Ok(())
+    }
+
+    /// Coverage check (run at every registration): when a relation has no
+    /// full mirror and its partial replicas declare key ranges, the
+    /// declared ranges must jointly cover the relation — contiguous from
+    /// the lowest declared bound to the highest, no gaps. Replicas that
+    /// declare nothing are legacy-tolerated (coverage is then
+    /// unverifiable and completion falls back to all-EOF), but mixing
+    /// declared and undeclared partial replicas is an error: the declared
+    /// ranges would promise a verification the undeclared one silently
+    /// voids.
+    fn verify_coverage(&self, rel: u32) -> Result<()> {
+        let entry = &self.relations[&rel];
+        let descriptors: Vec<SourceDescriptor> =
+            entry.candidates.iter().map(|c| c.descriptor()).collect();
+        if descriptors.iter().any(|d| d.complete) {
+            return Ok(()); // a full mirror covers everything
+        }
+        let declared: Vec<(i64, i64)> = descriptors.iter().filter_map(|d| d.key_range).collect();
+        if declared.is_empty() {
+            return Ok(()); // legacy: nothing declared, nothing to verify
+        }
+        if declared.len() != descriptors.len() {
+            return Err(Error::Plan(format!(
+                "relation {rel}: {} of {} partial replicas declare key ranges — declare all \
+                 of them (or none) so coverage can be verified",
+                declared.len(),
+                descriptors.len()
+            )));
+        }
+        let mut ranges = declared;
+        ranges.sort_unstable();
+        let mut frontier = ranges[0].1;
+        for &(lo, hi) in &ranges[1..] {
+            if lo > frontier.saturating_add(1) {
+                return Err(Error::Plan(format!(
+                    "relation {rel}: declared replica ranges leave keys ({frontier}, {lo}) \
+                     uncovered — the union would silently miss tuples"
+                )));
+            }
+            frontier = frontier.max(hi);
+        }
         Ok(())
     }
 
@@ -155,12 +211,29 @@ impl FederatedCatalog {
 /// replicas reach EOF (a full mirror's EOF alone is enough otherwise).
 pub struct PartialReplica {
     inner: Box<dyn Source>,
+    key_range: Option<(i64, i64)>,
 }
 
 impl PartialReplica {
-    /// Wrap a source, marking it as covering only part of its relation.
+    /// Wrap a source, marking it as covering only part of its relation
+    /// with undeclared (legacy, unverifiable) coverage.
     pub fn new(inner: Box<dyn Source>) -> PartialReplica {
-        PartialReplica { inner }
+        PartialReplica {
+            inner,
+            key_range: None,
+        }
+    }
+
+    /// Wrap a source declaring the inclusive key range it covers (over
+    /// the first key column). Declared ranges let the catalog verify at
+    /// registration time that a relation's replicas jointly cover it, and
+    /// let the scheduler skip standbys whose range has already been fully
+    /// delivered by drained candidates.
+    pub fn with_range(inner: Box<dyn Source>, lo: i64, hi: i64) -> PartialReplica {
+        PartialReplica {
+            inner,
+            key_range: Some((lo.min(hi), lo.max(hi))),
+        }
     }
 }
 
@@ -188,6 +261,7 @@ impl Source for PartialReplica {
     fn descriptor(&self) -> SourceDescriptor {
         SourceDescriptor {
             complete: false,
+            key_range: self.key_range,
             ..self.inner.descriptor()
         }
     }

@@ -236,7 +236,16 @@ impl ConcurrentFederatedSource {
         }
         let (rel_id, schema) = validate_candidates(&key_cols, &candidates)?;
         let name = format!("fed-mt({}×{})", candidates[0].name(), candidates.len());
-        let scheduler = PermutationScheduler::new(candidates.len(), config.clone());
+        let mut scheduler = PermutationScheduler::new(candidates.len(), config.clone());
+        scheduler.set_coverage(
+            candidates
+                .iter()
+                .map(|c| c.descriptor().key_range)
+                .collect(),
+        );
+        // Threaded mode: the hedge gate's busy-core waste term knows the
+        // real host parallelism.
+        scheduler.set_core_budget(std::thread::available_parallelism().map_or(1, |n| n.get()));
         let mut lanes: Vec<Lane> = Vec::with_capacity(candidates.len());
         for (idx, source) in candidates.into_iter().enumerate() {
             let descriptor = source.descriptor();
@@ -309,6 +318,8 @@ impl ConcurrentFederatedSource {
             name: self.name.clone(),
             delivered: self.delivered,
             failovers: self.scheduler.failovers(),
+            declined_hedges: self.scheduler.declined_hedges(),
+            skipped_covered: self.scheduler.skipped_covered(),
             candidates: self
                 .lanes
                 .iter()
@@ -415,6 +426,13 @@ impl Source for ConcurrentFederatedSource {
                         return self.emit(fresh, max_tuples);
                     }
                     TryRecv::Empty => {
+                        // Refresh the gate's backpressure evidence with
+                        // this lane's real blocked-send count before any
+                        // hedge decision.
+                        self.scheduler.note_backpressure(
+                            idx,
+                            self.lanes[idx].blocked.load(Ordering::Relaxed),
+                        );
                         if let Some(new_idx) = self.scheduler.on_pending(idx, now_us) {
                             if std::env::var_os("TUKWILA_DEBUG").is_some() {
                                 eprintln!(
@@ -474,11 +492,16 @@ impl Source for ConcurrentFederatedSource {
             rel_id: self.rel_id,
             name: self.name.clone(),
             complete: true,
+            key_range: None,
         }
     }
 
     fn observed_rate(&self) -> Option<f64> {
         self.fed_rate.rate_tuples_per_sec()
+    }
+
+    fn observed_schedule(&self) -> Option<tukwila_stats::ArrivalSchedule> {
+        tukwila_stats::ArrivalSchedule::from_estimator(&self.fed_rate)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

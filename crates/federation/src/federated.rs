@@ -25,7 +25,7 @@ use tukwila_relation::value::{group_key, GroupKey};
 use tukwila_relation::{Error, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
 use tukwila_stats::clock::{Clock, VirtualClock};
-use tukwila_stats::RateEstimator;
+use tukwila_stats::{ArrivalSchedule, RateEstimator};
 
 use crate::catalog::FederationConfig;
 use crate::scheduler::PermutationScheduler;
@@ -154,6 +154,12 @@ pub struct FederationReport {
     pub delivered: u64,
     /// Candidate activations beyond the first (failovers/hedges).
     pub failovers: u64,
+    /// Stalls whose hedge the delivery-model cost gate declined — races
+    /// the legacy stall-only rule would have started.
+    pub declined_hedges: u64,
+    /// Standbys never activated because their declared key range was
+    /// already fully delivered by drained candidates.
+    pub skipped_covered: u64,
     /// Per-candidate statistics, in registration order.
     pub candidates: Vec<CandidateReport>,
 }
@@ -215,7 +221,13 @@ impl FederatedSource {
     ) -> Result<FederatedSource> {
         let (rel_id, schema) = validate_candidates(&key_cols, &candidates)?;
         let name = format!("fed({}×{})", candidates[0].name(), candidates.len());
-        let scheduler = PermutationScheduler::new(candidates.len(), config);
+        let mut scheduler = PermutationScheduler::new(candidates.len(), config);
+        scheduler.set_coverage(
+            candidates
+                .iter()
+                .map(|c| c.descriptor().key_range)
+                .collect(),
+        );
         Ok(FederatedSource {
             rel_id,
             name,
@@ -242,6 +254,8 @@ impl FederatedSource {
             name: self.name.clone(),
             delivered: self.delivered,
             failovers: self.scheduler.failovers(),
+            declined_hedges: self.scheduler.declined_hedges(),
+            skipped_covered: self.scheduler.skipped_covered(),
             candidates: self
                 .candidates
                 .iter()
@@ -362,11 +376,16 @@ impl Source for FederatedSource {
             rel_id: self.rel_id,
             name: self.name.clone(),
             complete: true,
+            key_range: None,
         }
     }
 
     fn observed_rate(&self) -> Option<f64> {
         self.fed_rate.rate_tuples_per_sec()
+    }
+
+    fn observed_schedule(&self) -> Option<ArrivalSchedule> {
+        ArrivalSchedule::from_estimator(&self.fed_rate)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -464,6 +483,7 @@ mod tests {
                 rel_id: self.rel_id,
                 name: self.name.clone(),
                 complete: self.complete,
+                key_range: None,
             }
         }
     }

@@ -23,15 +23,20 @@
 //!   [`tukwila_stats::RateEstimator`]: delivery rate, EWMA inter-arrival
 //!   gap, burst variance, stall and duplicate counts.
 //! * [`scheduler::PermutationScheduler`] — maintains the source
-//!   permutation: poll the best-ranked candidate, hedge/fail over to the
-//!   next when the active one is silent past its profile-derived
-//!   threshold (`ewma_gap + k·σ`), re-rank as evidence accumulates.
+//!   permutation: poll the best-ranked candidate, consider a hedge when
+//!   the active one is silent past its profile-derived threshold
+//!   (`ewma_gap + k·σ`), and start the race only when the shared
+//!   [`tukwila_stats::DeliveryModel`]'s expected latency win exceeds the
+//!   modeled waste (duplicate dedup work, queue backpressure, core
+//!   contention); re-rank as evidence accumulates, and skip standbys
+//!   whose declared key range drained replicas already delivered.
 //! * [`federated::FederatedSource`] — wraps it all behind the ordinary
 //!   [`Source`](tukwila_source::Source) trait with key-based dedup, so
 //!   `SimDriver`, `CorrectiveExec`, and every baseline run over mirrored
-//!   sources unchanged. Its observed delivery rate is published through
-//!   `Source::observed_rate`, which corrective re-optimization forwards
-//!   into the optimizer's delivery-bound scan costing.
+//!   sources unchanged. Its observed arrival schedule is published
+//!   through `Source::observed_schedule`, which corrective
+//!   re-optimization forwards into the optimizer's schedule-aware
+//!   overlap costing.
 //! * [`concurrent::ConcurrentFederatedSource`] — the same scheduling
 //!   logic racing the candidates for real: one producer thread per
 //!   candidate behind a bounded `tukwila_exec::queue_pair` queue,

@@ -9,7 +9,7 @@
 //! bursty is not declared dead by its ordinary silences while a smooth
 //! source is failed over quickly.
 
-use tukwila_stats::RateEstimator;
+use tukwila_stats::{ArrivalSchedule, RateEstimator};
 
 use crate::catalog::FederationConfig;
 
@@ -95,6 +95,29 @@ impl BehaviorProfile {
                 .rate
                 .stall_threshold_us(config.stall_sigma, config.min_stall_us),
         )
+    }
+
+    /// Whether the current silence has been latched as a stall (cleared
+    /// on the next arrival). A candidate in this state has violated its
+    /// own profile, so the hedge gate stops treating its schedule as a
+    /// credible forecast.
+    pub fn currently_stalled(&self) -> bool {
+        self.stall_flagged
+    }
+
+    /// Clear the stall latch without an arrival, so the next stall check
+    /// re-latches (and re-counts) the ongoing silence. The scheduler uses
+    /// this when the candidate topology changes (a sibling reached EOF)
+    /// and previously declined hedge decisions must be reconsidered.
+    pub fn unlatch_stall(&mut self) {
+        self.stall_flagged = false;
+    }
+
+    /// The burst-aware arrival forecast this candidate's observations
+    /// justify, for the shared `DeliveryModel`. `None` until a rate
+    /// window exists.
+    pub fn arrival_schedule(&self) -> Option<ArrivalSchedule> {
+        ArrivalSchedule::from_estimator(&self.rate)
     }
 
     /// Check (and latch) whether this candidate is stalled at `now_us`.

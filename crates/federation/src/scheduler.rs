@@ -8,13 +8,25 @@
 //!   standbys costs virtual time at the sources and duplicate work after
 //!   dedup).
 //! * When the best active candidate is silent past its profile-derived
-//!   stall threshold, the next standby in registration order is
-//!   *activated*: under hedging (default) both race and the union is
-//!   deduped; otherwise the stalled candidate is demoted.
+//!   stall threshold, a hedge is *considered*: the shared
+//!   [`DeliveryModel`] gate weighs the expected
+//!   latency win of activating the next standby (who must re-deliver
+//!   everything already delivered — sequential access, no rewind) against
+//!   the modeled waste (duplicate-tuple dedup work, observed queue
+//!   backpressure, one more busy core). Only a race that pays is started;
+//!   declined races are counted and reported. With no *healthy* active
+//!   candidate left the win is unbounded and the hedge always fires —
+//!   which preserves liveness and reproduces the legacy stall-only rule
+//!   in the lone-primary case. Under hedging (default) the stalled
+//!   candidate and the standby race and the union is deduped; otherwise
+//!   the stalled candidate is demoted.
 //! * Active candidates are polled in score order (observed rate,
 //!   discounted per stall), so once the profiles have evidence, the
 //!   permutation re-ranks itself — e.g. a recovered fast mirror moves back
 //!   ahead of the slow backup that covered its outage.
+//! * Standbys whose declared key range has already been fully delivered
+//!   by drained (EOF) candidates are skipped outright: their every tuple
+//!   would dedup away.
 //!
 //! Every decision is a pure function of the supplied timeline instants
 //! and observed tuple counts — the scheduler never reads a clock itself.
@@ -22,6 +34,8 @@
 //! under the wall clock (`crate::concurrent`) the *decisions* follow real
 //! arrival timestamps while the logic stays identical, which is the
 //! contract the dual-clock equivalence tests pin down.
+
+use tukwila_stats::{DeliveryModel, RaceContext};
 
 use crate::catalog::FederationConfig;
 use crate::profile::BehaviorProfile;
@@ -55,6 +69,18 @@ pub struct PermutationScheduler {
     /// Next never-activated candidate (registration order).
     next_fresh: usize,
     failovers: u64,
+    /// Stalls whose hedge the cost gate declined.
+    declined: u64,
+    /// Standbys never activated because their declared key range was
+    /// already fully delivered by drained candidates.
+    skipped_covered: u64,
+    /// Declared key-range coverage per candidate (registration order).
+    coverage: Vec<Option<(i64, i64)>>,
+    /// Queue-backpressure totals per candidate (threaded mode; stays 0
+    /// in sequential mode, which has no queues).
+    blocked_sends: Vec<u64>,
+    /// Host core budget for the busy-core waste term (threaded mode).
+    cores: Option<usize>,
     config: FederationConfig,
 }
 
@@ -68,10 +94,35 @@ impl PermutationScheduler {
             active: Vec::new(),
             next_fresh: 0,
             failovers: 0,
+            declined: 0,
+            skipped_covered: 0,
+            coverage: vec![None; candidates],
+            blocked_sends: vec![0; candidates],
+            cores: None,
             config,
         };
         s.activate_next(0);
         s
+    }
+
+    /// Declare per-candidate key-range coverage (registration order).
+    /// Standbys whose range is already fully delivered by drained
+    /// candidates are skipped instead of activated.
+    pub fn set_coverage(&mut self, coverage: Vec<Option<(i64, i64)>>) {
+        assert_eq!(coverage.len(), self.profiles.len());
+        self.coverage = coverage;
+    }
+
+    /// Declare the host core budget (threaded mode), enabling the hedge
+    /// gate's busy-core waste term. Sequential mode leaves it unset.
+    pub fn set_core_budget(&mut self, cores: usize) {
+        self.cores = Some(cores.max(1));
+    }
+
+    /// Record the latest queue-backpressure total for a candidate's
+    /// producer (threaded mode feeds real `blocked_sends` here).
+    pub fn note_backpressure(&mut self, idx: usize, blocked_sends_total: u64) {
+        self.blocked_sends[idx] = blocked_sends_total;
     }
 
     /// Per-candidate behavior profiles, in registration order.
@@ -92,6 +143,18 @@ impl PermutationScheduler {
     /// Total candidate activations beyond the first (failovers/hedges).
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Stalls whose hedge the cost gate declined (races the legacy
+    /// stall-only rule would have started).
+    pub fn declined_hedges(&self) -> u64 {
+        self.declined
+    }
+
+    /// Standbys skipped because their declared key range was already
+    /// fully delivered by drained candidates.
+    pub fn skipped_covered(&self) -> u64 {
+        self.skipped_covered
     }
 
     /// The current permutation prefix: active, non-EOF candidates in the
@@ -137,15 +200,92 @@ impl PermutationScheduler {
     /// Record that candidate `idx` reached end of stream.
     pub fn note_eof(&mut self, idx: usize) {
         self.profiles[idx].eof = true;
+        // The healthy set just shrank, so every previously *declined*
+        // stall decision may now be wrong — e.g. the stalled primary was
+        // left waiting because this candidate looked credible. Unlatch
+        // currently-stalled candidates so their next `on_pending`
+        // re-latches the stall and re-runs the gate against the new
+        // topology (without this, a dead primary plus a drained partial
+        // replica would wait forever instead of waking the standby that
+        // holds the complement).
+        for p in &mut self.profiles {
+            if !p.eof && p.currently_stalled() {
+                p.unlatch_stall();
+            }
+        }
     }
 
-    /// Latch a stall check for `idx` at `now_us`; on a fresh stall,
-    /// activate the next standby (if any) and report it.
+    /// Latch a stall check for `idx` at `now_us`; on a fresh stall, run
+    /// the hedge gate and — when the race is worth it — activate the next
+    /// standby and report it. Declined races are counted in
+    /// [`PermutationScheduler::declined_hedges`].
     pub fn on_pending(&mut self, idx: usize, now_us: u64) -> Option<usize> {
         if self.profiles[idx].check_stall(now_us, &self.config) {
-            return self.activate_next(now_us);
+            if !self.has_activatable_standby() {
+                // Nothing the legacy rule could have activated either:
+                // neither a race nor a decline.
+                return None;
+            }
+            if self.hedge_pays(now_us) {
+                return self.activate_next(now_us);
+            }
+            self.declined += 1;
         }
         None
+    }
+
+    /// Whether any never-activated candidate could actually be woken
+    /// (not EOF, declared range not already fully delivered).
+    fn has_activatable_standby(&self) -> bool {
+        (self.next_fresh..self.profiles.len())
+            .any(|i| !self.profiles[i].eof && !self.range_already_delivered(i))
+    }
+
+    /// The cost gate: weigh the expected latency win of activating the
+    /// next standby against the modeled waste, via the shared
+    /// [`DeliveryModel`]. All inputs are the scheduler's own online
+    /// observations, so the decision is a pure function of the timeline —
+    /// deterministic under the virtual clock, identical logic under the
+    /// wall clock with real arrival rates and real `blocked_sends`.
+    fn hedge_pays(&mut self, now_us: u64) -> bool {
+        let Some(costs) = self.config.hedge_costs.clone() else {
+            return true; // deprecated stall-only mode: always race
+        };
+        let model = DeliveryModel::with_costs(costs);
+        // Union tuples delivered so far, and the "assume at least 25%
+        // more is coming" remaining-data heuristic shared with the
+        // catalog's cardinality extrapolation.
+        let delivered: u64 = self
+            .profiles
+            .iter()
+            .map(|p| p.delivered - p.duplicates)
+            .sum();
+        let remaining = (delivered as f64 * 0.25).max(1.0);
+        // The best healthy active candidate: delivering within its own
+        // profile, with a credible arrival forecast.
+        let healthy = self
+            .active
+            .iter()
+            .filter(|&&i| !self.profiles[i].eof && !self.profiles[i].currently_stalled())
+            .filter(|&&i| !self.is_past_deadline(i, now_us))
+            .filter_map(|&i| self.profiles[i].arrival_schedule())
+            .map(|s| (s.arrival_us(remaining), s.steady_rate_tuples_per_sec()))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let racing = self
+            .active
+            .iter()
+            .filter(|&&i| !self.profiles[i].eof)
+            .count();
+        let decision = model.race(&RaceContext {
+            healthy,
+            delivered: delivered as f64,
+            remaining,
+            standby_rate_tps: Some(self.config.prior_rate_tuples_per_sec).filter(|r| *r > 0.0),
+            blocked_sends: self.blocked_sends.iter().sum(),
+            racing,
+            cores: self.cores,
+        });
+        decision.hedge
     }
 
     /// Activate the next never-activated candidate (if any) without a
@@ -162,6 +302,14 @@ impl PermutationScheduler {
             if self.profiles[idx].eof {
                 continue;
             }
+            if self.range_already_delivered(idx) {
+                // Every tuple this standby holds was already delivered by
+                // now-drained candidates; activating it would only create
+                // dedup work.
+                self.profiles[idx].eof = true;
+                self.skipped_covered += 1;
+                continue;
+            }
             self.profiles[idx].activate(now_us);
             self.active.push(idx);
             if !self.active.is_empty() && idx != self.active[0] {
@@ -170,6 +318,35 @@ impl PermutationScheduler {
             return Some(idx);
         }
         None
+    }
+
+    /// Whether candidate `idx`'s declared key range is fully covered by
+    /// the union of declared ranges of candidates that already reached
+    /// EOF (their coverage is certainly delivered). Undeclared ranges are
+    /// never considered covered.
+    fn range_already_delivered(&self, idx: usize) -> bool {
+        let Some((lo, hi)) = self.coverage[idx] else {
+            return false;
+        };
+        let mut drained: Vec<(i64, i64)> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != idx && p.eof && p.is_active())
+            .filter_map(|(i, _)| self.coverage[i])
+            .collect();
+        drained.sort_unstable();
+        let mut frontier = lo;
+        for (dlo, dhi) in drained {
+            if dlo > frontier {
+                return false;
+            }
+            frontier = frontier.max(dhi.saturating_add(1));
+            if frontier > hi {
+                return true;
+            }
+        }
+        frontier > hi
     }
 
     /// Earliest virtual instant at which a scheduling decision could
@@ -218,6 +395,67 @@ mod tests {
         assert_eq!(s.on_pending(0, deadline + 1), None);
         let order = s.polling_order(deadline);
         assert!(order.contains(&0) && order.contains(&1));
+    }
+
+    /// The liveness edge the cost gate must not introduce: a declined
+    /// hedge is reconsidered when the healthy candidate that justified
+    /// the decline reaches EOF — otherwise a dead primary next to a
+    /// drained partial replica would wait forever instead of waking the
+    /// remaining standby.
+    #[test]
+    fn declined_hedge_is_reconsidered_when_healthy_candidate_eofs() {
+        let mut s = sched(3);
+        // Activate candidate 1 via candidate 0's first stall (no healthy
+        // candidate at that instant, so the gate always races).
+        s.note_arrival(0, 0, 100, 100);
+        let d0 = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        assert_eq!(s.on_pending(0, d0), Some(1));
+        // Candidate 1 races healthily; candidate 0 recovers briefly, then
+        // dies. Its next stall is declined: 1 is healthy and a fresh
+        // standby would have to re-deliver everything.
+        let t = d0 + 50_000;
+        for i in 1..=50u64 {
+            s.note_arrival(1, d0 + i * 1_000, 100, 100);
+        }
+        s.note_arrival(0, t, 10, 10);
+        let d1 = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        // Keep candidate 1 delivering right up to candidate 0's stall
+        // deadline, so it is genuinely healthy at the decision instant.
+        let mut tt = t;
+        while tt + 1_000 < d1 {
+            tt += 1_000;
+            s.note_arrival(1, tt, 100, 100);
+        }
+        assert_eq!(s.on_pending(0, d1), None, "gate declines while 1 races");
+        assert_eq!(s.declined_hedges(), 1);
+        assert_eq!(s.on_pending(0, d1 + 1), None, "stall latched");
+        // Candidate 1 drains (e.g. a partial replica): the decline is no
+        // longer justified, and the very next pending report must re-run
+        // the gate and wake candidate 2.
+        s.note_eof(1);
+        assert_eq!(
+            s.on_pending(0, d1 + 2),
+            Some(2),
+            "EOF of the healthy candidate must unlatch and re-gate"
+        );
+    }
+
+    /// Declines are only counted when a standby actually existed for the
+    /// legacy rule to race — EOF standbys do not inflate the counter.
+    #[test]
+    fn declines_not_counted_without_an_activatable_standby() {
+        let mut s = sched(2);
+        s.note_arrival(0, 0, 100, 100);
+        s.profile_mut(1).eof = true; // the only standby is gone
+        let d = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        assert_eq!(s.on_pending(0, d), None);
+        assert_eq!(s.declined_hedges(), 0, "nothing to decline");
     }
 
     #[test]

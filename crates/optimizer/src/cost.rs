@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tukwila_stats::SelectivityCatalog;
+use tukwila_stats::{ArrivalSchedule, DeliveryModel, SelectivityCatalog};
 use tukwila_storage::ExprSig;
 
 use crate::logical::LogicalQuery;
@@ -20,13 +20,20 @@ pub struct CostModel {
     pub preagg_tuple: f64,
     pub agg_tuple: f64,
     pub scan_tuple: f64,
-    /// Cost units charged per microsecond of expected source-delivery
-    /// wait, when an observed delivery rate exists for a scan's relation
-    /// (published by the federation layer). Delivery waits are shared by
-    /// every plan over the same leaves, so this does not perturb join
-    /// ordering; it makes the re-optimizer's remaining-cost estimates
-    /// reflect that a delivery-bound query gains little from switching.
+    /// Cost units charged per microsecond of *residual* source-delivery
+    /// wait — the part of the arrival schedule (published by the
+    /// federation layer) that CPU work elsewhere in the plan cannot
+    /// overlap. Because joins credit the overlap, delivery-bound leaves
+    /// now perturb join ordering: a plan that hides a slow delivery under
+    /// a CPU-heavy sibling subtree prices cheaper than one that doesn't.
     pub delivery_per_us: f64,
+    /// Timeline µs of driver CPU per cost-model unit, used to convert a
+    /// subtree's CPU estimate into overlappable wall time when crediting
+    /// delivery overlap. Cost units are nominally ≈ ns/tuple, but the
+    /// `Measured` driver spends roughly 100ns of real time per abstract
+    /// unit on the repro workloads (tuple cloning, hashing), hence the
+    /// 0.1 default.
+    pub unit_us: f64,
 }
 
 impl Default for CostModel {
@@ -40,6 +47,7 @@ impl Default for CostModel {
             agg_tuple: 1.0,
             scan_tuple: 0.2,
             delivery_per_us: 1.0,
+            unit_us: 0.1,
         }
     }
 }
@@ -170,14 +178,26 @@ impl OptimizerContext {
         self.catalog.as_ref().and_then(|c| c.source_rate(rel))
     }
 
-    /// Expected virtual time (µs) for `card` tuples of `rel` to arrive at
-    /// the observed delivery rate; zero when the source is unprofiled
-    /// (assumed local/fast, matching the seed's behavior).
-    pub fn delivery_bound_us(&self, rel: u32, card: f64) -> f64 {
-        match self.observed_rate(rel) {
-            Some(rate) if rate > 0.0 => card.max(0.0) / rate * 1e6,
-            _ => 0.0,
+    /// Observed arrival schedule for a source, when a self-profiling
+    /// source has published one to the catalog.
+    pub fn source_schedule(&self, rel: u32) -> Option<ArrivalSchedule> {
+        self.catalog.as_ref().and_then(|c| c.source_schedule(rel))
+    }
+
+    /// The shared [`DeliveryModel`] over every relation the catalog has a
+    /// schedule for. Unprofiled relations answer "arrives immediately"
+    /// (the local/fast seed assumption). This is the single object the
+    /// optimizer's scan/join costing, the fragmentation pass, and (via
+    /// the federation layer's own construction) the hedging gate price
+    /// delivery with.
+    pub fn delivery_model(&self) -> DeliveryModel {
+        let mut model = DeliveryModel::default();
+        if let Some(cat) = &self.catalog {
+            for (rel, schedule) in cat.source_schedules() {
+                model.insert(rel, schedule);
+            }
         }
+        model
     }
 }
 

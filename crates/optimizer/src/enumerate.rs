@@ -7,6 +7,7 @@ use std::rc::Rc;
 use tukwila_relation::agg::{coalesce_func, AggFunc};
 use tukwila_relation::expr::ArithOp;
 use tukwila_relation::{DataType, Error, Expr, Field, Result, Schema};
+use tukwila_stats::DeliveryModel;
 use tukwila_storage::ExprSig;
 
 use crate::cost::{CardEstimator, EstimateMode, OptimizerContext, PreAggConfig};
@@ -19,6 +20,36 @@ use crate::preagg::{group_cols_for, preagg_point, PreAggPoint};
 enum JoinTree {
     Leaf(usize),
     Join(Rc<JoinTree>, Rc<JoinTree>),
+}
+
+/// Two-part cost of a candidate subtree: CPU work (cost-model units) and
+/// the residual delivery wait (timeline µs) the shared `DeliveryModel`
+/// predicts after overlapping sibling CPU against slow arrivals. Trees
+/// compare on the combined `total`, which is what lets join enumeration
+/// hide slow deliveries under CPU-heavy subtrees instead of merely
+/// re-ranking scans.
+#[derive(Debug, Clone, Copy)]
+struct Score {
+    cpu: f64,
+    wait_us: f64,
+}
+
+impl Score {
+    fn total(&self, cm: &crate::cost::CostModel) -> f64 {
+        self.cpu + cm.delivery_per_us * self.wait_us
+    }
+}
+
+/// Residual delivery wait of a join over its children: while one side's
+/// tuples trickle in, the engine burns the sibling subtree's CPU, so each
+/// side's wait is credited with the other side's CPU time (converted to
+/// timeline µs via `CostModel::unit_us`) — the shared
+/// [`tukwila_stats::schedule::residual_wait_us`] formula. The slower
+/// residual dominates.
+fn overlap_wait(left: &Score, right: &Score, cm: &crate::cost::CostModel) -> f64 {
+    let l = tukwila_stats::schedule::residual_wait_us(left.wait_us, right.cpu * cm.unit_us);
+    let r = tukwila_stats::schedule::residual_wait_us(right.wait_us, left.cpu * cm.unit_us);
+    l.max(r)
 }
 
 /// The query optimizer / re-optimizer.
@@ -55,9 +86,10 @@ impl Optimizer {
             sunk: CardEstimator::with_mode(q, &self.ctx, EstimateMode::Consumed),
             credit_sunk: remaining,
             ctx: &self.ctx,
+            model: self.ctx.delivery_model(),
             memo: HashMap::new(),
         };
-        let (best_cost, tree) = enumerator
+        let (best_score, tree) = enumerator
             .best(full)
             .ok_or_else(|| Error::Plan("no connected join order found".into()))?;
         let mut plan = self.lower_tree(q, &tree, remaining)?;
@@ -65,7 +97,7 @@ impl Optimizer {
             // The comparable cost is the credited enumeration cost (plus
             // the final aggregation, priced on totals for symmetry with
             // `recost`).
-            plan.est_cost = best_cost
+            plan.est_cost = best_score.total(&self.ctx.cost_model)
                 + match plan.agg {
                     Some(_) => self.ctx.cost_model.agg_tuple * plan.root.est_card,
                     None => 0.0,
@@ -93,13 +125,17 @@ impl Optimizer {
     /// Re-cost an existing plan tree under the current context (over
     /// remaining data when `remaining`). This is how corrective query
     /// processing prices the *currently executing* plan for comparison
-    /// against re-optimized candidates.
+    /// against re-optimized candidates. The result combines CPU with the
+    /// priced residual delivery wait, mirroring enumeration, so current
+    /// plan and candidates compare on the same scale.
     pub fn recost(&self, q: &LogicalQuery, plan: &PhysPlan, remaining: bool) -> Result<f64> {
         q.validate()?;
         let mut est = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Total);
         let mut sunk = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Consumed);
-        let (cost, card) = self.recost_node(q, &plan.root, remaining, &mut est, &mut sunk)?;
-        Ok(cost
+        let model = self.ctx.delivery_model();
+        let (score, card) =
+            self.recost_node(q, &plan.root, remaining, &mut est, &mut sunk, &model)?;
+        Ok(score.total(&self.ctx.cost_model)
             + match plan.agg {
                 Some(_) => self.ctx.cost_model.agg_tuple * card,
                 None => 0.0,
@@ -113,7 +149,8 @@ impl Optimizer {
         credit_sunk: bool,
         est: &mut CardEstimator<'_>,
         sunk: &mut CardEstimator<'_>,
-    ) -> Result<(f64, f64)> {
+        model: &DeliveryModel,
+    ) -> Result<(Score, f64)> {
         let mask = {
             let mut m = 0u32;
             for r in node.sig.rels() {
@@ -128,13 +165,26 @@ impl Optimizer {
                 if credit_sunk {
                     cost -= cm.scan_tuple * sunk.raw_card(*rel);
                 }
-                Ok((cost.max(0.0), est.card(mask)))
+                // Delivery wait over the data this costing covers: the
+                // whole relation, or only what is still to arrive.
+                let raw = if credit_sunk {
+                    (self.ctx.base_card(*rel) - sunk.raw_card(*rel)).max(0.0)
+                } else {
+                    self.ctx.base_card(*rel)
+                };
+                Ok((
+                    Score {
+                        cpu: cost.max(0.0),
+                        wait_us: model.arrival_us(*rel, raw),
+                    },
+                    est.card(mask),
+                ))
             }
             PhysKind::Join {
                 algo, left, right, ..
             } => {
-                let (lc, lcard) = self.recost_node(q, left, credit_sunk, est, sunk)?;
-                let (rc, rcard) = self.recost_node(q, right, credit_sunk, est, sunk)?;
+                let (ls, lcard) = self.recost_node(q, left, credit_sunk, est, sunk, model)?;
+                let (rs, rcard) = self.recost_node(q, right, credit_sunk, est, sunk, model)?;
                 let card = est.card(mask);
                 let step = match algo {
                     PhysJoinAlgo::Merge => cm.merge_step,
@@ -159,11 +209,23 @@ impl Optimizer {
                     cost -=
                         step * (sunk.card(lmask) + sunk.card(rmask)) + cm.output * sunk.card(mask);
                 }
-                Ok((lc + rc + cost.max(0.0), card))
+                Ok((
+                    Score {
+                        cpu: ls.cpu + rs.cpu + cost.max(0.0),
+                        wait_us: overlap_wait(&ls, &rs, &cm),
+                    },
+                    card,
+                ))
             }
             PhysKind::PreAgg { child, .. } => {
-                let (cc, ccard) = self.recost_node(q, child, credit_sunk, est, sunk)?;
-                Ok((cc + cm.preagg_tuple * ccard, ccard))
+                let (cs, ccard) = self.recost_node(q, child, credit_sunk, est, sunk, model)?;
+                Ok((
+                    Score {
+                        cpu: cs.cpu + cm.preagg_tuple * ccard,
+                        wait_us: cs.wait_us,
+                    },
+                    ccard,
+                ))
             }
         }
     }
@@ -182,6 +244,7 @@ impl Optimizer {
             q,
             ctx: &self.ctx,
             est: CardEstimator::with_mode(q, &self.ctx, EstimateMode::Total),
+            model: self.ctx.delivery_model(),
             point,
             mode,
             inserted: false,
@@ -213,13 +276,21 @@ struct Enumerator<'a> {
     /// from scratch (initial optimization).
     credit_sunk: bool,
     ctx: &'a OptimizerContext,
-    memo: HashMap<u32, Option<(f64, Rc<JoinTree>)>>,
+    /// The shared delivery model over the catalog's published schedules;
+    /// empty (all arrivals immediate) for unprofiled sources.
+    model: DeliveryModel,
+    memo: HashMap<u32, Option<(Score, Rc<JoinTree>)>>,
 }
 
 impl<'a> Enumerator<'a> {
-    /// Cheapest join tree for the relation subset `set`; `None` when the
-    /// subset is internally disconnected.
-    fn best(&mut self, set: u32) -> Option<(f64, Rc<JoinTree>)> {
+    /// Cheapest join tree for the relation subset `set` (by combined
+    /// CPU + priced residual delivery wait); `None` when the subset is
+    /// internally disconnected. Memoizing the best (CPU, wait) pair per
+    /// subset is the standard greedy approximation — a dominated-in-CPU
+    /// but wait-free subtree can in principle win in a larger context,
+    /// but pricing both dimensions into one comparable total keeps the
+    /// enumeration O(3^n) and is exact whenever no schedules exist.
+    fn best(&mut self, set: u32) -> Option<(Score, Rc<JoinTree>)> {
         if let Some(hit) = self.memo.get(&set) {
             return hit.clone();
         }
@@ -236,29 +307,53 @@ impl<'a> Enumerator<'a> {
         tukwila_storage::ExprSig::new(rels)
     }
 
-    fn compute_best(&mut self, set: u32) -> Option<(f64, Rc<JoinTree>)> {
+    fn compute_best(&mut self, set: u32) -> Option<(Score, Rc<JoinTree>)> {
+        let cm = self.ctx.cost_model;
         if set.count_ones() == 1 {
             let idx = set.trailing_zeros() as usize;
             let card = self.est.card(set);
-            let mut cost = self.ctx.cost_model.scan_tuple * card;
+            let mut cost = cm.scan_tuple * card;
             if self.credit_sunk {
                 // Already-read source data is sunk for every plan.
-                cost -= self.ctx.cost_model.scan_tuple * self.sunk.card(set);
+                cost -= cm.scan_tuple * self.sunk.card(set);
             }
-            return Some((cost.max(0.0), Rc::new(JoinTree::Leaf(idx))));
+            // Delivery wait over the raw tuples this costing still has to
+            // receive (remaining data when re-optimizing mid-query).
+            let rel_id = self.q.rels[idx].rel_id;
+            let raw = if self.credit_sunk {
+                (self.est.raw_card(rel_id) - self.sunk.raw_card(rel_id)).max(0.0)
+            } else {
+                self.est.raw_card(rel_id)
+            };
+            return Some((
+                Score {
+                    cpu: cost.max(0.0),
+                    wait_us: self.model.arrival_us(rel_id, raw),
+                },
+                Rc::new(JoinTree::Leaf(idx)),
+            ));
         }
         let lowbit = set & set.wrapping_neg();
-        let mut best: Option<(f64, Rc<JoinTree>)> = None;
+        let mut best: Option<(Score, Rc<JoinTree>)> = None;
         // Iterate proper submasks containing the lowest bit (canonical).
         let mut sub = (set - 1) & set;
         while sub > 0 {
             if sub & lowbit != 0 && sub != set {
                 let rest = set & !sub;
                 if self.connected(sub, rest) {
-                    if let (Some((cl, tl)), Some((cr, tr))) = (self.best(sub), self.best(rest)) {
-                        let cost = cl + cr + self.join_cost(set, sub, rest);
-                        if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
-                            best = Some((cost, Rc::new(JoinTree::Join(tl, tr))));
+                    if let (Some((sl, tl)), Some((sr, tr))) = (self.best(sub), self.best(rest)) {
+                        let score = Score {
+                            cpu: sl.cpu + sr.cpu + self.join_cost(set, sub, rest),
+                            // Overlap credit: the slow side's arrival wait
+                            // is hidden by the sibling subtree's CPU.
+                            wait_us: overlap_wait(&sl, &sr, &cm),
+                        };
+                        if best
+                            .as_ref()
+                            .map(|(b, _)| score.total(&cm) < b.total(&cm))
+                            .unwrap_or(true)
+                        {
+                            best = Some((score, Rc::new(JoinTree::Join(tl, tr))));
                         }
                     }
                 }
@@ -299,6 +394,8 @@ struct Lowerer<'a> {
     q: &'a LogicalQuery,
     ctx: &'a OptimizerContext,
     est: CardEstimator<'a>,
+    /// Shared delivery model for the wait annotations on lowered nodes.
+    model: DeliveryModel,
     point: Option<PreAggPoint>,
     mode: PreAggMode,
     inserted: bool,
@@ -339,6 +436,11 @@ impl<'a> Lowerer<'a> {
         let rel = &self.q.rels[idx];
         let card = self.est.card(1 << idx);
         let raw = self.est.raw_card(rel.rel_id);
+        // Observed arrival schedules (federation profiles) turn a scan's
+        // cost from pure CPU into CPU + expected arrival wait; a single
+        // uniform segment reproduces the legacy `raw / rate` bound.
+        let est_cpu = self.ctx.cost_model.scan_tuple * raw;
+        let est_wait_us = self.model.arrival_us(rel.rel_id, raw);
         Ok(PhysNode {
             kind: PhysKind::Scan {
                 rel: rel.rel_id,
@@ -352,10 +454,9 @@ impl<'a> Lowerer<'a> {
             partials: vec![],
             sig: ExprSig::single(rel.rel_id),
             est_card: card,
-            // Observed delivery rates (federation profiles) turn a scan's
-            // cost from pure CPU into CPU + expected arrival wait.
-            est_cost: self.ctx.cost_model.scan_tuple * raw
-                + self.ctx.cost_model.delivery_per_us * self.ctx.delivery_bound_us(rel.rel_id, raw),
+            est_cost: est_cpu + self.ctx.cost_model.delivery_per_us * est_wait_us,
+            est_cpu,
+            est_wait_us,
         })
     }
 
@@ -445,10 +546,23 @@ impl<'a> Lowerer<'a> {
             PhysJoinAlgo::Merge => cm.merge_step,
             _ => cm.hash_insert + cm.hash_probe,
         };
-        let est_cost = left.est_cost
-            + right.est_cost
+        let est_cpu = left.est_cpu
+            + right.est_cpu
             + step * (left.est_card + right.est_card)
             + cm.output * est_card;
+        // Each side's delivery wait is hidden by the CPU the engine burns
+        // on the sibling subtree; the slower residual survives.
+        let est_wait_us = overlap_wait(
+            &Score {
+                cpu: left.est_cpu,
+                wait_us: left.est_wait_us,
+            },
+            &Score {
+                cpu: right.est_cpu,
+                wait_us: right.est_wait_us,
+            },
+            &cm,
+        );
         Ok(PhysNode {
             kind: PhysKind::Join {
                 algo,
@@ -464,7 +578,9 @@ impl<'a> Lowerer<'a> {
             partials,
             sig,
             est_card,
-            est_cost,
+            est_cost: est_cpu + cm.delivery_per_us * est_wait_us,
+            est_cpu,
+            est_wait_us,
         })
     }
 
@@ -526,7 +642,8 @@ impl<'a> Lowerer<'a> {
             .map(|(i, &(rel, col))| ((rel, col), i))
             .collect();
         let est_card = child.est_card; // conservative: assume no reduction
-        let est_cost = child.est_cost + self.ctx.cost_model.preagg_tuple * child.est_card;
+        let est_cpu = child.est_cpu + self.ctx.cost_model.preagg_tuple * child.est_card;
+        let est_wait_us = child.est_wait_us;
         let sig = child.sig.clone();
         Ok(PhysNode {
             kind: PhysKind::PreAgg {
@@ -540,7 +657,9 @@ impl<'a> Lowerer<'a> {
             partials,
             sig,
             est_card,
-            est_cost,
+            est_cost: est_cpu + self.ctx.cost_model.delivery_per_us * est_wait_us,
+            est_cpu,
+            est_wait_us,
         })
     }
 

@@ -3,8 +3,8 @@
 //! configuration).
 //!
 //! The overlap opportunity is delivery-boundedness: when one input of a
-//! join is fed by a slow source (an observed delivery rate published by
-//! the federation layer bounds how fast its tuples can arrive) and the
+//! join is fed by a slow source (an observed arrival schedule published
+//! by the federation layer bounds how fast its tuples can arrive) and the
 //! sibling subtree is CPU-heavy, executing the sibling as its own
 //! fragment lets its CPU burn on another thread while the driver blocks
 //! on the slow deliveries. The pass walks the plan tree top-down and
@@ -12,16 +12,21 @@
 //! lowering layer (in `tukwila-core`) turns each into a producer fragment
 //! behind an exchange.
 //!
-//! Cuts are chosen only where they can pay:
+//! Cuts are priced with the same shared delivery model the optimizer's
+//! costing and the federation hedge gate use — the annotations
+//! [`PhysNode::est_cpu`] / [`PhysNode::est_wait_us`] the lowerer derived
+//! from it — instead of the old bare threshold rule. A cut pays when
 //!
-//! * the sibling of the cut subtree must be *delivery-bound* — its
-//!   expected arrival time (from observed rates over remaining
-//!   cardinalities) exceeds [`FragmentationConfig::min_delivery_us`];
-//! * the cut subtree must carry real CPU work — estimated cost at least
-//!   [`FragmentationConfig::min_cpu_cost`] and at least one join (a bare
-//!   scan fragment would only forward batches);
-//! * at most [`FragmentationConfig::max_fragments`] producer fragments,
-//!   nearest to the root first (those overlap the most work).
+//! ```text
+//! win  = min(sibling CPU µs, slow side's residual delivery wait µs)
+//!      − exchange_tuple_us · |sibling output|
+//! win ≥ min_net_win_us, and a core is free to run the producer
+//! ```
+//!
+//! The core budget ([`FragmentationConfig::cores`], defaulting to
+//! [`std::thread::available_parallelism`]) stops the pass from cutting
+//! past the host's ability to actually run the producers: a fragment with
+//! no idle core to land on buys queue overhead and nothing else.
 
 use crate::cost::OptimizerContext;
 use crate::phys::{PhysKind, PhysNode, PhysPlan};
@@ -30,51 +35,67 @@ use tukwila_storage::ExprSig;
 /// Tunables of the fragmentation pass.
 #[derive(Debug, Clone)]
 pub struct FragmentationConfig {
-    /// Minimum expected delivery wait (timeline µs) on the slow side of a
-    /// join before overlapping its sibling is worth a fragment boundary.
-    pub min_delivery_us: f64,
-    /// Minimum estimated CPU cost (cost-model units) of a subtree before
-    /// it earns its own fragment.
-    pub min_cpu_cost: f64,
+    /// Minimum modeled net win (timeline µs) before a cut is taken.
+    /// `f64::NEG_INFINITY` (the [`FragmentationConfig::aggressive`] test
+    /// config) cuts every eligible subtree regardless of profitability.
+    pub min_net_win_us: f64,
+    /// Modeled cost (timeline µs) per tuple crossing an exchange queue:
+    /// the producer's send, the bounded-queue handoff, and the consumer's
+    /// re-read.
+    pub exchange_tuple_us: f64,
     /// Upper bound on producer fragments (the root fragment is extra).
     pub max_fragments: usize,
+    /// Core budget for producer fragments plus the driver. `None` reads
+    /// [`std::thread::available_parallelism`] at pass time; tests pin it
+    /// for determinism.
+    pub cores: Option<usize>,
 }
 
 impl Default for FragmentationConfig {
     fn default() -> Self {
         FragmentationConfig {
-            min_delivery_us: 50_000.0,
-            min_cpu_cost: 5_000.0,
+            min_net_win_us: 2_000.0,
+            exchange_tuple_us: 0.05,
             max_fragments: 3,
+            cores: None,
         }
     }
 }
 
 impl FragmentationConfig {
-    /// A configuration that cuts every eligible join subtree regardless of
-    /// observed rates or cost — used by tests that need an exchange to
-    /// exist deterministically.
+    /// A configuration that cuts every eligible join subtree regardless
+    /// of modeled profitability or core budget — used by tests that need
+    /// an exchange to exist deterministically.
     pub fn aggressive() -> FragmentationConfig {
         FragmentationConfig {
-            min_delivery_us: 0.0,
-            min_cpu_cost: 0.0,
+            min_net_win_us: f64::NEG_INFINITY,
+            exchange_tuple_us: 0.0,
             max_fragments: 8,
+            cores: Some(usize::MAX),
         }
+    }
+
+    fn core_budget(&self) -> usize {
+        self.cores
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
     }
 }
 
-/// Expected delivery wait (timeline µs) of the slowest source feeding the
-/// subtree: `remaining_card / observed_rate` per scan, maximum over scans.
-/// Zero when no scan in the subtree has a published rate (local/fast
-/// sources — the seed assumption).
-pub fn subtree_delivery_us(node: &PhysNode, ctx: &OptimizerContext) -> f64 {
-    match &node.kind {
-        PhysKind::Scan { rel, .. } => ctx.delivery_bound_us(*rel, ctx.remaining_card(*rel)),
-        PhysKind::Join { left, right, .. } => {
-            subtree_delivery_us(left, ctx).max(subtree_delivery_us(right, ctx))
-        }
-        PhysKind::PreAgg { child, .. } => subtree_delivery_us(child, ctx),
-    }
+/// Modeled net win (timeline µs) of splitting `candidate` out as a
+/// producer fragment while its sibling waits on `slow_wait_us` of
+/// residual delivery: the overlap actually bought (never more than either
+/// the candidate's CPU or the sibling's wait) minus the exchange cost of
+/// shipping the candidate's output through a queue.
+pub fn cut_net_win_us(
+    candidate: &PhysNode,
+    slow_wait_us: f64,
+    ctx: &OptimizerContext,
+    config: &FragmentationConfig,
+) -> f64 {
+    let cpu_us = candidate.est_cpu * ctx.cost_model.unit_us;
+    tukwila_stats::schedule::hidden_wait_us(slow_wait_us, cpu_us)
+        - config.exchange_tuple_us * candidate.est_card
 }
 
 /// Choose the subtrees to split out as producer fragments.
@@ -82,7 +103,7 @@ pub fn subtree_delivery_us(node: &PhysNode, ctx: &OptimizerContext) -> f64 {
 /// Returns the logical signatures of the cut roots, outermost first. The
 /// root node itself is never cut (it anchors the consumer fragment), and
 /// a cut subtree's descendants are only considered for further (nested)
-/// cuts while the fragment budget lasts.
+/// cuts while the fragment and core budgets last.
 pub fn choose_cuts(
     plan: &PhysPlan,
     ctx: &OptimizerContext,
@@ -93,8 +114,10 @@ pub fn choose_cuts(
     cuts
 }
 
-fn eligible(node: &PhysNode, config: &FragmentationConfig) -> bool {
-    node.join_count() >= 1 && node.est_cost >= config.min_cpu_cost
+fn eligible(node: &PhysNode) -> bool {
+    // A bare scan fragment would only forward batches; it needs at least
+    // one join to have CPU worth moving to another core.
+    node.join_count() >= 1
 }
 
 fn walk(
@@ -106,18 +129,24 @@ fn walk(
     if cuts.len() >= config.max_fragments {
         return;
     }
+    // Each producer fragment needs its own core next to the driver's;
+    // once the budget is spent, further cuts cannot run in parallel and
+    // would only pay queue overhead.
+    if cuts.len() + 1 >= config.core_budget() {
+        return;
+    }
     match &node.kind {
         PhysKind::Join { left, right, .. } => {
-            let dl = subtree_delivery_us(left, ctx);
-            let dr = subtree_delivery_us(right, ctx);
-            // Cut the CPU-heavy sibling of a delivery-bound input. With
-            // `min_delivery_us == 0` (the aggressive/test config) any
-            // eligible sibling is cut.
-            if dr >= config.min_delivery_us && eligible(left, config) && !cuts.contains(&left.sig) {
+            // Cut the CPU-heavy sibling of a delivery-bound input when
+            // the modeled net win clears the bar.
+            let cut_left = eligible(left)
+                && !cuts.contains(&left.sig)
+                && cut_net_win_us(left, right.est_wait_us, ctx, config) >= config.min_net_win_us;
+            if cut_left {
                 cuts.push(left.sig.clone());
-            } else if dl >= config.min_delivery_us
-                && eligible(right, config)
+            } else if eligible(right)
                 && !cuts.contains(&right.sig)
+                && cut_net_win_us(right, left.est_wait_us, ctx, config) >= config.min_net_win_us
             {
                 cuts.push(right.sig.clone());
             }
@@ -168,12 +197,21 @@ mod tests {
         )
     }
 
+    /// Default-ish config with the core budget pinned so the tests do not
+    /// depend on the host's parallelism.
+    fn cfg(cores: usize) -> FragmentationConfig {
+        FragmentationConfig {
+            cores: Some(cores),
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn no_observed_rates_no_cuts() {
         let q = chain3();
         let ctx = OptimizerContext::no_statistics();
         let plan = Optimizer::new(ctx.clone()).optimize(&q).unwrap();
-        assert!(choose_cuts(&plan, &ctx, &FragmentationConfig::default()).is_empty());
+        assert!(choose_cuts(&plan, &ctx, &cfg(8)).is_empty());
     }
 
     #[test]
@@ -190,19 +228,67 @@ mod tests {
         let plan = Optimizer::new(ctx.clone())
             .plan_with_order(&q, &[1, 2, 3])
             .unwrap();
-        let cuts = choose_cuts(
-            &plan,
-            &ctx,
-            &FragmentationConfig {
-                min_cpu_cost: 0.0,
-                ..Default::default()
-            },
-        );
+        // The a⋈b subtree's CPU at default unit_us (~98k cost units ≈
+        // 9.8ms) clears the net-win bar against c's 200-second wait even
+        // after the exchange toll on its 20k output tuples.
+        let cuts = choose_cuts(&plan, &ctx, &cfg(8));
         assert_eq!(
             cuts,
             vec![ExprSig::new(vec![1, 2])],
             "the a⋈b subtree overlaps c's slow deliveries"
         );
+    }
+
+    #[test]
+    fn exchange_toll_vetoes_a_marginal_cut() {
+        let q = chain3();
+        let catalog = Arc::new(SelectivityCatalog::new());
+        catalog.observe_source_rate(3, 100.0);
+        let ctx = OptimizerContext {
+            catalog: Some(catalog),
+            ..OptimizerContext::no_statistics()
+        };
+        let plan = Optimizer::new(ctx.clone())
+            .plan_with_order(&q, &[1, 2, 3])
+            .unwrap();
+        // Price the exchange so high that shipping the subtree's output
+        // costs more than the overlap could ever win.
+        let cuts = choose_cuts(
+            &plan,
+            &ctx,
+            &FragmentationConfig {
+                exchange_tuple_us: 1e9,
+                ..cfg(8)
+            },
+        );
+        assert!(cuts.is_empty(), "exchange cost must veto the cut");
+    }
+
+    #[test]
+    fn single_core_hosts_never_cut() {
+        let q = chain3();
+        let catalog = Arc::new(SelectivityCatalog::new());
+        catalog.observe_source_rate(3, 100.0);
+        let ctx = OptimizerContext {
+            catalog: Some(catalog),
+            ..OptimizerContext::no_statistics()
+        };
+        let plan = Optimizer::new(ctx.clone())
+            .plan_with_order(&q, &[1, 2, 3])
+            .unwrap();
+        let one_core = FragmentationConfig {
+            exchange_tuple_us: 0.0,
+            ..cfg(1)
+        };
+        assert!(
+            choose_cuts(&plan, &ctx, &one_core).is_empty(),
+            "no idle core for the producer: parallelism cannot pay"
+        );
+        let two_cores = FragmentationConfig {
+            exchange_tuple_us: 0.0,
+            ..cfg(2)
+        };
+        assert_eq!(choose_cuts(&plan, &ctx, &two_cores).len(), 1);
     }
 
     #[test]

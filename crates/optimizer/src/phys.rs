@@ -51,7 +51,17 @@ pub struct PhysNode {
     /// Logical signature (set of base relations joined).
     pub sig: ExprSig,
     pub est_card: f64,
+    /// Combined cost annotation: CPU plus the priced residual delivery
+    /// wait (`est_cpu + delivery_per_us · est_wait_us`).
     pub est_cost: f64,
+    /// Pure CPU portion of the estimate (cost-model units), with no
+    /// delivery term folded in — what the fragmentation pass prices as
+    /// overlappable work.
+    pub est_cpu: f64,
+    /// Residual delivery wait of the subtree (timeline µs) from the
+    /// shared `DeliveryModel`: the slowest source arrival below this
+    /// node, minus the sibling CPU that overlaps it at each join.
+    pub est_wait_us: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -196,6 +206,8 @@ mod tests {
             sig: ExprSig::single(rel),
             est_card: 100.0,
             est_cost: 100.0,
+            est_cpu: 100.0,
+            est_wait_us: 0.0,
             schema,
         }
     }
@@ -221,6 +233,8 @@ mod tests {
             sig,
             est_card: 100.0,
             est_cost: 300.0,
+            est_cpu: 300.0,
+            est_wait_us: 0.0,
             schema,
         }
     }

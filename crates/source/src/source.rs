@@ -1,6 +1,7 @@
 //! The sequential-access source interface.
 
 use tukwila_relation::{Schema, Tuple};
+use tukwila_stats::ArrivalSchedule;
 
 /// Result of polling a source at a virtual instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,13 @@ pub struct SourceDescriptor {
     /// Whether this candidate holds the complete relation (a full mirror)
     /// or only a partial replica of it.
     pub complete: bool,
+    /// For partial replicas: the inclusive range of relation-key values
+    /// this candidate declares it covers (over the first key column).
+    /// `None` means undeclared coverage. The federation catalog uses
+    /// declared ranges to verify that replicas jointly cover their
+    /// relation, and the scheduler skips standbys whose range has already
+    /// been fully delivered by drained candidates.
+    pub key_range: Option<(i64, i64)>,
 }
 
 /// A sequential-only data source. Implementations must deliver tuples in a
@@ -61,6 +69,7 @@ pub trait Source: Send {
             rel_id: self.rel_id(),
             name: self.name().to_string(),
             complete: true,
+            key_range: None,
         }
     }
 
@@ -69,6 +78,17 @@ pub trait Source: Send {
     /// re-optimizer's delivery-bound costing; `None` means unprofiled.
     fn observed_rate(&self) -> Option<f64> {
         None
+    }
+
+    /// Observed arrival schedule, for sources that profile their own
+    /// delivery behavior. The default derives the degenerate uniform
+    /// schedule from [`Source::observed_rate`]; self-profiling adapters
+    /// override it with the burst-aware piecewise form. Corrective
+    /// re-optimization publishes this into the `SelectivityCatalog`, from
+    /// where the shared `DeliveryModel` prices scans, hedges, and
+    /// fragment cuts.
+    fn observed_schedule(&self) -> Option<ArrivalSchedule> {
+        self.observed_rate().map(ArrivalSchedule::uniform)
     }
 
     /// Downcast hook for adapters that expose richer post-run reports

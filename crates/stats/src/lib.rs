@@ -24,6 +24,12 @@
 //! * [`rate::RateEstimator`] — online delivery-rate/burstiness profiling of
 //!   a source; drives the federation layer's stall thresholds and the
 //!   re-optimizer's delivery-bound costing.
+//! * [`schedule::ArrivalSchedule`] / [`schedule::DeliveryModel`] — the
+//!   shared delivery cost model built from those profiles: when the k-th
+//!   tuple arrives, what overlapping delivery with CPU buys, and what
+//!   racing a second source copy costs. One model serves the optimizer's
+//!   scan/join costing, the federation scheduler's cost-gated hedging,
+//!   and the fragmentation pass.
 //! * [`clock::Clock`] — the dual-clock timeline ([`clock::VirtualClock`]
 //!   simulated / [`clock::WallClock`] real, optionally accelerated) that
 //!   every timestamp above is measured against, so the same adaptive
@@ -36,6 +42,7 @@ pub mod estimate;
 pub mod histogram;
 pub mod order_detect;
 pub mod rate;
+pub mod schedule;
 pub mod selectivity;
 
 pub use clock::{Clock, VirtualClock, WallClock};
@@ -43,4 +50,5 @@ pub use counters::OpCounters;
 pub use histogram::DynamicHistogram;
 pub use order_detect::{OrderDetector, Orderedness, UniquenessDetector};
 pub use rate::RateEstimator;
+pub use schedule::{ArrivalSchedule, DeliveryCosts, DeliveryModel, RaceContext, RaceDecision};
 pub use selectivity::SelectivityCatalog;

@@ -6,6 +6,8 @@ use std::collections::HashMap;
 
 use tukwila_storage::ExprSig;
 
+use crate::schedule::ArrivalSchedule;
+
 /// Observation for one logical subexpression: output cardinality over the
 /// product of its input cardinalities. The paper records "only one
 /// subexpression selectivity that is shared across all logically equivalent
@@ -73,9 +75,10 @@ pub struct SelectivityCatalog {
 struct Inner {
     subexprs: HashMap<ExprSig, SubexprObs>,
     sources: HashMap<u32, SourceProgress>,
-    /// Observed delivery rates (tuples per virtual second), published by
-    /// self-profiling sources such as the federation adapter.
-    rates: HashMap<u32, f64>,
+    /// Observed arrival schedules, published by self-profiling sources
+    /// such as the federation adapter. A bare observed rate is stored as
+    /// the degenerate single-uniform-segment schedule.
+    schedules: HashMap<u32, ArrivalSchedule>,
     /// Join predicates demonstrated "multiplicative" (output exceeds both
     /// inputs), keyed by a caller-chosen predicate id, with the observed
     /// blow-up factor.
@@ -117,16 +120,49 @@ impl SelectivityCatalog {
     }
 
     /// Record a source's observed delivery rate (tuples per virtual
-    /// second). Non-finite or non-positive rates are ignored.
+    /// second) as the degenerate uniform [`ArrivalSchedule`]. Non-finite
+    /// or non-positive rates are ignored.
     pub fn observe_source_rate(&self, rel: u32, tuples_per_sec: f64) {
         if tuples_per_sec.is_finite() && tuples_per_sec > 0.0 {
-            self.inner.write().rates.insert(rel, tuples_per_sec);
+            self.inner
+                .write()
+                .schedules
+                .insert(rel, ArrivalSchedule::uniform(tuples_per_sec));
         }
     }
 
-    /// Latest observed delivery rate for a source, if published.
+    /// Record a source's observed arrival schedule (the full piecewise
+    /// form self-profiling sources publish; burst-aware hedging and
+    /// overlap costing read it back through
+    /// [`SelectivityCatalog::source_schedule`]).
+    pub fn observe_source_schedule(&self, rel: u32, schedule: ArrivalSchedule) {
+        self.inner.write().schedules.insert(rel, schedule);
+    }
+
+    /// Latest observed steady delivery rate for a source, if published
+    /// (the scalar view of the stored schedule).
     pub fn source_rate(&self, rel: u32) -> Option<f64> {
-        self.inner.read().rates.get(&rel).copied()
+        self.inner
+            .read()
+            .schedules
+            .get(&rel)
+            .map(|s| s.steady_rate_tuples_per_sec())
+    }
+
+    /// Latest observed arrival schedule for a source, if published.
+    pub fn source_schedule(&self, rel: u32) -> Option<ArrivalSchedule> {
+        self.inner.read().schedules.get(&rel).cloned()
+    }
+
+    /// Snapshot of every published arrival schedule, for building a
+    /// `DeliveryModel` over the whole query.
+    pub fn source_schedules(&self) -> Vec<(u32, ArrivalSchedule)> {
+        self.inner
+            .read()
+            .schedules
+            .iter()
+            .map(|(rel, s)| (*rel, s.clone()))
+            .collect()
     }
 
     /// Extrapolated cardinality for a source relation.
@@ -164,7 +200,7 @@ impl SelectivityCatalog {
         let mut g = self.inner.write();
         g.subexprs.clear();
         g.sources.clear();
-        g.rates.clear();
+        g.schedules.clear();
         g.multiplicative.clear();
     }
 }
@@ -242,6 +278,20 @@ mod tests {
         c.observe_source_rate(3, -5.0);
         c.observe_source_rate(3, 0.0);
         assert_eq!(c.source_rate(3), Some(2_000.0), "garbage ignored");
+    }
+
+    #[test]
+    fn schedules_roundtrip_and_scalar_view_agrees() {
+        let c = SelectivityCatalog::new();
+        assert_eq!(c.source_schedule(4), None);
+        c.observe_source_schedule(4, ArrivalSchedule::bursty(5_000.0, 800.0));
+        assert_eq!(c.source_rate(4), Some(800.0), "steady rate of the tail");
+        let s = c.source_schedule(4).unwrap();
+        assert_eq!(s.arrival_us(0.0), 0.0);
+        assert!(s.arrival_us(1.0) > 5_000.0, "lead-in respected");
+        // A bare rate observation overwrites with the uniform schedule.
+        c.observe_source_rate(4, 100.0);
+        assert_eq!(c.source_schedule(4), Some(ArrivalSchedule::uniform(100.0)));
     }
 
     #[test]

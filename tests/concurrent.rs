@@ -184,7 +184,11 @@ fn mirror_catalog(d: &FlightsData, seed: u64) -> FederatedCatalog {
 /// published their observed delivery rates to it.
 #[test]
 fn threaded_corrective_matches_local_execution() {
-    let d = flights::generate(200, 1200, 1, 17);
+    // Every relation holds more tuples than one producer batch (256), so
+    // each adapter is guaranteed ≥2 queue batches — and therefore a
+    // delivery-rate window — even if a starved producer thread ships its
+    // whole backlog in one burst (possible on a loaded single-core host).
+    let d = flights::generate(400, 1200, 1, 17);
     let expected = mem_answer(&d, &flights::query());
 
     let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
@@ -227,7 +231,7 @@ fn threaded_corrective_matches_local_execution() {
         );
         assert!(
             s.observed_rate().is_some(),
-            "threaded adapter must profile its delivery rate"
+            "threaded adapter must profile its delivery rate: {r:?}"
         );
     }
 }
