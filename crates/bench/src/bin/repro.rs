@@ -17,6 +17,9 @@
 //!   fragments-wall  threaded plan fragments vs the sequential plan (wall clock)
 //!                   (--sweep-cuts additionally sweeps cut placements and reports
 //!                    model-predicted vs observed win per placement)
+//!   corrective-wall threaded corrective execution with a forced mid-stream switch
+//!                   (the quiesce protocol) over slow federated mirrors; asserts
+//!                   byte-identical answers vs the virtual clock + its golden
 //!   smoke    virtual-clock answer regression vs results/answers-*.txt (CI gate)
 //!   all      everything above
 //! ```
@@ -32,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] [--sweep-cuts] \
          <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|\
-         fragments-wall|smoke|all>"
+         fragments-wall|corrective-wall|smoke|all>"
     );
     std::process::exit(2);
 }
@@ -48,7 +51,7 @@ fn save(name: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "fig2",
         "table1",
         "fig3",
@@ -61,6 +64,7 @@ fn main() {
         "mirrors",
         "mirrors-wall",
         "fragments-wall",
+        "corrective-wall",
         "smoke",
         "all",
     ];
@@ -189,6 +193,16 @@ fn main() {
             let out = experiments::fragments_sweep_suite(&cfg);
             println!("{out}");
             save("fragments-sweep", &out);
+        }
+    }
+    if want("corrective-wall") {
+        println!("== Threaded corrective execution: the quiesce protocol on real threads ==\n");
+        let (out, ok) = experiments::corrective_wall_suite(&cfg);
+        println!("{out}");
+        save("corrective-wall", &out);
+        if !ok {
+            eprintln!("corrective-wall: canonical answers diverged from the committed golden");
+            std::process::exit(1);
         }
     }
     if want("smoke") {

@@ -61,6 +61,7 @@ fn corrective_cfg(
         stitch_reuse: true,
         clock: None,
         fragments: None,
+        ..Default::default()
     }
 }
 
@@ -1033,6 +1034,7 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
         let opts = FragmentOptions {
             queue_capacity: 16,
             poll_tick_us: 10_000,
+            ..Default::default()
         };
         let start = Instant::now();
         let (rows, report) = if threaded {
@@ -1098,9 +1100,9 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
         )
     } else {
         format!(
-            "single-core host: no parallelism to win ({speedup:.2}×); answers verified \
-             byte-identical to the virtual-clock run. Re-run on ≥2 cores for the \
-             overlap measurement.\n"
+            "speedup skipped (1 core): no parallel win can exist here, so none is asserted \
+             ({speedup:.2}× observed); answers verified byte-identical to the virtual-clock \
+             run. Re-run on ≥2 cores for the overlap measurement.\n"
         )
     };
     format!("{rendered}\n{note}")
@@ -1209,6 +1211,7 @@ pub fn fragments_sweep_suite(cfg: &ExpConfig) -> String {
             let opts = FragmentOptions {
                 queue_capacity: 16,
                 poll_tick_us: 10_000,
+                ..Default::default()
             };
             let start = Instant::now();
             let (rows, _) = if threaded {
@@ -1254,12 +1257,230 @@ pub fn fragments_sweep_suite(cfg: &ExpConfig) -> String {
     )
 }
 
-/// `repro smoke`: quick answer-regression gate for CI. Runs the mirrors
-/// and fragments scenarios in pure virtual-clock mode (deterministic,
-/// seconds of CPU) and diffs their canonicalized answers against the
-/// goldens committed under `results/answers-*.txt`. A cost-model change
-/// that alters *answers* — not just timing — fails this; a missing
-/// golden is (re)created so the diff lands in review.
+/// The corrective-over-fragments scenario shared by `repro smoke` (its
+/// virtual-clock golden) and `repro corrective-wall` (whose threaded runs
+/// must reproduce it byte-for-byte): Q3A from the pinned bad plan over
+/// the slow federated customer mirrors, with forced switches and
+/// aggressive fragmentation so every run exercises a mid-stream plan
+/// switch across exchanges.
+fn corrective_fragments_cfg(
+    batch_size: usize,
+    clock: Option<Arc<dyn Clock>>,
+    threaded: Option<bool>,
+) -> CorrectiveConfig {
+    use tukwila_datagen::TableId;
+    CorrectiveConfig {
+        batch_size,
+        cpu: if clock.is_some() {
+            CpuCostModel::Measured
+        } else {
+            CpuCostModel::Zero
+        },
+        poll_every_batches: 3,
+        switch_threshold: 100.0,
+        max_phases: 3,
+        warmup_batches: 2,
+        initial_order: Some(vec![
+            TableId::Orders.rel_id(),
+            TableId::Lineitem.rel_id(),
+            TableId::Customer.rel_id(),
+        ]),
+        min_remaining_fraction: 0.0,
+        clock,
+        fragments: Some(tukwila_optimizer::FragmentationConfig::aggressive()),
+        threaded_fragments: threaded,
+        fragment_options: tukwila_exec::FragmentOptions {
+            queue_capacity: 16,
+            poll_tick_us: 10_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The deterministic virtual-clock answer of the corrective-fragments
+/// scenario (the `answers-corrective.txt` golden, and the anchor every
+/// `corrective-wall` run is compared against), over a caller-provided
+/// dataset at the caller's (already scale-floored) config — both callers
+/// have the dataset in hand, so it is generated exactly once per suite.
+/// Returns the canonicalized rows and the phase count (the forced switch
+/// must actually happen).
+fn corrective_virtual_answer(uniform: &Dataset, fcfg: &ExpConfig) -> (Vec<String>, usize) {
+    let q = WorkloadQuery::Q3A.query();
+    let mut sources = slow_customer_mirror_sources(uniform, &q, fcfg, None);
+    let exec = CorrectiveExec::new(q, corrective_fragments_cfg(fcfg.batch_size, None, None));
+    let report = exec.run(&mut sources).expect("virtual corrective anchor");
+    (canonicalize_approx(&report.rows), report.phase_count())
+}
+
+/// Diff a canonicalized answer against its committed golden under
+/// `results/answers-<name>.txt`, appending a line to `out`. A missing or
+/// unreadable golden FAILS (it is written locally so the diff can land in
+/// review, but CI must not pass on an uncommitted golden).
+fn diff_golden(name: &str, answer: &[String], out: &mut String) -> bool {
+    let path = std::path::Path::new("results").join(format!("answers-{name}.txt"));
+    let rendered = answer.join("\n") + "\n";
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == rendered => {
+            out.push_str(&format!(
+                "{name}: OK ({} rows match golden)\n",
+                answer.len()
+            ));
+            true
+        }
+        Ok(golden) => {
+            let ng = golden.lines().count();
+            out.push_str(&format!(
+                "{name}: MISMATCH — {} rows computed vs {ng} golden rows ({})\n",
+                answer.len(),
+                path.display()
+            ));
+            false
+        }
+        Err(e) => {
+            let _ = std::fs::create_dir_all("results");
+            let _ = std::fs::write(&path, &rendered);
+            out.push_str(&format!(
+                "{name}: FAIL — golden unreadable ({e}); wrote {} ({} rows), review and \
+                 commit it\n",
+                path.display(),
+                answer.len()
+            ));
+            false
+        }
+    }
+}
+
+/// `repro corrective-wall`: threaded corrective execution over the slow
+/// federated customer mirrors — the quiesce protocol under benchmark
+/// conditions. Runs the corrective executor three ways over identical
+/// data: the deterministic virtual-clock anchor (also the committed
+/// golden), sequential fragments on a wall clock, and threaded producer
+/// fragments on a wall clock (forced mid-stream switch ⇒ producers
+/// quiesced, drained, sealed, respawned). Asserts every answer is
+/// byte-identical and that a switch actually happened; reports the
+/// real-time win of threading, or "skipped (1 core)" on hosts where no
+/// parallel win can exist.
+///
+/// Returns the report and whether the golden matched (the CI gate bit).
+pub fn corrective_wall_suite(cfg: &ExpConfig) -> (String, bool) {
+    /// Timeline plays back this much faster than real time.
+    const ACCEL: f64 = 25.0;
+    let fcfg = ExpConfig {
+        scale: cfg.scale.max(0.04),
+        ..*cfg
+    };
+    let [(_, uniform), _] = datasets(&fcfg);
+    let q = WorkloadQuery::Q3A.query();
+
+    eprintln!("[corrective-wall] virtual anchor (forced switch, sequential fragments)");
+    let (virtual_answer, virtual_phases) = corrective_virtual_answer(&uniform, &fcfg);
+    assert!(
+        virtual_phases > 1,
+        "the forced switch must happen in the virtual anchor"
+    );
+
+    struct WallCorr {
+        real_s: f64,
+        timeline_s: f64,
+        phases: usize,
+        max_fragments: usize,
+        rows: Vec<String>,
+        calibrated: Option<f64>,
+    }
+    let run_wall = |threaded: bool| -> WallCorr {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
+        let mut sources = slow_customer_mirror_sources(&uniform, &q, &fcfg, Some(clock.clone()));
+        let exec = CorrectiveExec::new(
+            q.clone(),
+            corrective_fragments_cfg(fcfg.batch_size, Some(clock), Some(threaded)),
+        );
+        let start = Instant::now();
+        let report = exec.run(&mut sources).expect("corrective wall run");
+        WallCorr {
+            real_s: start.elapsed().as_secs_f64(),
+            timeline_s: report.exec.virtual_us as f64 / 1e6,
+            phases: report.phase_count(),
+            max_fragments: report.phases.iter().map(|p| p.fragments).max().unwrap_or(1),
+            rows: canonicalize_approx(&report.rows),
+            calibrated: report.calibrated_unit_us,
+        }
+    };
+    eprintln!("[corrective-wall] sequential corrective (wall clock)");
+    let sequential = run_wall(false);
+    eprintln!("[corrective-wall] threaded corrective (wall clock, quiesce on switch)");
+    let threaded = run_wall(true);
+
+    let mut t = TextTable::new(&[
+        "strategy",
+        "phases",
+        "max fragments",
+        "real-s",
+        "timeline-s",
+        "rows",
+    ]);
+    for (name, r) in [
+        ("sequential corrective (wall)", &sequential),
+        ("threaded corrective (wall)", &threaded),
+    ] {
+        t.row(vec![
+            name.into(),
+            r.phases.to_string(),
+            r.max_fragments.to_string(),
+            secs(r.real_s),
+            secs(r.timeline_s),
+            count(r.rows.len()),
+        ]);
+    }
+    let rendered = t.render();
+
+    assert_eq!(
+        sequential.rows, virtual_answer,
+        "sequential wall corrective answer diverged from the virtual anchor\n{rendered}"
+    );
+    assert_eq!(
+        threaded.rows, virtual_answer,
+        "threaded corrective answer diverged from the virtual anchor\n{rendered}"
+    );
+    assert!(
+        threaded.phases > 1,
+        "the forced switch (and with it the quiesce protocol) must run\n{rendered}"
+    );
+    assert!(
+        threaded.max_fragments > 1,
+        "threaded phases must actually run producer fragments\n{rendered}"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = sequential.real_s / threaded.real_s.max(1e-9);
+    let note = if cores >= 2 {
+        format!(
+            "threaded corrective vs sequential: {speedup:.2}× in real time across a forced \
+             mid-stream switch (×{ACCEL:.0} accelerated playback; answers byte-identical to \
+             the virtual-clock anchor; calibrated unit_us {})\n",
+            threaded
+                .calibrated
+                .map_or("n/a".into(), |u| format!("{u:.3}")),
+        )
+    } else {
+        format!(
+            "speedup skipped (1 core): no parallel win can exist here, so none is asserted \
+             ({speedup:.2}× observed); answers verified byte-identical to the virtual-clock \
+             anchor.\n"
+        )
+    };
+
+    let mut out = format!("{rendered}\n{note}\n");
+    let ok = diff_golden("corrective", &virtual_answer, &mut out);
+    (out, ok)
+}
+
+/// `repro smoke`: quick answer-regression gate for CI. Runs the mirrors,
+/// fragments, and corrective scenarios in pure virtual-clock mode
+/// (deterministic, seconds of CPU) and diffs their canonicalized answers
+/// against the goldens committed under `results/answers-*.txt`. A
+/// cost-model change that alters *answers* — not just timing — fails
+/// this; a missing golden is (re)created so the diff lands in review.
 ///
 /// Returns the report and whether every scenario matched its golden.
 pub fn smoke_suite(cfg: &ExpConfig) -> (String, bool) {
@@ -1323,44 +1544,24 @@ pub fn smoke_suite(cfg: &ExpConfig) -> (String, bool) {
     .expect("smoke fragments run");
     let fragments = canonicalize_approx(&frun.rows);
 
+    // Scenario 3: corrective execution with a forced mid-stream switch
+    // over fragmented phase plans (virtual clock) — the anchor the
+    // threaded `corrective-wall` runs must reproduce byte-for-byte.
+    eprintln!("[smoke] corrective (virtual clock, forced switch)");
+    let (corrective, corrective_phases) = corrective_virtual_answer(&funiform, &fcfg);
+    assert!(
+        corrective_phases > 1,
+        "smoke: the corrective scenario's forced switch must happen"
+    );
+
     let mut out = String::new();
     let mut ok = true;
-    for (name, answer) in [("mirrors", &mirrors), ("fragments", &fragments)] {
-        let path = std::path::Path::new("results").join(format!("answers-{name}.txt"));
-        let rendered = answer.join("\n") + "\n";
-        match std::fs::read_to_string(&path) {
-            Ok(golden) if golden == rendered => {
-                out.push_str(&format!(
-                    "{name}: OK ({} rows match golden)\n",
-                    answer.len()
-                ));
-            }
-            Ok(golden) => {
-                ok = false;
-                let ng = golden.lines().count();
-                out.push_str(&format!(
-                    "{name}: MISMATCH — {} rows computed vs {ng} golden rows ({})\n",
-                    answer.len(),
-                    path.display()
-                ));
-            }
-            Err(e) => {
-                // A missing (or unreadable) golden is a FAILURE of the
-                // gate, not a pass: in CI it means the golden was never
-                // committed, and treating it as OK would let any answer
-                // change sail through. Create it locally so the diff can
-                // be reviewed and committed, but still fail the run.
-                ok = false;
-                let _ = std::fs::create_dir_all("results");
-                let _ = std::fs::write(&path, &rendered);
-                out.push_str(&format!(
-                    "{name}: FAIL — golden unreadable ({e}); wrote {} ({} rows), review and \
-                     commit it\n",
-                    path.display(),
-                    answer.len()
-                ));
-            }
-        }
+    for (name, answer) in [
+        ("mirrors", &mirrors),
+        ("fragments", &fragments),
+        ("corrective", &corrective),
+    ] {
+        ok &= diff_golden(name, answer, &mut out);
     }
     (out, ok)
 }

@@ -1,5 +1,22 @@
 //! Corrective query processing (paper §4): execute, monitor, re-optimize,
 //! switch plans in mid-pipeline, stitch up at the end.
+//!
+//! Phase plans execute in one of two modes:
+//!
+//! * **Sequential** (the seed behavior, and every virtual-clock run): the
+//!   corrective loop drives all fragments on its own thread through the
+//!   sequential [`FragmentRun`] — exchange handoff is immediate, so a
+//!   switch can seal at any batch boundary.
+//! * **Threaded** (wall clock + fragmentation configured): each phase
+//!   plan's producer fragments run on their own threads behind bounded
+//!   exchange queues ([`tukwila_exec::ThreadedFragmentRun`]), so a
+//!   CPU-heavy subtree genuinely overlaps delivery-bound scans *while the
+//!   monitor keeps re-optimizing*. A switch then uses the loss-free
+//!   **quiesce protocol**: producers park at a batch boundary and report
+//!   their high-water marks, the controller drains every exchange's
+//!   in-flight tuples into the old plan, seals all fragments, recovers
+//!   the sources, and spawns the next phase's fragments — no tuple is
+//!   ever dropped or duplicated, and no thread outlives the run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -7,12 +24,16 @@ use std::time::Instant;
 
 use tukwila_exec::agg::SharedGroupTable;
 use tukwila_exec::driver::charged_cost;
-use tukwila_exec::{Batch, CpuCostModel, ExecReport, FragmentRun, PushTarget, Timeline};
+use tukwila_exec::plan::NodeObservation;
+use tukwila_exec::{
+    Batch, CpuCostModel, ExecReport, FragmentOptions, FragmentRun, PushTarget, ThreadedFragmentRun,
+    Timeline,
+};
 use tukwila_optimizer::{
     FragmentationConfig, LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig,
 };
-use tukwila_relation::{Expr, Result, Schema, Tuple};
-use tukwila_source::{Poll, Source};
+use tukwila_relation::{Error, Expr, Result, Schema, Tuple};
+use tukwila_source::{Poll, Source, SourceProgressView};
 use tukwila_stats::selectivity::SourceProgress;
 use tukwila_stats::{Clock, SelectivityCatalog};
 use tukwila_storage::registry::ReuseStats;
@@ -61,11 +82,22 @@ pub struct CorrectiveConfig {
     /// `Some` fragments every phase plan at exchange boundaries chosen by
     /// the optimizer's fragmentation pass (re-evaluated at each switch
     /// with the live catalog, so cuts follow observed delivery rates).
-    /// Fragments execute sequentially in the corrective loop — exchange
-    /// handoff is immediate, so a mid-stream switch seals across fragment
-    /// boundaries without any buffered tuples to lose. `None` (default)
+    /// Under the virtual clock fragments execute sequentially in the
+    /// corrective loop; under a wall clock the producer fragments run on
+    /// real threads (see [`CorrectiveConfig::threaded_fragments`]), and a
+    /// mid-stream switch quiesces them loss-free. `None` (default)
     /// preserves the unfragmented behavior.
     pub fragments: Option<FragmentationConfig>,
+    /// Whether fragmented phase plans run their producer fragments on
+    /// real threads. `None` (default) decides automatically: threaded
+    /// when [`CorrectiveConfig::clock`] is a wall clock and
+    /// [`CorrectiveConfig::fragments`] is configured, sequential
+    /// otherwise. `Some(false)` forces sequential fragment execution even
+    /// on a wall clock (baseline comparisons); `Some(true)` requires the
+    /// wall clock + fragments and errors without them.
+    pub threaded_fragments: Option<bool>,
+    /// Exchange-queue and quiesce knobs for threaded fragment execution.
+    pub fragment_options: FragmentOptions,
 }
 
 impl Default for CorrectiveConfig {
@@ -84,6 +116,8 @@ impl Default for CorrectiveConfig {
             stitch_reuse: true,
             clock: None,
             fragments: None,
+            threaded_fragments: None,
+            fragment_options: FragmentOptions::default(),
         }
     }
 }
@@ -109,12 +143,29 @@ pub struct CorrectiveReport {
     pub stitch: StitchUpStats,
     pub reuse: ReuseStats,
     pub rows: Vec<Tuple>,
+    /// The `CostModel::unit_us` calibration measured from the warmup
+    /// phase's driver CPU (`None` when the run never calibrated — e.g.
+    /// non-`Measured` cost models, or no monitor poll before completion).
+    pub calibrated_unit_us: Option<f64>,
 }
 
 impl CorrectiveReport {
     pub fn phase_count(&self) -> usize {
         self.phases.len()
     }
+}
+
+/// Calibrate the cost-unit→µs conversion: measured driver CPU so far over
+/// the estimated CPU units the running plan has consumed (total minus
+/// remaining, both in cost units). Returns `None` while either side is
+/// too small to trust; the result is clamped to a sane band so a wild
+/// early estimate cannot poison overlap credit and cut pricing.
+fn calibrate_unit_us(measured_cpu_us: f64, total_units: f64, remaining_units: f64) -> Option<f64> {
+    let consumed_units = total_units - remaining_units;
+    if measured_cpu_us <= 0.0 || consumed_units < 1.0 {
+        return None;
+    }
+    Some((measured_cpu_us / consumed_units).clamp(1e-3, 10.0))
 }
 
 /// A phase plan lowered for corrective execution: the (possibly
@@ -126,6 +177,68 @@ struct PhaseLowered {
     table: Option<Arc<SharedGroupTable>>,
     post_project: Option<(Vec<Expr>, Schema)>,
     fragments: usize,
+}
+
+/// Placeholder occupying a caller's source slot while the real source is
+/// owned by a threaded phase (producer fragment thread or the
+/// controller's root list). Never polled — the threaded runner takes
+/// every slot up front and restores the recovered sources before
+/// returning; polling one is a bug.
+struct TakenSource {
+    rel_id: u32,
+    name: String,
+    schema: Schema,
+}
+
+impl Source for TakenSource {
+    fn rel_id(&self) -> u32 {
+        self.rel_id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, _now_us: u64, _max_tuples: usize) -> Poll {
+        panic!(
+            "source '{}' (relation {}) is owned by a threaded corrective phase",
+            self.name, self.rel_id
+        );
+    }
+
+    fn progress(&self) -> SourceProgressView {
+        SourceProgressView {
+            tuples_read: 0,
+            fraction_read: None,
+            eof: false,
+        }
+    }
+}
+
+/// How a threaded phase ended.
+enum PhaseEnd {
+    /// Every input ran dry; the query is done.
+    Completed,
+    /// The monitor decided to switch to this candidate and every producer
+    /// quiesced in time.
+    Switched(Box<PhysPlan>),
+}
+
+/// The mutable run-wide state the sequential and threaded drivers share,
+/// handed to the common stitch-up/finalize tail.
+struct RunTotals {
+    timeline: Timeline,
+    answers: Batch,
+    phases: Vec<PhaseInfo>,
+    total_batches: u64,
+    /// CPU charged by producer fragment threads (threaded mode only) —
+    /// added to the report's `cpu_us` next to the controller timeline's.
+    extra_cpu_us: u64,
+    calibrated_unit_us: Option<f64>,
 }
 
 /// The corrective query processing executor.
@@ -167,6 +280,7 @@ impl CorrectiveExec {
         &self,
         catalog: &Arc<SelectivityCatalog>,
         consumed: &HashMap<u32, u64>,
+        calibrated_unit_us: Option<f64>,
     ) -> OptimizerContext {
         let mut ctx = match &self.config.given_cards {
             Some(cards) => OptimizerContext::with_cards(cards.clone()),
@@ -175,6 +289,12 @@ impl CorrectiveExec {
         ctx.catalog = Some(catalog.clone());
         ctx.consumed = consumed.clone();
         ctx.preagg = self.config.preagg;
+        if let Some(unit_us) = calibrated_unit_us {
+            // Warmup-calibrated cost-unit→µs conversion: overlap credit
+            // and fragment cut pricing now speak this host's actual
+            // per-unit driver time instead of the documented 0.1 default.
+            ctx.cost_model.unit_us = unit_us;
+        }
         ctx
     }
 
@@ -201,24 +321,108 @@ impl CorrectiveExec {
         sigs
     }
 
+    /// Whether this configuration runs phase plans with threaded producer
+    /// fragments.
+    fn wants_threaded(&self) -> bool {
+        match self.config.threaded_fragments {
+            Some(t) => t,
+            None => {
+                self.config.fragments.is_some()
+                    && self.config.clock.as_ref().is_some_and(|c| c.is_wall())
+            }
+        }
+    }
+
     /// Run to completion over the given sources.
     pub fn run(&self, sources: &mut [Box<dyn Source>]) -> Result<CorrectiveReport> {
+        if self.wants_threaded() {
+            self.run_threaded(sources)
+        } else {
+            self.run_sequential(sources)
+        }
+    }
+
+    /// The monitor's poll: re-optimize over the live catalog, recost the
+    /// running plan, calibrate `unit_us` during the warmup phase, and
+    /// decide whether the candidate is worth a switch.
+    #[allow(clippy::too_many_arguments)]
+    fn consider_switch(
+        &self,
+        catalog: &Arc<SelectivityCatalog>,
+        consumed_total: &HashMap<u32, u64>,
+        calibrated: &mut Option<f64>,
+        current_phys: &PhysPlan,
+        registry: &StateRegistry,
+        timeline: &mut Timeline,
+        phase: usize,
+        total_batches: u64,
+        measured_cpu_us: f64,
+    ) -> Result<Option<PhysPlan>> {
+        let cfg = &self.config;
+        let mut ctx = self.make_ctx(catalog, consumed_total, *calibrated);
+        ctx.sunk_sigs = Self::sunk_sigs(current_phys, registry);
+        let reopt = Optimizer::new(ctx);
+        let start = Instant::now();
+        let candidate = reopt.reoptimize_remaining(&self.q)?;
+        let current_cost = reopt.recost(&self.q, current_phys, true)?;
+        let current_total = reopt.recost(&self.q, current_phys, false)?;
+        if phase == 0 && matches!(cfg.cpu, CpuCostModel::Measured) {
+            // Warmup calibration: `measured_cpu_us` is the run's whole
+            // measured driver CPU so far (controller timeline *plus* the
+            // producer threads' live counters in threaded mode — the
+            // cost-unit denominator below spans every fragment, so the
+            // measured numerator must too); the CPU-only recost pair says
+            // how many cost units the running plan has consumed.
+            let cpu_total = reopt.recost_cpu(&self.q, current_phys, false)?;
+            let cpu_remaining = reopt.recost_cpu(&self.q, current_phys, true)?;
+            if let Some(unit) = calibrate_unit_us(measured_cpu_us, cpu_total, cpu_remaining) {
+                *calibrated = Some(unit);
+            }
+        }
+        // Re-optimization runs in a background thread in Tukwila; we
+        // charge its cost to the clock but not to query CPU.
+        let reopt_us = start.elapsed().as_secs_f64() * 1e6;
+        if matches!(cfg.cpu, CpuCostModel::Measured) {
+            timeline.charge_background(reopt_us);
+        }
+        if std::env::var_os("TUKWILA_DEBUG").is_some() {
+            eprintln!(
+                "[monitor] batch {total_batches}: current {} cost {current_cost:.0}                          (total {current_total:.0}); candidate {} cost {:.0}",
+                current_phys.describe(),
+                candidate.describe(),
+                candidate.est_cost
+            );
+        }
+        if candidate.est_cost < cfg.switch_threshold * current_cost
+            && current_cost > cfg.min_remaining_fraction * current_total
+            && candidate.describe() != current_phys.describe()
+        {
+            Ok(Some(candidate))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The sequential corrective driver (the seed behavior): all
+    /// fragments on this thread, immediate exchange handoff.
+    fn run_sequential(&self, sources: &mut [Box<dyn Source>]) -> Result<CorrectiveReport> {
         let catalog = Arc::new(SelectivityCatalog::new());
         let registry = StateRegistry::new();
         let cfg = &self.config;
 
         let mut consumed_total: HashMap<u32, u64> = HashMap::new();
         let mut consumed_phase: HashMap<u32, u64> = HashMap::new();
+        let mut calibrated: Option<f64> = None;
 
         // Phase 0 plan.
-        let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total));
+        let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total, calibrated));
         let mut current_phys: PhysPlan = match &cfg.initial_order {
             Some(order) => optimizer.plan_with_order(&self.q, order)?,
             None => optimizer.optimize(&self.q)?,
         };
         let mut lowered: PhaseLowered = self.lower_phase(
             &current_phys,
-            &self.make_ctx(&catalog, &consumed_total),
+            &self.make_ctx(&catalog, &consumed_total, calibrated),
             None,
         )?;
         let shared = lowered.table.clone();
@@ -306,31 +510,19 @@ impl CorrectiveExec {
                     &consumed_total,
                     &consumed_phase,
                 );
-                let mut ctx = self.make_ctx(&catalog, &consumed_total);
-                ctx.sunk_sigs = Self::sunk_sigs(&current_phys, &registry);
-                let reopt = Optimizer::new(ctx);
-                let start = Instant::now();
-                let candidate = reopt.reoptimize_remaining(&self.q)?;
-                let current_cost = reopt.recost(&self.q, &current_phys, true)?;
-                let current_total = reopt.recost(&self.q, &current_phys, false)?;
-                // Re-optimization runs in a background thread in Tukwila; we
-                // charge its cost to the clock but not to query CPU.
-                let reopt_us = start.elapsed().as_secs_f64() * 1e6;
-                if matches!(cfg.cpu, CpuCostModel::Measured) {
-                    timeline.charge_background(reopt_us);
-                }
-                if std::env::var_os("TUKWILA_DEBUG").is_some() {
-                    eprintln!(
-                        "[monitor] batch {total_batches}: current {} cost {current_cost:.0}                          (total {current_total:.0}); candidate {} cost {:.0}",
-                        current_phys.describe(),
-                        candidate.describe(),
-                        candidate.est_cost
-                    );
-                }
-                if candidate.est_cost < cfg.switch_threshold * current_cost
-                    && current_cost > cfg.min_remaining_fraction * current_total
-                    && candidate.describe() != current_phys.describe()
-                {
+                let measured_cpu_us = timeline.cpu_us();
+                let candidate = self.consider_switch(
+                    &catalog,
+                    &consumed_total,
+                    &mut calibrated,
+                    &current_phys,
+                    &registry,
+                    &mut timeline,
+                    phase,
+                    total_batches,
+                    measured_cpu_us,
+                )?;
+                if let Some(candidate) = candidate {
                     // Switch: seal the current phase, register its state,
                     // resume into the new plan. Sealing covers *every*
                     // fragment of the old plan — exchange handoff is
@@ -340,7 +532,7 @@ impl CorrectiveExec {
                     // under the producer subtree's signature.
                     let fresh = self.lower_phase(
                         &candidate,
-                        &self.make_ctx(&catalog, &consumed_total),
+                        &self.make_ctx(&catalog, &consumed_total, calibrated),
                         shared.clone(),
                     )?;
                     let old = std::mem::replace(&mut lowered, fresh);
@@ -389,12 +581,466 @@ impl CorrectiveExec {
             fragments: final_fragments,
         });
 
-        // Stitch-up phase.
+        self.stitch_and_finalize(
+            &current_phys,
+            &shared,
+            &post_project,
+            &registry,
+            nphases,
+            RunTotals {
+                timeline,
+                answers,
+                phases,
+                total_batches,
+                extra_cpu_us: 0,
+                calibrated_unit_us: calibrated,
+            },
+        )
+    }
+
+    /// The threaded corrective driver: producer fragments of every phase
+    /// plan race on their own threads while this loop polls the root
+    /// fragment's inputs (its base relations plus the exchange streams)
+    /// and the monitor re-optimizes; switches go through the quiesce
+    /// protocol.
+    fn run_threaded(&self, sources: &mut [Box<dyn Source>]) -> Result<CorrectiveReport> {
+        let cfg = &self.config;
+        let clock: Arc<dyn Clock> =
+            match &cfg.clock {
+                Some(c) if c.is_wall() => c.clone(),
+                _ => return Err(Error::Plan(
+                    "threaded corrective execution needs a wall clock (CorrectiveConfig::clock)"
+                        .into(),
+                )),
+            };
+        if cfg.fragments.is_none() {
+            return Err(Error::Plan(
+                "threaded corrective execution needs a fragmentation config \
+                 (CorrectiveConfig::fragments)"
+                    .into(),
+            ));
+        }
+
+        let catalog = Arc::new(SelectivityCatalog::new());
+        let registry = StateRegistry::new();
+        let mut consumed_total: HashMap<u32, u64> = HashMap::new();
+        let mut consumed_phase: HashMap<u32, u64> = HashMap::new();
+        let mut calibrated: Option<f64> = None;
+
+        // Phase 0 plan.
+        let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total, calibrated));
+        let mut current_phys: PhysPlan = match &cfg.initial_order {
+            Some(order) => optimizer.plan_with_order(&self.q, order)?,
+            None => optimizer.optimize(&self.q)?,
+        };
+
+        // Take every source out of the caller's slice; recovered sources
+        // go back into their slots before this returns (on success; an
+        // error path leaves placeholders, but also no answer).
+        let mut avail: Vec<Option<Box<dyn Source>>> = sources
+            .iter_mut()
+            .map(|s| {
+                let placeholder: Box<dyn Source> = Box::new(TakenSource {
+                    rel_id: s.rel_id(),
+                    name: s.name().to_string(),
+                    schema: s.schema().clone(),
+                });
+                Some(std::mem::replace(s, placeholder))
+            })
+            .collect();
+
+        let mut shared_table: Option<Arc<SharedGroupTable>> = None;
+        let mut post_project: Option<(Vec<Expr>, Schema)> = None;
+        let mut phases: Vec<PhaseInfo> = Vec::new();
+        let mut phase_batches: u64 = 0;
+        // `total_batches` counts only the controller's own polls (it is
+        // the monitor's cadence counter); producer batches accumulate
+        // separately and join it for the final report.
+        let mut total_batches: u64 = 0;
+        let mut producer_batches_total: u64 = 0;
+        let mut next_poll_at: u64 = cfg.warmup_batches.max(cfg.poll_every_batches);
+        let mut phase = 0usize;
+        let mut answers: Batch = Vec::new();
+        let mut timeline = Timeline::new(Some(clock.clone()));
+        let mut extra_cpu_us: u64 = 0;
+
+        'phases: loop {
+            // Lower this phase with cuts chosen from the live catalog.
+            let ctx = self.make_ctx(&catalog, &consumed_total, calibrated);
+            let cuts = tukwila_optimizer::choose_cuts(
+                &current_phys,
+                &ctx,
+                cfg.fragments.as_ref().expect("checked above"),
+            );
+            let fl = lower_fragmented(&current_phys, &cuts, shared_table.clone(), false)?;
+            if shared_table.is_none() {
+                shared_table = fl.table.clone();
+                post_project = fl.post_project.clone();
+            }
+            let phase_fragments = fl.plan.fragment_count();
+            let join_nodes = fl.join_nodes;
+
+            // Gather whatever sources are available and spawn the phase.
+            let mut slot_map: Vec<usize> = Vec::new();
+            let mut phase_sources: Vec<Box<dyn Source>> = Vec::new();
+            for (i, s) in avail.iter_mut().enumerate() {
+                if let Some(src) = s.take() {
+                    slot_map.push(i);
+                    phase_sources.push(src);
+                }
+            }
+            let (mut run, mut root_sources) = ThreadedFragmentRun::spawn(
+                fl.plan,
+                phase_sources,
+                clock.clone(),
+                cfg.batch_size,
+                cfg.cpu,
+                &cfg.fragment_options,
+            )?;
+            // Sources recovered from a sealed previous phase arrive with
+            // their delivery accounting still paused (their old producer
+            // quiesced them and sealing keeps the pause). Producer-bound
+            // sources are resumed by their new producer thread; the ones
+            // landing in the root fragment are polled by this controller,
+            // so resume them here (a no-op for fresh sources).
+            {
+                let now = clock.now_us();
+                for (_, src) in root_sources.iter_mut() {
+                    src.resume_delivery(now);
+                }
+            }
+            // Baselines for folding producer high-water marks into the
+            // cross-phase consumed totals.
+            let producer_base: HashMap<u32, u64> = run
+                .quiesce_handles()
+                .flat_map(|h| h.high_water_marks().iter())
+                .map(|p| {
+                    (
+                        p.rel_id(),
+                        consumed_total.get(&p.rel_id()).copied().unwrap_or(0),
+                    )
+                })
+                .collect();
+            let phase_base: HashMap<u32, u64> = producer_base
+                .keys()
+                .map(|rel| (*rel, consumed_phase.get(rel).copied().unwrap_or(0)))
+                .collect();
+            let mut eof_root = vec![false; root_sources.len()];
+            let mut eof_ex: Vec<bool> = Vec::new();
+
+            let end: PhaseEnd = loop {
+                timeline.resync();
+                let (any_ready, next_ready, all_done) = {
+                    let (pipeline, exchanges) = run.root_split();
+                    if eof_ex.is_empty() {
+                        eof_ex = vec![false; exchanges.len()];
+                    }
+                    let mut any_ready = false;
+                    let mut next_ready: Option<u64> = None;
+                    let mut all_done = true;
+                    for (i, (_, src)) in root_sources.iter_mut().enumerate() {
+                        if eof_root[i] {
+                            continue;
+                        }
+                        all_done = false;
+                        match src.poll(timeline.now_us(), cfg.batch_size) {
+                            Poll::Ready(batch) => {
+                                any_ready = true;
+                                total_batches += 1;
+                                phase_batches += 1;
+                                let rel = src.rel_id();
+                                *consumed_total.entry(rel).or_insert(0) += batch.len() as u64;
+                                *consumed_phase.entry(rel).or_insert(0) += batch.len() as u64;
+                                let cost = charged_cost(cfg.cpu, &timeline, batch.len(), || {
+                                    pipeline.push_source(rel, &batch, &mut answers)
+                                })?;
+                                timeline.charge(cost);
+                            }
+                            Poll::Pending { next_ready_us } => {
+                                next_ready = Some(match next_ready {
+                                    Some(n) => n.min(next_ready_us),
+                                    None => next_ready_us,
+                                });
+                            }
+                            Poll::Eof => {
+                                eof_root[i] = true;
+                                let rel = src.rel_id();
+                                catalog.observe_source(
+                                    rel,
+                                    SourceProgress {
+                                        tuples_read: consumed_total.get(&rel).copied().unwrap_or(0),
+                                        fraction_read: Some(1.0),
+                                        eof: true,
+                                    },
+                                );
+                                let cost = charged_cost(cfg.cpu, &timeline, 0, || {
+                                    pipeline.finish_source(rel, &mut answers)
+                                })?;
+                                timeline.charge(cost);
+                            }
+                        }
+                    }
+                    for (j, ex) in exchanges.iter_mut().enumerate() {
+                        if eof_ex[j] {
+                            continue;
+                        }
+                        all_done = false;
+                        match ex.poll(timeline.now_us(), cfg.batch_size) {
+                            Poll::Ready(batch) => {
+                                any_ready = true;
+                                total_batches += 1;
+                                phase_batches += 1;
+                                let rel = ex.rel_id();
+                                let cost = charged_cost(cfg.cpu, &timeline, batch.len(), || {
+                                    pipeline.push_source(rel, &batch, &mut answers)
+                                })?;
+                                timeline.charge(cost);
+                            }
+                            Poll::Pending { next_ready_us } => {
+                                next_ready = Some(match next_ready {
+                                    Some(n) => n.min(next_ready_us),
+                                    None => next_ready_us,
+                                });
+                            }
+                            Poll::Eof => {
+                                eof_ex[j] = true;
+                                let rel = ex.rel_id();
+                                let cost = charged_cost(cfg.cpu, &timeline, 0, || {
+                                    pipeline.finish_source(rel, &mut answers)
+                                })?;
+                                timeline.charge(cost);
+                            }
+                        }
+                    }
+                    (any_ready, next_ready, all_done)
+                };
+                if all_done {
+                    break PhaseEnd::Completed;
+                }
+                if !any_ready {
+                    if let Some(n) = next_ready {
+                        timeline.idle_toward(n);
+                    }
+                    continue;
+                }
+
+                // Monitor: same cadence as the sequential driver, fed by
+                // the controller's own polls plus the producers' shared
+                // high-water marks and live fragment observations.
+                if total_batches >= next_poll_at && phase + 1 < cfg.max_phases {
+                    next_poll_at = total_batches + cfg.poll_every_batches;
+                    Self::refresh_producer_counts(
+                        &run,
+                        &producer_base,
+                        &phase_base,
+                        &mut consumed_total,
+                        &mut consumed_phase,
+                    );
+                    for (_, src) in root_sources.iter() {
+                        let p = src.progress();
+                        catalog.observe_source(
+                            src.rel_id(),
+                            SourceProgress {
+                                tuples_read: consumed_total
+                                    .get(&src.rel_id())
+                                    .copied()
+                                    .unwrap_or(0),
+                                fraction_read: p.fraction_read,
+                                eof: p.eof,
+                            },
+                        );
+                        if let Some(schedule) = src.observed_schedule() {
+                            catalog.observe_source_schedule(src.rel_id(), schedule);
+                        }
+                    }
+                    for progress in run.quiesce_handles().flat_map(|h| h.high_water_marks()) {
+                        catalog.observe_source(
+                            progress.rel_id(),
+                            SourceProgress {
+                                tuples_read: consumed_total
+                                    .get(&progress.rel_id())
+                                    .copied()
+                                    .unwrap_or(0),
+                                fraction_read: progress.fraction_read(),
+                                eof: progress.eof(),
+                            },
+                        );
+                        if let Some(schedule) = progress.schedule() {
+                            catalog.observe_source_schedule(progress.rel_id(), schedule);
+                        }
+                    }
+                    Self::publish_plan_observations(
+                        &catalog,
+                        &run.observations(),
+                        &join_nodes,
+                        &consumed_phase,
+                    );
+                    // Whole-run measured CPU: the controller's timeline
+                    // plus the live producer-thread counters (plus prior
+                    // phases' producer CPU already folded into
+                    // extra_cpu_us) — same coverage as the cost-unit
+                    // denominator of the warmup calibration.
+                    let measured_cpu_us =
+                        timeline.cpu_us() + (extra_cpu_us + run.producer_cpu_us()) as f64;
+                    let candidate = self.consider_switch(
+                        &catalog,
+                        &consumed_total,
+                        &mut calibrated,
+                        &current_phys,
+                        &registry,
+                        &mut timeline,
+                        phase,
+                        total_batches,
+                        measured_cpu_us,
+                    )?;
+                    if let Some(candidate) = candidate {
+                        // Pause delivery accounting on the controller's
+                        // own sources too: the quiesce-wait + seal +
+                        // respawn window stops polling them exactly like
+                        // the producers' sources, and a root-owned
+                        // federated mirror must not read that silence as
+                        // a stall or its queue backpressure as consumer
+                        // saturation. (The next phase resumes them right
+                        // after spawn; producer-bound ones are resumed by
+                        // their new producer thread.)
+                        for (_, src) in root_sources.iter_mut() {
+                            src.quiesce_delivery();
+                        }
+                        // Quiesce: every producer parks at a batch
+                        // boundary. If one cannot (wedged source), resume
+                        // and abandon this switch — correctness over
+                        // adaptivity.
+                        if run.quiesce() {
+                            break PhaseEnd::Switched(Box::new(candidate));
+                        }
+                        run.resume();
+                        let now = clock.now_us();
+                        for (_, src) in root_sources.iter_mut() {
+                            src.resume_delivery(now);
+                        }
+                    }
+                }
+            };
+
+            // Seal the phase (switch or completion): join the producers,
+            // drain every exchange's in-flight tuples into the old plan,
+            // register the sealed state, recover the sources.
+            Self::refresh_producer_counts(
+                &run,
+                &producer_base,
+                &phase_base,
+                &mut consumed_total,
+                &mut consumed_phase,
+            );
+            let mut sink = Batch::new();
+            let outcome = run.seal(&mut sink)?;
+            answers.extend(sink);
+            extra_cpu_us += outcome.producer_cpu_us;
+            // Producer batches count toward reporting only — folding them
+            // into `total_batches` (the monitor's cadence counter) would
+            // blow past `next_poll_at` and fire the next phase's first
+            // monitor poll on one batch of evidence.
+            phase_batches += outcome.producer_batches;
+            producer_batches_total += outcome.producer_batches;
+            for state in outcome.states {
+                if let Some(sig) = state.sig {
+                    registry.register(sig, phase, state.schema, state.structure);
+                }
+            }
+            for (pslot, src) in outcome.sources {
+                avail[slot_map[pslot]] = Some(src);
+            }
+            for (pslot, src) in root_sources {
+                avail[slot_map[pslot]] = Some(src);
+            }
+            phases.push(PhaseInfo {
+                plan: current_phys.describe(),
+                batches: phase_batches,
+                consumed: consumed_phase.clone(),
+                fragments: phase_fragments,
+            });
+            match end {
+                PhaseEnd::Completed => break 'phases,
+                PhaseEnd::Switched(candidate) => {
+                    current_phys = *candidate;
+                    phase += 1;
+                    phase_batches = 0;
+                    consumed_phase.clear();
+                }
+            }
+        }
+
+        // Restore the caller's sources (every phase returned its loans).
+        for (i, s) in avail.into_iter().enumerate() {
+            if let Some(src) = s {
+                sources[i] = src;
+            }
+        }
+
+        let nphases = phase + 1;
+        self.stitch_and_finalize(
+            &current_phys,
+            &shared_table,
+            &post_project,
+            &registry,
+            nphases,
+            RunTotals {
+                timeline,
+                answers,
+                phases,
+                total_batches: total_batches + producer_batches_total,
+                extra_cpu_us,
+                calibrated_unit_us: calibrated,
+            },
+        )
+    }
+
+    /// Fold the producers' shared high-water marks into the cross-phase
+    /// consumed counters (the controller never polls producer-owned
+    /// relations itself).
+    fn refresh_producer_counts(
+        run: &ThreadedFragmentRun,
+        producer_base: &HashMap<u32, u64>,
+        phase_base: &HashMap<u32, u64>,
+        consumed_total: &mut HashMap<u32, u64>,
+        consumed_phase: &mut HashMap<u32, u64>,
+    ) {
+        for progress in run.quiesce_handles().flat_map(|h| h.high_water_marks()) {
+            let rel = progress.rel_id();
+            let consumed = progress.consumed();
+            consumed_total.insert(
+                rel,
+                producer_base.get(&rel).copied().unwrap_or(0) + consumed,
+            );
+            consumed_phase.insert(rel, phase_base.get(&rel).copied().unwrap_or(0) + consumed);
+        }
+    }
+
+    /// The stitch-up phase and report assembly shared by both drivers.
+    fn stitch_and_finalize(
+        &self,
+        current_phys: &PhysPlan,
+        shared: &Option<Arc<SharedGroupTable>>,
+        post_project: &Option<(Vec<Expr>, Schema)>,
+        registry: &StateRegistry,
+        nphases: usize,
+        totals: RunTotals,
+    ) -> Result<CorrectiveReport> {
+        let cfg = &self.config;
+        let RunTotals {
+            mut timeline,
+            mut answers,
+            phases,
+            total_batches,
+            extra_cpu_us,
+            calibrated_unit_us,
+        } = totals;
+
         let stitch_start_clock = timeline.clock_us();
         let mut stitch = StitchUpStats::default();
         if nphases > 1 {
-            let stitcher = StitchUp::new(&self.q, &registry, nphases).with_reuse(cfg.stitch_reuse);
-            let canonical = crate::lowering::canonical_agg(&current_phys);
+            let stitcher = StitchUp::new(&self.q, registry, nphases).with_reuse(cfg.stitch_reuse);
+            let canonical = crate::lowering::canonical_agg(current_phys);
             let wall = Instant::now();
             let table = shared.clone();
             let mut sink = |batch: &[Tuple]| -> Result<()> {
@@ -431,8 +1077,8 @@ impl CorrectiveExec {
         let stitch_us = (timeline.clock_us() - stitch_start_clock) as u64;
 
         // Finalize.
-        let rows = match &shared {
-            Some(t) => apply_post_project(t.finalize(), &post_project)?,
+        let rows = match shared {
+            Some(t) => apply_post_project(t.finalize(), post_project)?,
             None => std::mem::take(&mut answers),
         };
 
@@ -445,7 +1091,7 @@ impl CorrectiveExec {
             phases,
             exec: ExecReport {
                 virtual_us: timeline.clock_us() as u64,
-                cpu_us: timeline.cpu_us() as u64,
+                cpu_us: timeline.cpu_us() as u64 + extra_cpu_us,
                 idle_us: timeline.idle_us() as u64,
                 tuples_out: rows.len() as u64,
                 batches: total_batches,
@@ -454,6 +1100,7 @@ impl CorrectiveExec {
             stitch,
             reuse,
             rows,
+            calibrated_unit_us,
         })
     }
 
@@ -489,13 +1136,33 @@ impl CorrectiveExec {
                 catalog.observe_source_schedule(src.rel_id(), schedule);
             }
         }
+        Self::publish_plan_observations(
+            catalog,
+            &lowered.run.observations(),
+            &lowered.join_nodes,
+            consumed_phase,
+        );
+    }
+
+    /// The plan-shaped half of a catalog update: observed selectivities
+    /// per logical signature and multiplicative-join flags, computed from
+    /// operator counter snapshots. Shared by the sequential driver (whose
+    /// `FragmentRun` it owns) and the threaded driver (whose fragments
+    /// live on producer threads — the observations' counters are shared
+    /// atomics, so the monitor reads them live).
+    fn publish_plan_observations(
+        catalog: &Arc<SelectivityCatalog>,
+        observations: &[NodeObservation],
+        join_nodes: &[(usize, u64)],
+        consumed_phase: &HashMap<u32, u64>,
+    ) {
         // Observed selectivity per logical signature: output cardinality
         // over the product of raw inputs consumed *this phase* (phase
         // counters reset at each switch). Later nodes override earlier ones
         // with the same signature (the node nearest the join is the
         // effective producer).
         let mut per_sig: HashMap<tukwila_storage::ExprSig, (u64, f64)> = HashMap::new();
-        for obs in lowered.run.observations() {
+        for obs in observations {
             let Some(sig) = obs.output_sig.clone() else {
                 continue;
             };
@@ -519,12 +1186,8 @@ impl CorrectiveExec {
             catalog.observe_subexpr(sig, out, product);
         }
         // Multiplicative-join flags.
-        for obs in lowered.run.observations() {
-            if let Some((_, pred_id)) = lowered
-                .join_nodes
-                .iter()
-                .find(|(node, _)| *node == obs.node)
-            {
+        for obs in observations {
+            if let Some((_, pred_id)) = join_nodes.iter().find(|(node, _)| *node == obs.node) {
                 let tin = obs.counters.tuples_in();
                 let tout = obs.counters.tuples_out();
                 if tin > 0 && tout > tin {
@@ -587,6 +1250,7 @@ mod tests {
             stitch_reuse: true,
             clock: None,
             fragments: None,
+            ..Default::default()
         }
     }
 
@@ -668,6 +1332,68 @@ mod tests {
         let mut sources = sources_for(&d, &q);
         let report = exec.run(&mut sources).unwrap();
         assert!(report.phases.iter().all(|p| p.fragments == 1));
+    }
+
+    #[test]
+    fn threaded_forced_switch_matches_static() {
+        use tukwila_stats::WallClock;
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+        let mut cfg = corrective_config(true);
+        cfg.batch_size = 64;
+        cfg.cpu = CpuCostModel::Measured;
+        cfg.initial_order = Some(vec![
+            TableId::Orders.rel_id(),
+            TableId::Lineitem.rel_id(),
+            TableId::Customer.rel_id(),
+        ]);
+        cfg.fragments = Some(tukwila_optimizer::FragmentationConfig::aggressive());
+        cfg.clock = Some(clock);
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert!(
+            report.phase_count() > 1,
+            "expected a forced switch through the quiesce protocol, got {} phase(s)",
+            report.phase_count()
+        );
+        assert!(
+            report.phases.iter().any(|p| p.fragments > 1),
+            "at least one phase must have run threaded producer fragments"
+        );
+        assert_eq!(
+            canonicalize_approx(&report.rows),
+            static_answer(&d, &q),
+            "threaded corrective answer diverged from static execution"
+        );
+        // The caller's sources came back: every slot is pollable again.
+        for s in sources.iter_mut() {
+            assert!(matches!(s.poll(u64::MAX / 2, 1), tukwila_source::Poll::Eof));
+        }
+    }
+
+    #[test]
+    fn measured_runs_calibrate_unit_us() {
+        let d = Dataset::generate(DatasetConfig::uniform(0.002));
+        let q = queries::q3a();
+        let mut cfg = corrective_config(false);
+        cfg.cpu = CpuCostModel::Measured;
+        let exec = CorrectiveExec::new(q.clone(), cfg);
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        let unit = report
+            .calibrated_unit_us
+            .expect("a Measured run with monitor polls must calibrate unit_us");
+        assert!(
+            (1e-3..=10.0).contains(&unit),
+            "calibrated unit_us {unit} outside the sane band"
+        );
+        // Zero-cost runs have nothing to measure: no calibration.
+        let exec = CorrectiveExec::new(q.clone(), corrective_config(false));
+        let mut sources = sources_for(&d, &q);
+        let report = exec.run(&mut sources).unwrap();
+        assert_eq!(report.calibrated_unit_us, None);
     }
 
     #[test]

@@ -234,6 +234,22 @@ impl SimDriver {
         plan: &mut dyn PushTarget,
         sources: &mut [Box<dyn Source>],
     ) -> Result<(Batch, ExecReport)> {
+        let mut refs: Vec<&mut dyn Source> = sources
+            .iter_mut()
+            .map(|b| &mut **b as &mut dyn Source)
+            .collect();
+        self.run_target_refs(plan, &mut refs)
+    }
+
+    /// [`SimDriver::run_target`] over borrowed sources, so callers can
+    /// assemble one poll set from differently-owned collections (the
+    /// threaded fragment runner mixes the caller's base-relation sources
+    /// with the exchange sources it owns itself).
+    pub fn run_target_refs(
+        &self,
+        plan: &mut dyn PushTarget,
+        sources: &mut [&mut dyn Source],
+    ) -> Result<(Batch, ExecReport)> {
         let mut out = Batch::new();
         let mut report = ExecReport::default();
         let mut timeline = Timeline::new(self.clock.clone());

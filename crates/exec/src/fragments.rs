@@ -44,14 +44,15 @@
 //!   fragment reads as a failure — never as a silently truncated answer.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use tukwila_relation::{Error, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
 use tukwila_stats::Clock;
 
-use crate::driver::{PushTarget, SimDriver};
+use crate::driver::{charged_cost, CpuCostModel, PushTarget, SimDriver, Timeline};
 use crate::metrics::ExecReport;
 use crate::op::{Batch, IncOp};
 use crate::plan::{NodeObservation, PipelinePlan, SealedState};
@@ -76,8 +77,16 @@ pub struct FragmentOptions {
     pub queue_capacity: usize,
     /// How far ahead (timeline µs) an [`ExchangeSource`] schedules its
     /// next look when its queue is empty. Smaller reacts faster, wakes
-    /// more.
+    /// more. Also the retry tick of a producer whose exchange send found
+    /// the queue full.
     pub poll_tick_us: u64,
+    /// Timeline budget for a quiesce: how long
+    /// [`ThreadedFragmentRun::quiesce`] waits for every producer to park
+    /// at a batch boundary before giving up (the caller then resumes the
+    /// producers and abandons the plan switch instead of blocking the
+    /// query). Producers park within one poll sweep plus one bounded
+    /// clock chunk, so this only ever bites on a wedged source.
+    pub quiesce_timeout_us: u64,
 }
 
 impl Default for FragmentOptions {
@@ -85,6 +94,7 @@ impl Default for FragmentOptions {
         FragmentOptions {
             queue_capacity: 8,
             poll_tick_us: 200,
+            quiesce_timeout_us: 5_000_000,
         }
     }
 }
@@ -425,6 +435,36 @@ impl ExchangeSource {
         self.delivered += fresh.len() as u64;
         Poll::Ready(fresh)
     }
+
+    /// The exchange stream this source reads.
+    pub fn exchange_id(&self) -> u32 {
+        self.ex_id
+    }
+
+    /// Take everything currently buffered on the consumer side of this
+    /// exchange: the carry tail plus every batch still queued. Used by
+    /// the quiesce protocol's drain step, after the producer stopped
+    /// (parked or exited) — nothing races the reads, so `Empty`/`Closed`
+    /// really mean the stream is drained.
+    pub fn drain_buffered(&mut self) -> Vec<Tuple> {
+        let mut out = std::mem::take(&mut self.carry);
+        loop {
+            let status = match &self.reader {
+                Some(r) => r.try_recv_status(),
+                None => TryRecv::Closed,
+            };
+            match status {
+                TryRecv::Batch(b) => out.extend(b),
+                TryRecv::Empty => break,
+                TryRecv::Closed => {
+                    self.done = true;
+                    self.reader = None;
+                    break;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Source for ExchangeSource {
@@ -482,40 +522,944 @@ impl Source for ExchangeSource {
             name: self.name.clone(),
             complete: true,
             key_range: None,
+            declared_rate_tuples_per_sec: None,
         }
     }
 }
 
-/// A producer fragment's [`PushTarget`]: cascades through the fragment's
-/// pipeline and ships every produced batch into the exchange queue
-/// immediately (owned send, no copy), so downstream consumption overlaps
-/// this fragment's remaining work.
-struct PipeToQueue<'a> {
-    pipeline: &'a mut PipelinePlan,
-    writer: &'a mut QueueWriter,
-    /// Output produced by the last push/finish, parked until the driver's
-    /// uncharged [`PushTarget::ship`] call — a send into a full queue
-    /// blocks on backpressure, and that wait must not be billed as CPU.
+// ---------------------------------------------------------------------
+// The quiesce protocol
+// ---------------------------------------------------------------------
+//
+// State machine of one producer fragment thread (controller view):
+//
+// ```text
+//            request_quiesce            seal
+//   running ───────────────▶ quiescing ──────▶ drained/sealed
+//      ▲                        │  producer parks at the next
+//      │        resume          │  batch boundary and reports
+//      └────────────────────────┘  its high-water marks
+// ```
+//
+// A producer only ever stops *between* batches: the quiesce check sits at
+// the top of its driver loop, and a send into a full exchange queue is a
+// `try_send` retry loop that yields to a pending quiesce with the refused
+// batch carried into the parked state — so no tuple is ever stranded
+// inside a blocking call, and no batch is half-processed when the
+// controller takes the pipelines back.
+
+/// What a producer fragment's quiesce latch currently asks of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QuiesceState {
+    /// Produce normally.
+    Running,
+    /// Park at the next batch boundary.
+    QuiesceRequested,
+    /// Parked; waiting to be resumed or sealed.
+    Parked,
+    /// Keep producing (a quiesce was abandoned).
+    Resume,
+    /// Stop at the next boundary and yield the pipeline back.
+    Seal,
+}
+
+/// Shared latch between one producer thread and the controller.
+#[derive(Debug)]
+struct QuiesceShared {
+    state: Mutex<QuiesceState>,
+    cv: Condvar,
+    /// Producer ran to natural completion (fragment finished, queue
+    /// closed); it will never park, but its yield is ready to join.
+    finished: AtomicBool,
+    /// CPU µs (timeline) this producer has charged so far, refreshed at
+    /// every batch boundary — the controller's warmup `unit_us`
+    /// calibration needs whole-plan measured CPU, not just its own.
+    cpu_us: AtomicU64,
+}
+
+impl QuiesceShared {
+    fn new() -> QuiesceShared {
+        QuiesceShared {
+            state: Mutex::new(QuiesceState::Running),
+            cv: Condvar::new(),
+            finished: AtomicBool::new(false),
+            cpu_us: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QuiesceState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether the producer should stop what it is doing at the next
+    /// opportunity (a quiesce or seal is pending).
+    fn wants_stop(&self) -> bool {
+        matches!(
+            *self.lock(),
+            QuiesceState::QuiesceRequested | QuiesceState::Seal
+        )
+    }
+}
+
+/// Live progress one producer fragment publishes for each real source it
+/// owns: readable by the controller while the producer runs (the
+/// corrective monitor's view of relations it does not poll itself) and
+/// after it parked (the protocol's high-water marks).
+#[derive(Debug)]
+pub struct FragmentSourceProgress {
+    rel_id: u32,
+    consumed: AtomicU64,
+    eof: AtomicBool,
+    /// Bit pattern of the source's `fraction_read` (`f64::NAN` = unknown).
+    fraction_bits: AtomicU64,
+    /// Latest arrival schedule the source published, if self-profiling.
+    schedule: Mutex<Option<tukwila_stats::ArrivalSchedule>>,
+}
+
+impl FragmentSourceProgress {
+    fn new(rel_id: u32) -> FragmentSourceProgress {
+        FragmentSourceProgress {
+            rel_id,
+            consumed: AtomicU64::new(0),
+            eof: AtomicBool::new(false),
+            fraction_bits: AtomicU64::new(f64::NAN.to_bits()),
+            schedule: Mutex::new(None),
+        }
+    }
+
+    /// The base relation this progress entry tracks.
+    pub fn rel_id(&self) -> u32 {
+        self.rel_id
+    }
+
+    /// Tuples the producer has pushed into its pipeline from this source
+    /// — the high-water mark of the quiesce protocol.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Acquire)
+    }
+
+    /// Whether the source reached end of stream.
+    pub fn eof(&self) -> bool {
+        self.eof.load(Ordering::Acquire)
+    }
+
+    /// The source's latest self-reported read fraction, if it knows one.
+    pub fn fraction_read(&self) -> Option<f64> {
+        let f = f64::from_bits(self.fraction_bits.load(Ordering::Acquire));
+        if f.is_nan() {
+            None
+        } else {
+            Some(f)
+        }
+    }
+
+    /// The source's latest observed arrival schedule, if self-profiling.
+    pub fn schedule(&self) -> Option<tukwila_stats::ArrivalSchedule> {
+        self.schedule
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    fn refresh(&self, newly_consumed: u64, src: &dyn Source) {
+        if newly_consumed > 0 {
+            self.consumed.fetch_add(newly_consumed, Ordering::AcqRel);
+        }
+        let p = src.progress();
+        if p.eof {
+            self.eof.store(true, Ordering::Release);
+        }
+        self.fraction_bits.store(
+            p.fraction_read.unwrap_or(f64::NAN).to_bits(),
+            Ordering::Release,
+        );
+        if let Some(s) = src.observed_schedule() {
+            *self.schedule.lock().unwrap_or_else(|p| p.into_inner()) = Some(s);
+        }
+    }
+}
+
+/// Controller-side handle to one threaded producer fragment: request a
+/// park, observe that it happened, read the producer's high-water marks,
+/// and resume it. (Sealing goes through [`ThreadedFragmentRun::seal`],
+/// which needs every producer at once to reassemble the plan.)
+#[derive(Debug)]
+pub struct QuiesceHandle {
+    shared: Arc<QuiesceShared>,
+    progress: Vec<Arc<FragmentSourceProgress>>,
+}
+
+impl QuiesceHandle {
+    /// Ask the producer to park at its next batch boundary. Idempotent;
+    /// a no-op once the producer finished or a seal is pending.
+    pub fn request_quiesce(&self) {
+        let mut s = self.shared.lock();
+        if *s == QuiesceState::Running || *s == QuiesceState::Resume {
+            *s = QuiesceState::QuiesceRequested;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Whether the producer is parked at a batch boundary — or has run to
+    /// natural completion, which is just as quiescent.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.finished.load(Ordering::Acquire) || *self.shared.lock() == QuiesceState::Parked
+    }
+
+    /// Abandon a quiesce: wake a parked (or about-to-park) producer and
+    /// let it keep producing into the same exchange queue.
+    pub fn resume(&self) {
+        let mut s = self.shared.lock();
+        if matches!(*s, QuiesceState::QuiesceRequested | QuiesceState::Parked) {
+            *s = QuiesceState::Resume;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Per-source high-water marks (consumed tuples, EOF, fraction,
+    /// latest schedule) this producer reports, in its source order.
+    pub fn high_water_marks(&self) -> &[Arc<FragmentSourceProgress>] {
+        &self.progress
+    }
+
+    /// CPU µs (timeline) this producer has charged so far (live).
+    pub fn cpu_us(&self) -> u64 {
+        self.shared.cpu_us.load(Ordering::Acquire)
+    }
+
+    fn request_seal(&self) {
+        let mut s = self.shared.lock();
+        *s = QuiesceState::Seal;
+        self.shared.cv.notify_all();
+    }
+}
+
+/// A source owned by one producer fragment thread.
+enum ProducerSource {
+    /// A caller-provided base-relation source, tagged with the slot it
+    /// came from so it can be recovered after a seal.
+    Real {
+        slot: usize,
+        src: Box<dyn Source>,
+        progress: Arc<FragmentSourceProgress>,
+    },
+    /// The consumer end of an upstream exchange (multi-level chains: a
+    /// producer feeding another producer).
+    Exchange(ExchangeSource),
+}
+
+impl ProducerSource {
+    fn as_source_mut(&mut self) -> &mut dyn Source {
+        match self {
+            ProducerSource::Real { src, .. } => src.as_mut(),
+            ProducerSource::Exchange(ex) => ex,
+        }
+    }
+}
+
+/// What a producer thread hands back when it stops — by natural
+/// completion, a seal, or an error. The pipeline always comes back, so
+/// sealing can register its state no matter how the thread ended.
+struct ProducerYield {
+    frag_index: usize,
+    pipeline: PipelinePlan,
+    sources: Vec<ProducerSource>,
+    report: ExecReport,
+    /// Output produced but not yet shipped into the exchange queue (a
+    /// quiesce arrived while the queue was full).
     pending: Batch,
+    /// A producer-side failure (consumer hangups are recorded as `None`:
+    /// benign teardown).
+    error: Option<Error>,
 }
 
-impl PushTarget for PipeToQueue<'_> {
-    fn push_source(&mut self, rel_id: u32, batch: &[Tuple], out: &mut Batch) -> Result<()> {
-        let _ = out;
-        self.pipeline.push_source(rel_id, batch, &mut self.pending)
-    }
+/// What the producer does after a batch boundary's quiesce check.
+#[derive(PartialEq)]
+enum Directive {
+    Continue,
+    Seal,
+}
 
-    fn finish_source(&mut self, rel_id: u32, out: &mut Batch) -> Result<()> {
-        let _ = out;
-        self.pipeline.finish_source(rel_id, &mut self.pending)
-    }
-
-    fn ship(&mut self) -> Result<()> {
-        if !self.pending.is_empty() {
-            self.writer.send(std::mem::take(&mut self.pending))?;
+/// The quiesce check at a producer's batch boundary: fast path when
+/// running, otherwise park (pausing the sources' own delivery
+/// accounting), wait to be resumed or sealed, and resume the sources on
+/// the way out.
+fn quiesce_point(
+    shared: &QuiesceShared,
+    sources: &mut [ProducerSource],
+    clock: &Arc<dyn Clock>,
+) -> Directive {
+    {
+        let s = shared.lock();
+        match *s {
+            QuiesceState::Running => return Directive::Continue,
+            QuiesceState::Seal => return Directive::Seal,
+            _ => {}
         }
-        Ok(())
     }
+    // Parking: tell self-accounting sources (the threaded federation
+    // adapter) that the coming silence is ours, not theirs — their races
+    // keep running, only the backpressure/stall bookkeeping pauses.
+    for s in sources.iter_mut() {
+        s.as_source_mut().quiesce_delivery();
+    }
+    let directive = {
+        let mut s = shared.lock();
+        loop {
+            match *s {
+                QuiesceState::QuiesceRequested => {
+                    *s = QuiesceState::Parked;
+                    shared.cv.notify_all();
+                }
+                QuiesceState::Parked => {
+                    s = shared.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+                }
+                QuiesceState::Resume | QuiesceState::Running => {
+                    *s = QuiesceState::Running;
+                    break Directive::Continue;
+                }
+                QuiesceState::Seal => break Directive::Seal,
+            }
+        }
+    };
+    if directive == Directive::Continue {
+        let now = clock.now_us();
+        for s in sources.iter_mut() {
+            s.as_source_mut().resume_delivery(now);
+        }
+    }
+    // On Seal the sources stay paused: they are about to be recovered and
+    // re-spawned into the next phase, whose producer resumes them.
+    directive
+}
+
+/// The quiesce-aware producer driver loop: the standard poll/push/idle
+/// sweep over this fragment's sources, with a batch-boundary quiesce
+/// check and non-blocking exchange shipping. Always returns its
+/// [`ProducerYield`] — the pipeline survives every exit path.
+#[allow(clippy::too_many_arguments)]
+fn run_producer(
+    frag_index: usize,
+    mut pipeline: PipelinePlan,
+    mut sources: Vec<ProducerSource>,
+    mut writer: QueueWriter,
+    shared: Arc<QuiesceShared>,
+    clock: Arc<dyn Clock>,
+    batch_size: usize,
+    cpu: CpuCostModel,
+    retry_tick_us: u64,
+) -> ProducerYield {
+    let mut timeline = Timeline::new(Some(clock.clone()));
+    let mut report = ExecReport::default();
+    let mut finished = vec![false; sources.len()];
+    let mut pending: Batch = Batch::new();
+    let mut error: Option<Error> = None;
+    let mut completed = false;
+
+    // Sources recovered from a sealed previous phase arrive still paused;
+    // fresh sources treat this as a no-op.
+    {
+        let now = clock.now_us();
+        for s in sources.iter_mut() {
+            s.as_source_mut().resume_delivery(now);
+        }
+    }
+
+    'run: loop {
+        // Batch boundary: the only place this thread parks. Refresh the
+        // shared CPU figure here too, so the controller's calibration
+        // sees producer work as it happens.
+        shared
+            .cpu_us
+            .store(timeline.cpu_us() as u64, Ordering::Release);
+        match quiesce_point(&shared, &mut sources, &clock) {
+            Directive::Continue => {}
+            Directive::Seal => break 'run,
+        }
+        // Ship parked output, uncharged (backpressure wait is not CPU)
+        // and non-blocking (a full queue defers to the next boundary, so
+        // a pending quiesce is honored with the batch carried along).
+        if !pending.is_empty() {
+            match writer.try_send(std::mem::take(&mut pending)) {
+                Ok(None) => timeline.resync(),
+                Ok(Some(back)) => {
+                    pending = back;
+                    if !shared.wants_stop() {
+                        let now = clock.now_us();
+                        clock.sleep_toward(now.saturating_add(retry_tick_us.max(1)));
+                    }
+                    continue 'run;
+                }
+                Err(e) => {
+                    // Consumer hangup is benign teardown; anything else
+                    // is a real producer failure.
+                    if !crate::queue::is_hangup(&e) {
+                        error = Some(e);
+                    }
+                    break 'run;
+                }
+            }
+        }
+        // One poll sweep, same discipline as `SimDriver::run_target`.
+        timeline.resync();
+        let mut any_ready = false;
+        let mut next_ready: Option<u64> = None;
+        let mut all_done = true;
+        for i in 0..sources.len() {
+            if finished[i] {
+                continue;
+            }
+            all_done = false;
+            match sources[i]
+                .as_source_mut()
+                .poll(timeline.now_us(), batch_size)
+            {
+                Poll::Ready(batch) => {
+                    any_ready = true;
+                    report.batches += 1;
+                    let rel = sources[i].as_source_mut().rel_id();
+                    let pushed = charged_cost(cpu, &timeline, batch.len(), || {
+                        pipeline.push_source(rel, &batch, &mut pending)
+                    });
+                    match pushed {
+                        Ok(cost) => timeline.charge(cost),
+                        Err(e) => {
+                            error = Some(e);
+                            break 'run;
+                        }
+                    }
+                    if let ProducerSource::Real { src, progress, .. } = &sources[i] {
+                        progress.refresh(batch.len() as u64, src.as_ref());
+                    }
+                }
+                Poll::Pending { next_ready_us } => {
+                    next_ready = Some(match next_ready {
+                        Some(n) => n.min(next_ready_us),
+                        None => next_ready_us,
+                    });
+                }
+                Poll::Eof => {
+                    finished[i] = true;
+                    let flushed = charged_cost(cpu, &timeline, 0, || {
+                        let rel = sources[i].as_source_mut().rel_id();
+                        pipeline.finish_source(rel, &mut pending)
+                    });
+                    match flushed {
+                        Ok(cost) => timeline.charge(cost),
+                        Err(e) => {
+                            error = Some(e);
+                            break 'run;
+                        }
+                    }
+                    if let ProducerSource::Real { src, progress, .. } = &sources[i] {
+                        progress.refresh(0, src.as_ref());
+                    }
+                }
+            }
+        }
+        if all_done {
+            completed = true;
+            break 'run;
+        }
+        if !any_ready {
+            if let Some(n) = next_ready {
+                // One bounded chunk; the loop re-checks the quiesce latch
+                // before sleeping again.
+                timeline.idle_toward(n);
+            }
+        }
+    }
+
+    if completed {
+        // Flush the tail and close the queue: the consumer drains every
+        // buffered batch before reading Closed.
+        while !pending.is_empty() {
+            match writer.try_send(std::mem::take(&mut pending)) {
+                Ok(None) => {}
+                Ok(Some(back)) => {
+                    pending = back;
+                    if shared.wants_stop() {
+                        break;
+                    }
+                    let now = clock.now_us();
+                    clock.sleep_toward(now.saturating_add(retry_tick_us.max(1)));
+                }
+                Err(e) => {
+                    if !crate::queue::is_hangup(&e) {
+                        error = Some(e);
+                    }
+                    break;
+                }
+            }
+        }
+        if pending.is_empty() {
+            let _ = writer.finish(&mut Batch::new());
+        }
+    }
+    // Dropping the writer (on seal/error paths) closes the queue while
+    // keeping buffered batches readable — the seal's drain step collects
+    // them, so nothing in flight is lost.
+    shared
+        .cpu_us
+        .store(timeline.cpu_us() as u64, Ordering::Release);
+    shared.finished.store(true, Ordering::Release);
+    shared.cv.notify_all();
+
+    report.cpu_us = timeline.cpu_us() as u64;
+    report.idle_us = timeline.idle_us() as u64;
+    report.virtual_us = timeline.clock_us() as u64;
+    ProducerYield {
+        frag_index,
+        pipeline,
+        sources,
+        report,
+        pending,
+        error,
+    }
+}
+
+/// Everything recovered by sealing a [`ThreadedFragmentRun`]: the state
+/// structures of every fragment (plan-wide node ids, same numbering as
+/// [`FragmentRun::seal`] on the equivalent sequential run), the caller's
+/// sources, and the producers' accounting.
+pub struct SealedOutcome {
+    /// Sealed state structures across every fragment, root last.
+    pub states: Vec<SealedState>,
+    /// Recovered base-relation sources, tagged with the slot each held in
+    /// the source vector handed to [`ThreadedFragmentRun::spawn`].
+    pub sources: Vec<SlottedSource>,
+    /// CPU µs (timeline) the producer threads charged.
+    pub producer_cpu_us: u64,
+    /// Source batches the producer threads consumed.
+    pub producer_batches: u64,
+}
+
+/// One producer fragment tracked by the controller.
+struct ProducerSlot {
+    handle: Option<JoinHandle<ProducerYield>>,
+    quiesce: QuiesceHandle,
+}
+
+/// A base-relation source tagged with the slot it held in the source
+/// vector handed to [`ThreadedFragmentRun::spawn`] (so the caller can put
+/// recovered sources back where they came from).
+pub type SlottedSource = (usize, Box<dyn Source>);
+
+/// Threaded execution of a [`FragmentPlan`] as an explicit state machine
+/// the corrective executor can own across plan switches:
+///
+/// * **spawn** — every producer fragment starts its quiesce-aware driver
+///   loop on its own thread; the root fragment's pipeline and
+///   [`ExchangeSource`]s stay with the caller, who polls them like any
+///   other sources ([`ThreadedFragmentRun::root_split`]).
+/// * **poll** — the controller reads live observations
+///   ([`ThreadedFragmentRun::observations`]: counters are shared atomics)
+///   and per-source high-water marks
+///   ([`ThreadedFragmentRun::quiesce_handles`]) while producers run.
+/// * **quiesce** — ask every producer to park at a batch boundary and
+///   wait (clock-driven timeout); on timeout the caller **resumes** and
+///   abandons whatever needed the quiesce.
+/// * **seal** — join every thread (re-raising panics, surfacing producer
+///   errors), drain every exchange's in-flight tuples into the
+///   reassembled sequential plan (so nothing buffered between fragments
+///   is lost), seal all pipelines, and hand back the caller's sources.
+///
+/// Dropping a run that was never sealed requests a seal, joins every
+/// thread, and discards the yields — no leaked threads on any path.
+pub struct ThreadedFragmentRun {
+    producers: Vec<ProducerSlot>,
+    root_pipeline: PipelinePlan,
+    /// Exchange streams the root fragment consumes; the controller polls
+    /// these next to its own base-relation sources.
+    root_exchanges: Vec<ExchangeSource>,
+    /// Output exchange of every fragment (topological order, root last).
+    outputs: Vec<Option<u32>>,
+    /// Observation templates with plan-wide node ids; counters are live.
+    obs_templates: Vec<NodeObservation>,
+    clock: Arc<dyn Clock>,
+    opts: FragmentOptions,
+    joined: bool,
+}
+
+impl ThreadedFragmentRun {
+    /// Spawn the producer fragments of `plan` on their own threads.
+    ///
+    /// Consumes every source in `sources`; those bound by producer
+    /// fragments move into the threads (to be recovered by
+    /// [`ThreadedFragmentRun::seal`]), while the root fragment's sources
+    /// are returned, tagged with their original slots, for the caller to
+    /// poll alongside [`ThreadedFragmentRun::root_split`]'s exchanges.
+    pub fn spawn(
+        plan: FragmentPlan,
+        sources: Vec<Box<dyn Source>>,
+        clock: Arc<dyn Clock>,
+        batch_size: usize,
+        cpu: CpuCostModel,
+        opts: &FragmentOptions,
+    ) -> Result<(ThreadedFragmentRun, Vec<SlottedSource>)> {
+        if !clock.is_wall() {
+            return Err(Error::Plan(
+                "threaded fragments need a wall clock; use run_fragments_sequential \
+                 for virtual-clock runs"
+                    .into(),
+            ));
+        }
+        let nfrag = plan.fragment_count();
+
+        // Observation templates with plan-wide node ids, captured before
+        // the pipelines move into their threads. Counters are Arc-shared
+        // atomics, so these stay live.
+        let mut obs_templates = Vec::new();
+        let mut offset = 0;
+        for f in plan.fragments() {
+            for mut obs in f.pipeline.observations() {
+                obs.node += offset;
+                obs_templates.push(obs);
+            }
+            offset += f.pipeline.node_count();
+        }
+        let outputs: Vec<Option<u32>> = plan.fragments().iter().map(|f| f.output).collect();
+
+        // Partition the sources among the fragments that bind them.
+        let mut per_fragment: Vec<Vec<ProducerSource>> = (0..nfrag).map(|_| Vec::new()).collect();
+        let mut root_sources: Vec<SlottedSource> = Vec::new();
+        for (slot, src) in sources.into_iter().enumerate() {
+            let f = plan.fragment_of(src.rel_id()).ok_or_else(|| {
+                Error::Plan(format!(
+                    "no fragment binds source relation {}",
+                    src.rel_id()
+                ))
+            })?;
+            if f == nfrag - 1 {
+                root_sources.push((slot, src));
+            } else {
+                let progress = Arc::new(FragmentSourceProgress::new(src.rel_id()));
+                per_fragment[f].push(ProducerSource::Real {
+                    slot,
+                    src,
+                    progress,
+                });
+            }
+        }
+
+        // Exchange → consuming fragment index, computed before the
+        // fragment vec is consumed (a producer's exchange may feed
+        // another producer, not only the root — multi-level chains).
+        let mut consumer_of: HashMap<u32, usize> = HashMap::new();
+        for (i, f) in plan.fragments.iter().enumerate() {
+            for ex in f.exchange_inputs() {
+                consumer_of.insert(ex, i);
+            }
+        }
+
+        let mut fragments = plan.fragments;
+        let root = fragments.pop().expect("validated non-empty");
+        let mut root_exchanges: Vec<ExchangeSource> = Vec::new();
+        let mut producers: Vec<ProducerSlot> = Vec::with_capacity(nfrag - 1);
+        for (idx, frag) in fragments.into_iter().enumerate() {
+            let ex = frag.output.expect("non-root fragments output an exchange");
+            let (writer, reader) =
+                queue_pair(frag.pipeline.root_schema().clone(), opts.queue_capacity);
+            let exchange_source = ExchangeSource::new(
+                ex,
+                frag.pipeline.root_schema().clone(),
+                reader,
+                opts.poll_tick_us,
+            );
+            let consumer_idx = consumer_of[&ex]; // validated by FragmentPlan::new
+            if consumer_idx == nfrag - 1 {
+                root_exchanges.push(exchange_source);
+            } else {
+                per_fragment[consumer_idx].push(ProducerSource::Exchange(exchange_source));
+            }
+
+            let frag_sources = std::mem::take(&mut per_fragment[idx]);
+            let progress: Vec<Arc<FragmentSourceProgress>> = frag_sources
+                .iter()
+                .filter_map(|s| match s {
+                    ProducerSource::Real { progress, .. } => Some(progress.clone()),
+                    ProducerSource::Exchange(_) => None,
+                })
+                .collect();
+            let shared = Arc::new(QuiesceShared::new());
+            let thread_shared = shared.clone();
+            let thread_clock = clock.clone();
+            let (bs, cm, tick) = (batch_size, cpu, opts.poll_tick_us);
+            let pipeline = frag.pipeline;
+            let spawned = std::thread::Builder::new()
+                .name(format!("fragment-{idx}"))
+                .spawn(move || {
+                    run_producer(
+                        idx,
+                        pipeline,
+                        frag_sources,
+                        writer,
+                        thread_shared,
+                        thread_clock,
+                        bs,
+                        cm,
+                        tick,
+                    )
+                });
+            match spawned {
+                Ok(handle) => producers.push(ProducerSlot {
+                    handle: Some(handle),
+                    quiesce: QuiesceHandle { shared, progress },
+                }),
+                Err(e) => {
+                    // Thread-resource exhaustion mid-construction: seal
+                    // and join the producers already running (dropping
+                    // the undistributed exchange sources hangs up their
+                    // queues, so blocked sends error out promptly).
+                    for p in &producers {
+                        p.quiesce.request_seal();
+                    }
+                    drop(per_fragment);
+                    drop(root_exchanges);
+                    for p in &mut producers {
+                        if let Some(h) = p.handle.take() {
+                            let _ = h.join();
+                        }
+                    }
+                    return Err(Error::Exec(format!("spawning fragment {idx} failed: {e}")));
+                }
+            }
+        }
+
+        Ok((
+            ThreadedFragmentRun {
+                producers,
+                root_pipeline: root.pipeline,
+                root_exchanges,
+                outputs,
+                obs_templates,
+                clock,
+                opts: opts.clone(),
+                joined: false,
+            },
+            root_sources,
+        ))
+    }
+
+    /// Number of producer fragments running on threads.
+    pub fn producer_count(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// Total fragment count (producers plus the root).
+    pub fn fragment_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The root fragment's pipeline and the exchange sources it consumes,
+    /// split-borrowed so the caller's poll sweep can push exchange
+    /// batches into the pipeline it owns alongside its own sources.
+    pub fn root_split(&mut self) -> (&mut PipelinePlan, &mut [ExchangeSource]) {
+        (&mut self.root_pipeline, &mut self.root_exchanges)
+    }
+
+    /// Per-producer quiesce handles (park / observe / high-water marks /
+    /// resume), in fragment order.
+    pub fn quiesce_handles(&self) -> impl Iterator<Item = &QuiesceHandle> {
+        self.producers.iter().map(|p| &p.quiesce)
+    }
+
+    /// Counter/signature snapshots across every fragment with plan-wide
+    /// node ids — the same numbering [`FragmentRun::observations`] uses.
+    /// Counters are live shared atomics: the monitor reads fragments it
+    /// does not own while their producer threads run.
+    pub fn observations(&self) -> Vec<NodeObservation> {
+        self.obs_templates.clone()
+    }
+
+    /// Whether every producer has parked or finished.
+    pub fn producers_stopped(&self) -> bool {
+        self.producers.iter().all(|p| p.quiesce.is_stopped())
+    }
+
+    /// CPU µs (timeline) charged so far across every producer thread,
+    /// read live from the batch-boundary snapshots. The corrective
+    /// monitor adds this to its own timeline when calibrating `unit_us`,
+    /// so the measured side covers the same work the cost-unit side does.
+    pub fn producer_cpu_us(&self) -> u64 {
+        self.producers.iter().map(|p| p.quiesce.cpu_us()).sum()
+    }
+
+    /// Ask every producer to park at its next batch boundary and wait for
+    /// it to happen, up to the configured quiesce timeout (timeline µs,
+    /// waited on the shared clock). Returns whether every producer is
+    /// quiescent; on `false` the caller should [`ThreadedFragmentRun::
+    /// resume`] and abandon the plan switch rather than stall the query.
+    pub fn quiesce(&mut self) -> bool {
+        for p in &self.producers {
+            p.quiesce.request_quiesce();
+        }
+        let deadline = self
+            .clock
+            .now_us()
+            .saturating_add(self.opts.quiesce_timeout_us);
+        let clock = self.clock.clone();
+        let producers = &self.producers;
+        tukwila_stats::clock::wait_until(clock.as_ref(), deadline, || {
+            producers.iter().all(|p| p.quiesce.is_stopped())
+        })
+    }
+
+    /// Abandon a quiesce: wake every parked producer and continue the
+    /// phase unchanged.
+    pub fn resume(&mut self) {
+        for p in &self.producers {
+            p.quiesce.resume();
+        }
+    }
+
+    /// End the run: join every producer thread (re-raising the first
+    /// panic; surfacing the first real producer error), drain every
+    /// exchange's in-flight tuples — consumer-side carry, queued batches,
+    /// and producer-side unshipped output — into the reassembled
+    /// sequential plan (root output lands in `out`), seal every pipeline,
+    /// and recover the caller's sources.
+    ///
+    /// Call after [`ThreadedFragmentRun::quiesce`] for a mid-stream plan
+    /// switch, or at natural completion (every producer finished and the
+    /// root ran dry) for the end-of-phase seal; both paths are loss-free.
+    pub fn seal(mut self, out: &mut Batch) -> Result<SealedOutcome> {
+        let (mut yields, panic_payload) = self.join_all();
+        if let Some(payload) = panic_payload {
+            eprintln!("fragment producer thread panicked");
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(e) = yields.iter_mut().find_map(|y| y.error.take()) {
+            return Err(e);
+        }
+
+        // Collect every exchange's leftovers before reassembly: the
+        // consumer side (carry + still-queued batches) in stream order,
+        // then the producer's unshipped output.
+        let mut leftovers: HashMap<u32, Vec<Tuple>> = HashMap::new();
+        for ex in &mut self.root_exchanges {
+            leftovers.insert(ex.exchange_id(), ex.drain_buffered());
+        }
+        for y in &mut yields {
+            for s in &mut y.sources {
+                if let ProducerSource::Exchange(ex) = s {
+                    leftovers.insert(ex.exchange_id(), ex.drain_buffered());
+                }
+            }
+        }
+        for y in &mut yields {
+            if let Some(ex) = self.outputs[y.frag_index] {
+                leftovers
+                    .entry(ex)
+                    .or_default()
+                    .extend(std::mem::take(&mut y.pending));
+            }
+        }
+
+        // Reassemble the fragments in topological order and push the
+        // leftovers across their exchanges: the sequential FragmentRun
+        // forwards in memory, so drained tuples cascade straight through
+        // consumers (root output to `out`) with nothing re-queued.
+        let mut producer_cpu_us = 0;
+        let mut producer_batches = 0;
+        let mut recovered: Vec<SlottedSource> = Vec::new();
+        let mut fragments: Vec<Fragment> = Vec::with_capacity(self.outputs.len());
+        for y in yields {
+            producer_cpu_us += y.report.cpu_us;
+            producer_batches += y.report.batches;
+            for s in y.sources {
+                if let ProducerSource::Real { slot, src, .. } = s {
+                    recovered.push((slot, src));
+                }
+            }
+            fragments.push(Fragment {
+                pipeline: y.pipeline,
+                output: self.outputs[y.frag_index],
+            });
+        }
+        fragments.push(Fragment {
+            pipeline: std::mem::replace(&mut self.root_pipeline, empty_pipeline()),
+            output: None,
+        });
+        let mut run = FragmentPlan::new(fragments)?.into_run();
+        for ex in self.outputs.iter().flatten() {
+            if let Some(tuples) = leftovers.remove(ex) {
+                if !tuples.is_empty() {
+                    run.push_source(*ex, &tuples, out)?;
+                }
+            }
+        }
+        let states = run.seal();
+        recovered.sort_by_key(|(slot, _)| *slot);
+        Ok(SealedOutcome {
+            states,
+            sources: recovered,
+            producer_cpu_us,
+            producer_batches,
+        })
+    }
+
+    /// Request a seal on every producer and join the threads. Yields come
+    /// back sorted by fragment index; the first panic payload (if any) is
+    /// returned instead of being re-raised so `Drop` can swallow it.
+    fn join_all(&mut self) -> (Vec<ProducerYield>, Option<Box<dyn std::any::Any + Send>>) {
+        self.joined = true;
+        for p in &self.producers {
+            p.quiesce.request_seal();
+        }
+        let mut yields = Vec::with_capacity(self.producers.len());
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for p in &mut self.producers {
+            if let Some(h) = p.handle.take() {
+                match h.join() {
+                    Ok(y) => yields.push(y),
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+        }
+        yields.sort_by_key(|y| y.frag_index);
+        (yields, panic_payload)
+    }
+}
+
+impl Drop for ThreadedFragmentRun {
+    fn drop(&mut self) {
+        if !self.joined {
+            // An abandoned run (error elsewhere, test teardown) must not
+            // leak producer threads. Dropping the root's exchange readers
+            // first errors any send still blocked on a full queue.
+            self.root_exchanges.clear();
+            let (_, panic_payload) = self.join_all();
+            // A producer panic is the root cause even when the consumer
+            // side failed first — re-raise it rather than bury it, unless
+            // this drop is itself running during an unwind (a second
+            // panic would abort the process).
+            if let Some(payload) = panic_payload {
+                if std::thread::panicking() {
+                    eprintln!("fragment producer thread panicked (suppressed during unwind)");
+                } else {
+                    eprintln!("fragment producer thread panicked");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// A minimal placeholder pipeline used to move the real root pipeline out
+/// of a [`ThreadedFragmentRun`] during `seal` (the run still needs a
+/// valid value for its own `Drop`).
+fn empty_pipeline() -> PipelinePlan {
+    let mut b = PipelinePlan::builder();
+    let schema = Schema::empty();
+    let op = Box::new(crate::project::ProjectOp::columns(&[], &schema));
+    let id = b.add_op(op, &[None], None).expect("placeholder op");
+    b.bind_source(u32::MAX, id, 0).expect("placeholder bind");
+    b.build().expect("placeholder pipeline")
 }
 
 impl SimDriver {
@@ -548,9 +1492,11 @@ impl SimDriver {
     }
 
     /// Threaded execution of a fragmented plan: every producer fragment
-    /// runs the same driver loop on its own thread, shipping root output
-    /// through a bounded exchange queue; the root fragment runs on the
-    /// calling thread over its own sources plus the [`ExchangeSource`]s.
+    /// runs its quiesce-aware driver loop on its own thread (a
+    /// [`ThreadedFragmentRun`] driven straight to completion), shipping
+    /// root output through a bounded exchange queue; the root fragment
+    /// runs on the calling thread over its own sources plus the
+    /// [`ExchangeSource`]s.
     ///
     /// Every fragment thread is joined before this returns; a producer
     /// panic is re-raised here (never read as EOF), and a producer error
@@ -571,115 +1517,48 @@ impl SimDriver {
                 ))
             }
         };
+        let (mut run, mut root_sources) = ThreadedFragmentRun::spawn(
+            plan,
+            sources,
+            clock.clone(),
+            self.batch_size,
+            self.cpu,
+            opts,
+        )?;
 
-        // Partition the sources among the fragments that bind them.
-        let nfrag = plan.fragment_count();
-        let mut per_fragment: Vec<Vec<Box<dyn Source>>> = (0..nfrag).map(|_| Vec::new()).collect();
-        for src in sources {
-            let f = plan.fragment_of(src.rel_id()).ok_or_else(|| {
-                Error::Plan(format!(
-                    "no fragment binds source relation {}",
-                    src.rel_id()
-                ))
-            })?;
-            per_fragment[f].push(src);
-        }
+        // Root fragment on this thread, over its base relations plus the
+        // exchange streams.
+        let root_result = {
+            let (pipeline, exchanges) = run.root_split();
+            let mut refs: Vec<&mut dyn Source> = Vec::new();
+            for (_, s) in root_sources.iter_mut() {
+                refs.push(s.as_mut());
+            }
+            for ex in exchanges.iter_mut() {
+                refs.push(ex);
+            }
+            self.run_target_refs(pipeline, &mut refs)
+        };
 
-        // Exchange → consuming fragment index, computed before the
-        // fragment vec is consumed (a producer's exchange may feed
-        // another producer, not only the root — multi-level chains).
-        let mut consumer_of: HashMap<u32, usize> = HashMap::new();
-        for (i, f) in plan.fragments.iter().enumerate() {
-            for ex in f.exchange_inputs() {
-                consumer_of.insert(ex, i);
+        match root_result {
+            Ok((mut out, mut report)) => {
+                // Natural completion: the queues are already drained, so
+                // the seal only joins threads and collects accounting.
+                let mut sink = Batch::new();
+                let outcome = run.seal(&mut sink)?;
+                out.extend(sink);
+                report.cpu_us += outcome.producer_cpu_us;
+                report.tuples_out = out.len() as u64;
+                Ok((out, report))
+            }
+            Err(e) => {
+                // Teardown: the run's Drop seals and joins every producer
+                // (swallowing their errors — the root's failure wins, as
+                // the sequential path's would).
+                drop(run);
+                Err(e)
             }
         }
-
-        // Spawn each producer fragment (topological order: producers
-        // first), handing its ExchangeSource to the consumer fragment's
-        // source list. Because producers precede consumers, the
-        // consumer's list is always still on this thread when we push.
-        struct FragThread {
-            handle: JoinHandle<Result<ExecReport>>,
-        }
-        let mut threads: Vec<FragThread> = Vec::with_capacity(nfrag - 1);
-        let mut fragments = plan.fragments;
-        let root = fragments.pop().expect("validated non-empty");
-        for (idx, frag) in fragments.into_iter().enumerate() {
-            let ex = frag.output.expect("non-root fragments output an exchange");
-            let (mut writer, reader) =
-                queue_pair(frag.pipeline.root_schema().clone(), opts.queue_capacity);
-            let exchange_source = ExchangeSource::new(
-                ex,
-                frag.pipeline.root_schema().clone(),
-                reader,
-                opts.poll_tick_us,
-            );
-            let consumer_idx = consumer_of[&ex]; // validated by FragmentPlan::new
-            per_fragment[consumer_idx].push(Box::new(exchange_source));
-
-            let mut frag_sources = std::mem::take(&mut per_fragment[idx]);
-            let driver = SimDriver {
-                batch_size: self.batch_size,
-                cpu: self.cpu,
-                clock: Some(clock.clone()),
-            };
-            let mut pipeline = frag.pipeline;
-            let handle = std::thread::Builder::new()
-                .name(format!("fragment-{idx}"))
-                .spawn(move || -> Result<ExecReport> {
-                    let mut target = PipeToQueue {
-                        pipeline: &mut pipeline,
-                        writer: &mut writer,
-                        pending: Batch::new(),
-                    };
-                    let (_, report) = driver.run_target(&mut target, &mut frag_sources)?;
-                    let _ = writer.finish(&mut Batch::new());
-                    Ok(report)
-                })
-                .map_err(|e| Error::Exec(format!("spawning fragment {idx} failed: {e}")))?;
-            threads.push(FragThread { handle });
-        }
-
-        // Root fragment on this thread.
-        let mut root_pipeline = root.pipeline;
-        let mut root_sources = std::mem::take(&mut per_fragment[nfrag - 1]);
-        let root_result = self.run_target(&mut root_pipeline, &mut root_sources);
-
-        // Tear down: drop the root's exchange readers (errors any blocked
-        // producer send), then join everything, re-raising panics.
-        drop(root_sources);
-        let mut producer_err: Option<Error> = None;
-        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-        let mut cpu_extra: u64 = 0;
-        for t in threads {
-            match t.handle.join() {
-                Ok(Ok(report)) => cpu_extra += report.cpu_us,
-                Ok(Err(e)) => {
-                    // A consumer hang-up during teardown is benign; any
-                    // other producer error must surface.
-                    let benign = root_result.is_err() || crate::queue::is_hangup(&e);
-                    if !benign && producer_err.is_none() {
-                        producer_err = Some(e);
-                    }
-                }
-                Err(payload) => {
-                    if panic_payload.is_none() {
-                        panic_payload = Some(payload);
-                    }
-                }
-            }
-        }
-        if let Some(payload) = panic_payload {
-            eprintln!("fragment producer thread panicked");
-            std::panic::resume_unwind(payload);
-        }
-        if let Some(e) = producer_err {
-            return Err(e);
-        }
-        let (out, mut report) = root_result?;
-        report.cpu_us += cpu_extra;
-        Ok((out, report))
     }
 }
 
@@ -856,6 +1735,115 @@ mod tests {
         }
         assert_eq!(got.len(), 25);
         assert!(ex.progress().eof);
+    }
+
+    #[test]
+    fn quiesce_parks_resumes_and_completes() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+        let model = DelayModel::Bandwidth {
+            bytes_per_sec: 1e6,
+            initial_latency_us: 2_000,
+        };
+        let sources: Vec<Box<dyn Source>> = vec![
+            Box::new(DelayedSource::new(1, "a", schema("a"), tuples(200), &model)),
+            Box::new(DelayedSource::new(2, "b", schema("b"), tuples(200), &model)),
+            Box::new(DelayedSource::new(3, "c", schema("c"), tuples(200), &model)),
+        ];
+        let (mut run, mut root_sources) = ThreadedFragmentRun::spawn(
+            two_fragment_plan(),
+            sources,
+            clock.clone(),
+            32,
+            CpuCostModel::Measured,
+            &FragmentOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.producer_count(), 1);
+        assert_eq!(run.fragment_count(), 2);
+        // Quiesce mid-stream: the producer parks at a batch boundary.
+        assert!(run.quiesce(), "producer must park within the budget");
+        assert!(run.producers_stopped());
+        // Abandon the quiesce; the producer keeps racing.
+        run.resume();
+        let driver = SimDriver::new(32, CpuCostModel::Measured).with_clock(clock);
+        let (out, _) = {
+            let (pipeline, exchanges) = run.root_split();
+            let mut refs: Vec<&mut dyn Source> = Vec::new();
+            for (_, s) in root_sources.iter_mut() {
+                refs.push(s.as_mut());
+            }
+            for ex in exchanges.iter_mut() {
+                refs.push(ex);
+            }
+            driver.run_target_refs(pipeline, &mut refs).unwrap()
+        };
+        assert_eq!(keys(&out), (0..200).collect::<Vec<_>>());
+        let mut sink = Batch::new();
+        let outcome = run.seal(&mut sink).unwrap();
+        assert!(sink.is_empty(), "nothing left in flight at completion");
+        // The producer's sources (a, b) come back tagged with their slots.
+        let slots: Vec<usize> = outcome.sources.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, vec![0, 1]);
+        assert!(outcome.producer_batches > 0);
+    }
+
+    #[test]
+    fn mid_stream_seal_recovers_sources_without_loss() {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+        let model = DelayModel::Bandwidth {
+            bytes_per_sec: 2e5,
+            initial_latency_us: 1_000,
+        };
+        let sources: Vec<Box<dyn Source>> = vec![
+            Box::new(DelayedSource::new(1, "a", schema("a"), tuples(300), &model)),
+            Box::new(DelayedSource::new(2, "b", schema("b"), tuples(300), &model)),
+            Box::new(DelayedSource::new(3, "c", schema("c"), tuples(300), &model)),
+        ];
+        let (mut run, _root_sources) = ThreadedFragmentRun::spawn(
+            two_fragment_plan(),
+            sources,
+            clock.clone(),
+            16,
+            CpuCostModel::Measured,
+            &FragmentOptions::default(),
+        )
+        .unwrap();
+        // Let the producer make some progress, then quiesce and seal
+        // while its sources are mid-stream.
+        let handle = run.quiesce_handles().next().unwrap();
+        let progress = handle.high_water_marks().to_vec();
+        while progress.iter().all(|p| p.consumed() == 0) {
+            let now = clock.now_us();
+            clock.sleep_toward(now + 5_000);
+        }
+        assert!(run.quiesce(), "mid-stream quiesce must succeed");
+        let consumed_at_seal: Vec<u64> = progress.iter().map(|p| p.consumed()).collect();
+        let mut sink = Batch::new();
+        let outcome = run.seal(&mut sink).unwrap();
+        assert!(
+            !outcome.states.is_empty(),
+            "mid-stream seal must extract join state"
+        );
+        // Loss-freedom at the source level: what the producer consumed
+        // plus what remains in the recovered source is exactly the
+        // relation — nothing dropped, nothing re-read.
+        for ((slot, mut src), consumed) in outcome.sources.into_iter().zip(consumed_at_seal) {
+            let mut remaining = 0u64;
+            loop {
+                match src.poll(clock.now_us(), 1024) {
+                    Poll::Ready(b) => remaining += b.len() as u64,
+                    Poll::Pending { next_ready_us } => {
+                        clock.sleep_toward(next_ready_us);
+                    }
+                    Poll::Eof => break,
+                }
+            }
+            assert_eq!(
+                consumed + remaining,
+                300,
+                "slot {slot}: consumed {consumed} + remaining {remaining} must cover the relation"
+            );
+        }
     }
 
     #[test]

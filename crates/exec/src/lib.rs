@@ -47,7 +47,7 @@ pub mod split;
 pub use driver::{CpuCostModel, PushTarget, SimDriver, Timeline};
 pub use fragments::{
     is_exchange, ExchangeSource, Fragment, FragmentOptions, FragmentPlan, FragmentRun,
-    EXCHANGE_REL_BASE,
+    FragmentSourceProgress, QuiesceHandle, SealedOutcome, ThreadedFragmentRun, EXCHANGE_REL_BASE,
 };
 pub use metrics::ExecReport;
 pub use op::{Batch, ExtractedState, IncOp};

@@ -49,7 +49,11 @@ pub struct SealedState {
 }
 
 /// Snapshot of one operator's counters with its signature annotations,
-/// used by the execution monitor.
+/// used by the execution monitor. Cloning shares the live counters (they
+/// are `Arc`-held atomics), so a clone taken before a pipeline moves into
+/// a producer thread keeps observing it — that is how the corrective
+/// monitor reads a threaded fragment plan without owning its pipelines.
+#[derive(Clone)]
 pub struct NodeObservation {
     /// The observed plan node.
     pub node: usize,

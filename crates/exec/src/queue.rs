@@ -139,6 +139,35 @@ impl QueueWriter {
         }
     }
 
+    /// Non-blocking send: ship the batch if the queue has room, hand it
+    /// back (`Ok(Some(batch))`) if the queue is full — counting the event
+    /// as backpressure — and error once the consumer hung up.
+    ///
+    /// This is the quiesce-aware shipping primitive: a producer fragment
+    /// that must be able to park at a batch boundary cannot sit inside a
+    /// blocking [`QueueWriter::send`], so it loops `try_send`, checking
+    /// its quiesce gate between attempts and carrying the refused batch
+    /// into its parked state if asked to stop.
+    pub fn try_send(&mut self, batch: Batch) -> Result<Option<Batch>> {
+        let n = batch.len() as u64;
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| Error::Exec("queue already closed".into()))?;
+        match tx.try_send(batch) {
+            Ok(()) => {
+                self.counters.add_in(n);
+                self.counters.add_out(n);
+                Ok(None)
+            }
+            Err(TrySendError::Full(b)) => {
+                self.blocked.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(b))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
+        }
+    }
+
     /// Handle to the backpressure counter, readable after the writer has
     /// moved into its producer thread.
     pub fn blocked_handle(&self) -> Arc<AtomicU64> {
@@ -340,6 +369,20 @@ mod tests {
         let writer = producer.join().unwrap();
         assert_eq!(writer.blocked_sends(), 1);
         assert_eq!(writer.counters().tuples_out(), 2);
+    }
+
+    #[test]
+    fn try_send_hands_back_on_full_and_errors_on_hangup() {
+        let (mut writer, reader) = queue_pair(schema(), 1);
+        assert!(writer.try_send(vec![t(1)]).unwrap().is_none());
+        // Queue full: the batch comes back instead of blocking.
+        let back = writer.try_send(vec![t(2)]).unwrap().unwrap();
+        assert_eq!(back, vec![t(2)]);
+        assert_eq!(writer.blocked_sends(), 1);
+        assert_eq!(reader.try_recv().unwrap(), vec![t(1)]);
+        assert!(writer.try_send(back).unwrap().is_none());
+        drop(reader);
+        assert!(writer.try_send(vec![t(3)]).is_err());
     }
 
     #[test]

@@ -237,6 +237,75 @@ impl PartialReplica {
     }
 }
 
+/// Attaches a declared delivery rate (catalog metadata, tuples per
+/// timeline second) to a source. The hedge gate prices this candidate as
+/// a standby with the declared rate instead of the configured prior, so
+/// the scheduler can wake the best payer among several parked standbys
+/// regardless of registration order.
+pub struct DeclaredRate {
+    inner: Box<dyn Source>,
+    rate_tuples_per_sec: f64,
+}
+
+impl DeclaredRate {
+    /// Wrap a source, declaring the delivery rate its operator promises.
+    pub fn new(inner: Box<dyn Source>, rate_tuples_per_sec: f64) -> DeclaredRate {
+        DeclaredRate {
+            inner,
+            rate_tuples_per_sec: rate_tuples_per_sec.max(0.0),
+        }
+    }
+}
+
+impl Source for DeclaredRate {
+    fn rel_id(&self) -> u32 {
+        self.inner.rel_id()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schema(&self) -> &tukwila_relation::Schema {
+        self.inner.schema()
+    }
+
+    fn poll(&mut self, now_us: u64, max_tuples: usize) -> Poll {
+        self.inner.poll(now_us, max_tuples)
+    }
+
+    fn progress(&self) -> SourceProgressView {
+        self.inner.progress()
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            declared_rate_tuples_per_sec: Some(self.rate_tuples_per_sec),
+            ..self.inner.descriptor()
+        }
+    }
+
+    fn observed_rate(&self) -> Option<f64> {
+        self.inner.observed_rate()
+    }
+
+    fn observed_schedule(&self) -> Option<tukwila_stats::ArrivalSchedule> {
+        self.inner.observed_schedule()
+    }
+
+    fn quiesce_delivery(&mut self) {
+        self.inner.quiesce_delivery();
+    }
+
+    fn resume_delivery(&mut self, now_us: u64) {
+        self.inner.resume_delivery(now_us);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.inner.as_any()
+    }
+}
+
 impl Source for PartialReplica {
     fn rel_id(&self) -> u32 {
         self.inner.rel_id()
@@ -268,5 +337,21 @@ impl Source for PartialReplica {
 
     fn observed_rate(&self) -> Option<f64> {
         self.inner.observed_rate()
+    }
+
+    fn observed_schedule(&self) -> Option<tukwila_stats::ArrivalSchedule> {
+        self.inner.observed_schedule()
+    }
+
+    fn quiesce_delivery(&mut self) {
+        self.inner.quiesce_delivery();
+    }
+
+    fn resume_delivery(&mut self, now_us: u64) {
+        self.inner.resume_delivery(now_us);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.inner.as_any()
     }
 }

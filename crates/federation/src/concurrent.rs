@@ -212,6 +212,16 @@ pub struct ConcurrentFederatedSource {
     fed_rate: RateEstimator,
     delivered: u64,
     done: bool,
+    /// Per-lane blocked-send baselines captured when the consumer
+    /// announced a quiesce ([`Source::quiesce_delivery`]); `None` while
+    /// polling normally.
+    pause_baseline: Option<Vec<u64>>,
+    /// Per-lane blocked-send events forgiven because they accrued while
+    /// the consumer was quiesced (a corrective plan switch): the lanes
+    /// kept racing into their bounded queues with nobody draining, so
+    /// that backpressure says nothing about consumer saturation and must
+    /// not feed the hedge gate.
+    blocked_forgiven: Vec<u64>,
 }
 
 impl ConcurrentFederatedSource {
@@ -241,6 +251,12 @@ impl ConcurrentFederatedSource {
             candidates
                 .iter()
                 .map(|c| c.descriptor().key_range)
+                .collect(),
+        );
+        scheduler.set_declared_rates(
+            candidates
+                .iter()
+                .map(|c| c.descriptor().declared_rate_tuples_per_sec)
                 .collect(),
         );
         // Threaded mode: the hedge gate's busy-core waste term knows the
@@ -289,6 +305,7 @@ impl ConcurrentFederatedSource {
                 }
             }
         }
+        let nlanes = lanes.len();
         Ok(ConcurrentFederatedSource {
             rel_id,
             name,
@@ -302,6 +319,8 @@ impl ConcurrentFederatedSource {
             fed_rate: RateEstimator::default(),
             delivered: 0,
             done: false,
+            pause_baseline: None,
+            blocked_forgiven: vec![0; nlanes],
         })
     }
 
@@ -336,6 +355,12 @@ impl ConcurrentFederatedSource {
                 })
                 .collect(),
         }
+    }
+
+    /// Blocked-send events forgiven per lane (quiesce windows), for tests.
+    #[cfg(test)]
+    pub(crate) fn blocked_forgiven(&self) -> &[u64] {
+        &self.blocked_forgiven
     }
 
     /// End the run: stop every producer and join it. Idempotent.
@@ -427,11 +452,16 @@ impl Source for ConcurrentFederatedSource {
                     }
                     TryRecv::Empty => {
                         // Refresh the gate's backpressure evidence with
-                        // this lane's real blocked-send count before any
-                        // hedge decision.
+                        // this lane's real blocked-send count — minus the
+                        // events forgiven because they accrued while the
+                        // consumer was quiesced — before any hedge
+                        // decision.
                         self.scheduler.note_backpressure(
                             idx,
-                            self.lanes[idx].blocked.load(Ordering::Relaxed),
+                            self.lanes[idx]
+                                .blocked
+                                .load(Ordering::Relaxed)
+                                .saturating_sub(self.blocked_forgiven[idx]),
                         );
                         if let Some(new_idx) = self.scheduler.on_pending(idx, now_us) {
                             if std::env::var_os("TUKWILA_DEBUG").is_some() {
@@ -493,6 +523,7 @@ impl Source for ConcurrentFederatedSource {
             name: self.name.clone(),
             complete: true,
             key_range: None,
+            declared_rate_tuples_per_sec: None,
         }
     }
 
@@ -502,6 +533,40 @@ impl Source for ConcurrentFederatedSource {
 
     fn observed_schedule(&self) -> Option<tukwila_stats::ArrivalSchedule> {
         tukwila_stats::ArrivalSchedule::from_estimator(&self.fed_rate)
+    }
+
+    /// The consumer is about to stop polling through no fault of the
+    /// mirrors (a corrective quiesce). The race itself keeps running:
+    /// active lanes fill their bounded queues and block, gate-parked
+    /// standbys stay parked — nothing is cancelled. Only the accounting
+    /// pauses: blocked sends from here to the matching
+    /// [`Source::resume_delivery`] are forgiven so the hedge gate does
+    /// not read quiesce-induced backpressure as consumer saturation.
+    fn quiesce_delivery(&mut self) {
+        if self.done || self.pause_baseline.is_some() {
+            return;
+        }
+        self.pause_baseline = Some(
+            self.lanes
+                .iter()
+                .map(|l| l.blocked.load(Ordering::Relaxed))
+                .collect(),
+        );
+    }
+
+    /// Polling resumes after a quiesce: forgive the backpressure events
+    /// the pause produced and restart every active lane's stall window at
+    /// the resume instant (the silence was the consumer's, not the
+    /// mirrors'). Standbys parked at their gates before the quiesce are
+    /// still parked — the race continues exactly where it left off.
+    fn resume_delivery(&mut self, now_us: u64) {
+        if let Some(baseline) = self.pause_baseline.take() {
+            for (idx, before) in baseline.into_iter().enumerate() {
+                let now_blocked = self.lanes[idx].blocked.load(Ordering::Relaxed);
+                self.blocked_forgiven[idx] += now_blocked.saturating_sub(before);
+            }
+            self.scheduler.note_resume(self.clock.observe(now_us));
+        }
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -708,6 +773,57 @@ mod tests {
         )
         .unwrap();
         let _ = drain(&mut fed, &clock);
+    }
+
+    #[test]
+    fn quiesce_forgives_pause_backpressure_and_loses_nothing() {
+        let clock = wall();
+        let cfg = FederationConfig {
+            queue_capacity: 1,
+            producer_batch: 8,
+            ..Default::default()
+        };
+        let mut fed = ConcurrentFederatedSource::new(
+            vec![0],
+            vec![steady("m0", 0..400, 5e6)],
+            cfg,
+            clock.clone(),
+        )
+        .unwrap();
+        // Pull one batch so the lane is producing, then quiesce: the lane
+        // keeps racing into its bounded queue with nobody draining, so
+        // its sends block.
+        let mut keys: Vec<i64> = Vec::new();
+        loop {
+            match fed.poll(clock.now_us(), 64) {
+                Poll::Ready(b) => {
+                    keys.extend(b.iter().map(|t| t.get(0).as_int().unwrap()));
+                    break;
+                }
+                Poll::Pending { next_ready_us } => {
+                    clock.sleep_toward(next_ready_us);
+                }
+                Poll::Eof => panic!("400 tuples cannot be done after one batch"),
+            }
+        }
+        fed.quiesce_delivery();
+        let before = fed.report().candidates[0].blocked_sends;
+        // Wait until the pause has demonstrably produced backpressure.
+        while fed.report().candidates[0].blocked_sends == before {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        fed.resume_delivery(clock.now_us());
+        let forgiven = fed.blocked_forgiven()[0];
+        assert!(
+            forgiven > 0,
+            "backpressure accrued during the pause must be forgiven"
+        );
+        // The race resumes where it left off: the rest of the relation
+        // arrives exactly once.
+        keys.extend(drain(&mut fed, &clock));
+        keys.sort_unstable();
+        assert_eq!(keys, (0..400).collect::<Vec<_>>());
+        assert_eq!(fed.report().failovers, 0, "a quiesce is not a stall");
     }
 
     #[test]

@@ -228,6 +228,12 @@ impl FederatedSource {
                 .map(|c| c.descriptor().key_range)
                 .collect(),
         );
+        scheduler.set_declared_rates(
+            candidates
+                .iter()
+                .map(|c| c.descriptor().declared_rate_tuples_per_sec)
+                .collect(),
+        );
         Ok(FederatedSource {
             rel_id,
             name,
@@ -377,6 +383,7 @@ impl Source for FederatedSource {
             name: self.name.clone(),
             complete: true,
             key_range: None,
+            declared_rate_tuples_per_sec: None,
         }
     }
 
@@ -484,6 +491,7 @@ mod tests {
                 name: self.name.clone(),
                 complete: self.complete,
                 key_range: None,
+                declared_rate_tuples_per_sec: None,
             }
         }
     }

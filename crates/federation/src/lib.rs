@@ -57,7 +57,7 @@ pub mod federated;
 pub mod profile;
 pub mod scheduler;
 
-pub use catalog::{FederatedCatalog, FederationConfig, PartialReplica};
+pub use catalog::{DeclaredRate, FederatedCatalog, FederationConfig, PartialReplica};
 pub use concurrent::ConcurrentFederatedSource;
 pub use federated::{CandidateReport, FederatedSource, FederationReport};
 pub use profile::BehaviorProfile;

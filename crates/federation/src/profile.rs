@@ -33,6 +33,12 @@ pub struct BehaviorProfile {
     /// Timeline instant this candidate was activated (started being
     /// polled); `None` while it is still a standby.
     activated_at_us: Option<u64>,
+    /// Timeline instant polling last *resumed* after a consumer-side
+    /// quiesce (a corrective plan switch parked the polling thread).
+    /// Counts as a sign of life for stall detection: the silence accrued
+    /// while nobody was polling was the consumer's doing, not the
+    /// source's, so the stall window restarts at the resume instant.
+    resumed_at_us: Option<u64>,
     /// Whether the current silence has already been counted as a stall
     /// (reset on every arrival, so one silence = one stall).
     stall_flagged: bool,
@@ -48,6 +54,7 @@ impl BehaviorProfile {
             duplicates: 0,
             eof: false,
             activated_at_us: None,
+            resumed_at_us: None,
             stall_flagged: false,
         }
     }
@@ -73,10 +80,28 @@ impl BehaviorProfile {
         self.stall_flagged = false;
     }
 
-    /// Most recent sign of life: last arrival, or activation time before
-    /// anything has arrived.
+    /// Record that polling resumed at `now_us` after a consumer-side
+    /// quiesce window. Restarts the stall window (see
+    /// [`BehaviorProfile::last_activity_us`]) without touching the rate
+    /// estimator — the source's observed delivery behavior is unchanged,
+    /// only the silence bookkeeping is forgiven.
+    pub fn note_resume(&mut self, now_us: u64) {
+        if self.is_active() && !self.eof {
+            self.resumed_at_us = Some(self.resumed_at_us.map_or(now_us, |r| r.max(now_us)));
+        }
+    }
+
+    /// Most recent sign of life: last arrival, resume-from-quiesce, or
+    /// activation time before anything has arrived.
     pub fn last_activity_us(&self) -> Option<u64> {
-        self.rate.last_arrival_us().or(self.activated_at_us)
+        [
+            self.rate.last_arrival_us(),
+            self.activated_at_us,
+            self.resumed_at_us,
+        ]
+        .into_iter()
+        .flatten()
+        .max()
     }
 
     /// How long this candidate has been silent at `now_us`; `None` while
@@ -209,6 +234,30 @@ mod tests {
         assert!(fast.score(&c) > slow.score(&c));
         fast.stalls = 20;
         assert!(fast.score(&c) < slow.score(&c), "stalls discount the rate");
+    }
+
+    #[test]
+    fn resume_restarts_the_stall_window() {
+        let mut p = BehaviorProfile::new();
+        p.activate(0);
+        p.observe_batch(100, 10, 10);
+        p.observe_batch(200, 10, 10);
+        let deadline = p.stall_deadline_us(&cfg()).unwrap();
+        // A long consumer-side quiesce ends well past the deadline; the
+        // resume forgives the silence instead of latching a stall.
+        let resume_at = deadline + 500_000;
+        p.note_resume(resume_at);
+        assert!(!p.check_stall(resume_at, &cfg()), "quiesce is not a stall");
+        let new_deadline = p.stall_deadline_us(&cfg()).unwrap();
+        assert!(new_deadline > deadline, "stall window restarts at resume");
+        assert!(
+            p.check_stall(new_deadline, &cfg()),
+            "real silence still counts"
+        );
+        // Standbys and EOF candidates ignore resumes.
+        let mut standby = BehaviorProfile::new();
+        standby.note_resume(1_000);
+        assert_eq!(standby.stall_deadline_us(&cfg()), None);
     }
 
     #[test]

@@ -9,17 +9,21 @@
 //!   dedup).
 //! * When the best active candidate is silent past its profile-derived
 //!   stall threshold, a hedge is *considered*: the shared
-//!   [`DeliveryModel`] gate weighs the expected
-//!   latency win of activating the next standby (who must re-deliver
-//!   everything already delivered — sequential access, no rewind) against
-//!   the modeled waste (duplicate-tuple dedup work, observed queue
-//!   backpressure, one more busy core). Only a race that pays is started;
-//!   declined races are counted and reported. With no *healthy* active
-//!   candidate left the win is unbounded and the hedge always fires —
-//!   which preserves liveness and reproduces the legacy stall-only rule
-//!   in the lone-primary case. Under hedging (default) the stalled
-//!   candidate and the standby race and the union is deduped; otherwise
-//!   the stalled candidate is demoted.
+//!   [`DeliveryModel`] gate scores **every** parked standby — each priced
+//!   with the delivery rate its [`tukwila_source::SourceDescriptor`]
+//!   declares (falling back to the configured prior, then the mirror
+//!   assumption) — weighing the expected latency win of activating it
+//!   (who must re-deliver everything already delivered — sequential
+//!   access, no rewind) against the modeled waste (duplicate-tuple dedup
+//!   work, observed queue backpressure, one more busy core). The best
+//!   payer is woken, so registration order is irrelevant to hedge
+//!   quality; only a race that pays is started, and declined races are
+//!   counted and reported. With no *healthy* active candidate left the
+//!   win is unbounded and the hedge always fires — which preserves
+//!   liveness and reproduces the legacy stall-only rule in the
+//!   lone-primary case. Under hedging (default) the stalled candidate and
+//!   the standby race and the union is deduped; otherwise the stalled
+//!   candidate is demoted.
 //! * Active candidates are polled in score order (observed rate,
 //!   discounted per stall), so once the profiles have evidence, the
 //!   permutation re-ranks itself — e.g. a recovered fast mirror moves back
@@ -55,8 +59,10 @@ use crate::profile::BehaviorProfile;
 /// sched.note_arrival(0, 0, 10, 10);
 /// let deadline = sched.next_deadline_us(0).expect("an active candidate has one");
 ///
-/// // ...and reporting it still pending at that instant hedges onto the
-/// // next standby in registration order.
+/// // ...and reporting it still pending at that instant runs the hedge
+/// // gate over every parked standby and wakes the best payer (with no
+/// // declared rates to tell them apart, registration order breaks the
+/// // tie).
 /// assert_eq!(sched.on_pending(0, deadline), Some(1));
 /// assert_eq!(sched.failovers(), 1);
 /// assert!(sched.polling_order(deadline).contains(&1));
@@ -66,8 +72,6 @@ pub struct PermutationScheduler {
     profiles: Vec<BehaviorProfile>,
     /// Activated candidates, in activation order.
     active: Vec<usize>,
-    /// Next never-activated candidate (registration order).
-    next_fresh: usize,
     failovers: u64,
     /// Stalls whose hedge the cost gate declined.
     declined: u64,
@@ -76,6 +80,11 @@ pub struct PermutationScheduler {
     skipped_covered: u64,
     /// Declared key-range coverage per candidate (registration order).
     coverage: Vec<Option<(i64, i64)>>,
+    /// Declared delivery rates per candidate (registration order), from
+    /// [`tukwila_source::SourceDescriptor::declared_rate_tuples_per_sec`].
+    /// The hedge gate scores *every* parked standby with these, so the
+    /// best payer is woken regardless of registration order.
+    declared_rates: Vec<Option<f64>>,
     /// Queue-backpressure totals per candidate (threaded mode; stays 0
     /// in sequential mode, which has no queues).
     blocked_sends: Vec<u64>,
@@ -92,16 +101,16 @@ impl PermutationScheduler {
         let mut s = PermutationScheduler {
             profiles: (0..candidates).map(|_| BehaviorProfile::new()).collect(),
             active: Vec::new(),
-            next_fresh: 0,
             failovers: 0,
             declined: 0,
             skipped_covered: 0,
             coverage: vec![None; candidates],
+            declared_rates: vec![None; candidates],
             blocked_sends: vec![0; candidates],
             cores: None,
             config,
         };
-        s.activate_next(0);
+        s.activate_idx(0, 0);
         s
     }
 
@@ -111,6 +120,28 @@ impl PermutationScheduler {
     pub fn set_coverage(&mut self, coverage: Vec<Option<(i64, i64)>>) {
         assert_eq!(coverage.len(), self.profiles.len());
         self.coverage = coverage;
+    }
+
+    /// Declare per-candidate delivery rates (registration order), from
+    /// the candidates' [`tukwila_source::SourceDescriptor`]s. The hedge
+    /// gate prices each parked standby with its declared rate (falling
+    /// back to `prior_rate_tuples_per_sec`, then to the mirror
+    /// assumption) and wakes the best payer — which makes registration
+    /// order irrelevant to hedge quality.
+    pub fn set_declared_rates(&mut self, rates: Vec<Option<f64>>) {
+        assert_eq!(rates.len(), self.profiles.len());
+        self.declared_rates = rates;
+    }
+
+    /// Polling resumed at `now_us` after a consumer-side quiesce window
+    /// (a corrective plan switch parked the polling thread). Every active
+    /// candidate's stall window restarts at the resume instant: the
+    /// silence during the pause was the consumer's doing, so reading it
+    /// as a stall would hedge onto standbys nobody needs.
+    pub fn note_resume(&mut self, now_us: u64) {
+        for p in &mut self.profiles {
+            p.note_resume(now_us);
+        }
     }
 
     /// Declare the host core budget (threaded mode), enabling the hedge
@@ -216,41 +247,68 @@ impl PermutationScheduler {
     }
 
     /// Latch a stall check for `idx` at `now_us`; on a fresh stall, run
-    /// the hedge gate and — when the race is worth it — activate the next
-    /// standby and report it. Declined races are counted in
-    /// [`PermutationScheduler::declined_hedges`].
+    /// the hedge gate over *every* parked standby and — when at least one
+    /// race is worth it — activate the best payer and report it. Declined
+    /// races are counted in [`PermutationScheduler::declined_hedges`].
     pub fn on_pending(&mut self, idx: usize, now_us: u64) -> Option<usize> {
         if self.profiles[idx].check_stall(now_us, &self.config) {
-            if !self.has_activatable_standby() {
+            let standbys = self.activatable_standbys();
+            if standbys.is_empty() {
                 // Nothing the legacy rule could have activated either:
                 // neither a race nor a decline.
                 return None;
             }
-            if self.hedge_pays(now_us) {
-                return self.activate_next(now_us);
+            let Some(costs) = self.config.hedge_costs.clone() else {
+                // Deprecated stall-only mode: always race, next standby
+                // in registration order (the legacy behavior, preserved
+                // for A/B comparison).
+                return self.activate_idx(standbys[0], now_us);
+            };
+            match self.best_paying_standby(costs, &standbys, now_us) {
+                Some(best) => return self.activate_idx(best, now_us),
+                None => self.declined += 1,
             }
-            self.declined += 1;
         }
         None
     }
 
-    /// Whether any never-activated candidate could actually be woken
-    /// (not EOF, declared range not already fully delivered).
-    fn has_activatable_standby(&self) -> bool {
-        (self.next_fresh..self.profiles.len())
-            .any(|i| !self.profiles[i].eof && !self.range_already_delivered(i))
+    /// Never-activated candidates that could actually be woken, in
+    /// registration order. Standbys whose declared key range drained
+    /// candidates already delivered are retired here (every tuple they
+    /// hold would dedup away) and counted in
+    /// [`PermutationScheduler::skipped_covered`].
+    fn activatable_standbys(&mut self) -> Vec<usize> {
+        for i in 0..self.profiles.len() {
+            if !self.profiles[i].is_active()
+                && !self.profiles[i].eof
+                && self.range_already_delivered(i)
+            {
+                self.profiles[i].eof = true;
+                self.skipped_covered += 1;
+            }
+        }
+        (0..self.profiles.len())
+            .filter(|&i| !self.profiles[i].is_active() && !self.profiles[i].eof)
+            .collect()
     }
 
-    /// The cost gate: weigh the expected latency win of activating the
-    /// next standby against the modeled waste, via the shared
-    /// [`DeliveryModel`]. All inputs are the scheduler's own online
-    /// observations, so the decision is a pure function of the timeline —
-    /// deterministic under the virtual clock, identical logic under the
-    /// wall clock with real arrival rates and real `blocked_sends`.
-    fn hedge_pays(&mut self, now_us: u64) -> bool {
-        let Some(costs) = self.config.hedge_costs.clone() else {
-            return true; // deprecated stall-only mode: always race
-        };
+    /// The cost gate, run per parked standby: weigh the expected latency
+    /// win of activating it (priced with its *declared* rate, falling
+    /// back to the configured prior and then the mirror assumption)
+    /// against the modeled waste, via the shared [`DeliveryModel`]; pick
+    /// the standby with the best expected net win among those that pay.
+    /// All inputs are the scheduler's own online observations plus
+    /// registration-time declarations, so the decision is a pure function
+    /// of the timeline — deterministic under the virtual clock, identical
+    /// logic under the wall clock with real arrival rates and real
+    /// `blocked_sends` — and independent of registration order whenever
+    /// the declared rates distinguish the standbys.
+    fn best_paying_standby(
+        &self,
+        costs: tukwila_stats::DeliveryCosts,
+        standbys: &[usize],
+        now_us: u64,
+    ) -> Option<usize> {
         let model = DeliveryModel::with_costs(costs);
         // Union tuples delivered so far, and the "assume at least 25%
         // more is coming" remaining-data heuristic shared with the
@@ -276,48 +334,70 @@ impl PermutationScheduler {
             .iter()
             .filter(|&&i| !self.profiles[i].eof)
             .count();
-        let decision = model.race(&RaceContext {
-            healthy,
-            delivered: delivered as f64,
-            remaining,
-            standby_rate_tps: Some(self.config.prior_rate_tuples_per_sec).filter(|r| *r > 0.0),
-            blocked_sends: self.blocked_sends.iter().sum(),
-            racing,
-            cores: self.cores,
-        });
-        decision.hedge
-    }
-
-    /// Activate the next never-activated candidate (if any) without a
-    /// stall trigger — used when every active candidate has reached EOF
-    /// but standby replicas may still hold uncovered tuples.
-    pub fn activate_standby(&mut self, now_us: u64) -> Option<usize> {
-        self.activate_next(now_us)
-    }
-
-    fn activate_next(&mut self, now_us: u64) -> Option<usize> {
-        while self.next_fresh < self.profiles.len() {
-            let idx = self.next_fresh;
-            self.next_fresh += 1;
-            if self.profiles[idx].eof {
+        let prior = Some(self.config.prior_rate_tuples_per_sec).filter(|r| *r > 0.0);
+        let mut best: Option<(f64, f64, usize)> = None;
+        for &idx in standbys {
+            let declared = self.declared_rates[idx].filter(|r| *r > 0.0);
+            let decision = model.race(&RaceContext {
+                healthy,
+                delivered: delivered as f64,
+                remaining,
+                standby_rate_tps: declared.or(prior),
+                blocked_sends: self.blocked_sends.iter().sum(),
+                racing,
+                cores: self.cores,
+            });
+            if !decision.hedge {
                 continue;
             }
-            if self.range_already_delivered(idx) {
-                // Every tuple this standby holds was already delivered by
-                // now-drained candidates; activating it would only create
-                // dedup work.
-                self.profiles[idx].eof = true;
-                self.skipped_covered += 1;
-                continue;
+            // Rank by expected net win; break ∞−∞ ties (no healthy
+            // candidate: every win is unbounded) on declared rate, then
+            // registration order — deterministic either way.
+            let net = decision.win_us - decision.waste_us;
+            let rate_key = declared.or(prior).unwrap_or(0.0);
+            let better = match best {
+                None => true,
+                Some((bnet, brate, bidx)) => {
+                    let primary = net.partial_cmp(&bnet).unwrap_or(std::cmp::Ordering::Equal);
+                    primary == std::cmp::Ordering::Greater
+                        || (primary == std::cmp::Ordering::Equal
+                            && (rate_key > brate || (rate_key == brate && idx < bidx)))
+                }
+            };
+            if better {
+                best = Some((net, rate_key, idx));
             }
-            self.profiles[idx].activate(now_us);
-            self.active.push(idx);
-            if !self.active.is_empty() && idx != self.active[0] {
-                self.failovers += 1;
-            }
-            return Some(idx);
         }
-        None
+        best.map(|(_, _, idx)| idx)
+    }
+
+    /// Activate a standby without a stall trigger — used when every
+    /// active candidate has reached EOF but standby replicas may still
+    /// hold uncovered tuples. No gate here (the data must be drained
+    /// regardless); the fastest-declared standby goes first so the tail
+    /// of the union arrives as early as the declarations allow.
+    pub fn activate_standby(&mut self, now_us: u64) -> Option<usize> {
+        let standbys = self.activatable_standbys();
+        let best = standbys.into_iter().max_by(|&a, &b| {
+            let (ra, rb) = (
+                self.declared_rates[a].unwrap_or(0.0),
+                self.declared_rates[b].unwrap_or(0.0),
+            );
+            ra.partial_cmp(&rb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a)) // tie: lower registration index wins
+        })?;
+        self.activate_idx(best, now_us)
+    }
+
+    fn activate_idx(&mut self, idx: usize, now_us: u64) -> Option<usize> {
+        debug_assert!(!self.profiles[idx].is_active() && !self.profiles[idx].eof);
+        self.profiles[idx].activate(now_us);
+        self.active.push(idx);
+        if self.active.len() > 1 {
+            self.failovers += 1;
+        }
+        Some(idx)
     }
 
     /// Whether candidate `idx`'s declared key range is fully covered by
@@ -456,6 +536,68 @@ mod tests {
             .unwrap();
         assert_eq!(s.on_pending(0, d), None);
         assert_eq!(s.declined_hedges(), 0, "nothing to decline");
+    }
+
+    #[test]
+    fn gate_wakes_best_declared_payer_not_next_registered() {
+        let deadline = |s: &PermutationScheduler| {
+            s.profiles()[0]
+                .stall_deadline_us(&FederationConfig::default())
+                .unwrap()
+        };
+        // Standby 2 declares a much faster rate than standby 1: the gate
+        // must skip over 1 and wake 2.
+        let mut s = sched(3);
+        s.set_declared_rates(vec![None, Some(10.0), Some(100_000.0)]);
+        s.note_arrival(0, 0, 10, 10);
+        let d = deadline(&s);
+        assert_eq!(s.on_pending(0, d), Some(2), "best payer, not next in line");
+        // Permuted registration, same declarations: the same (fast)
+        // standby is chosen, so registration order is irrelevant.
+        let mut s = sched(3);
+        s.set_declared_rates(vec![None, Some(100_000.0), Some(10.0)]);
+        s.note_arrival(0, 0, 10, 10);
+        let d = deadline(&s);
+        assert_eq!(s.on_pending(0, d), Some(1), "permutation-invariant wake");
+        // Undeclared rates everywhere: ties break on registration order,
+        // preserving the historical behavior.
+        let mut s = sched(3);
+        s.note_arrival(0, 0, 10, 10);
+        let d = deadline(&s);
+        assert_eq!(s.on_pending(0, d), Some(1));
+    }
+
+    #[test]
+    fn end_of_stream_sweep_prefers_fast_declared_standby() {
+        let mut s = sched(3);
+        s.set_declared_rates(vec![None, Some(5.0), Some(500.0)]);
+        s.note_eof(0);
+        assert_eq!(s.activate_standby(0), Some(2), "drain fastest first");
+        assert_eq!(s.activate_standby(0), Some(1));
+        assert_eq!(s.activate_standby(0), None);
+    }
+
+    #[test]
+    fn resume_after_quiesce_forgives_the_pause() {
+        let mut s = sched(2);
+        s.note_arrival(0, 0, 10, 10);
+        let d = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        // A quiesce window spans the stall deadline; the resume restarts
+        // the window instead of hedging on consumer-made silence.
+        s.note_resume(d + 100_000);
+        assert_eq!(
+            s.on_pending(0, d + 100_001),
+            None,
+            "no stall right after resume"
+        );
+        assert_eq!(s.failovers(), 0);
+        let d2 = s.profiles()[0]
+            .stall_deadline_us(&FederationConfig::default())
+            .unwrap();
+        assert!(d2 > d + 100_000);
+        assert_eq!(s.on_pending(0, d2), Some(1), "real silence still hedges");
     }
 
     #[test]

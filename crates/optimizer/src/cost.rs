@@ -29,10 +29,15 @@ pub struct CostModel {
     pub delivery_per_us: f64,
     /// Timeline µs of driver CPU per cost-model unit, used to convert a
     /// subtree's CPU estimate into overlappable wall time when crediting
-    /// delivery overlap. Cost units are nominally ≈ ns/tuple, but the
-    /// `Measured` driver spends roughly 100ns of real time per abstract
-    /// unit on the repro workloads (tuple cloning, hashing), hence the
-    /// 0.1 default.
+    /// delivery overlap (and pricing fragment cuts). Corrective execution
+    /// **calibrates this per host** during its warmup phase — measured
+    /// driver CPU µs over the CPU cost units the running plan consumed
+    /// (see `CorrectiveReport::calibrated_unit_us`) — and feeds the
+    /// calibrated value into every later re-optimization. The 0.1 here is
+    /// the documented fallback for uncalibrated contexts: cost units are
+    /// nominally ≈ ns/tuple, and the `Measured` driver spends roughly
+    /// 100ns of real time per abstract unit on the repro workloads
+    /// (tuple cloning, hashing).
     pub unit_us: f64,
 }
 

@@ -129,17 +129,41 @@ impl Optimizer {
     /// priced residual delivery wait, mirroring enumeration, so current
     /// plan and candidates compare on the same scale.
     pub fn recost(&self, q: &LogicalQuery, plan: &PhysPlan, remaining: bool) -> Result<f64> {
-        q.validate()?;
-        let mut est = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Total);
-        let mut sunk = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Consumed);
-        let model = self.ctx.delivery_model();
-        let (score, card) =
-            self.recost_node(q, &plan.root, remaining, &mut est, &mut sunk, &model)?;
+        let (score, card) = self.recost_score(q, plan, remaining)?;
         Ok(score.total(&self.ctx.cost_model)
             + match plan.agg {
                 Some(_) => self.ctx.cost_model.agg_tuple * card,
                 None => 0.0,
             })
+    }
+
+    /// [`Optimizer::recost`] restricted to the CPU component: cost units
+    /// of processing work, without the priced delivery-wait term. The
+    /// corrective executor calibrates `CostModel::unit_us` by dividing
+    /// the driver CPU µs it *measured* by the CPU units the running plan
+    /// consumed — delivery waits are idle time at the driver, so letting
+    /// them into the denominator would deflate the calibration on
+    /// delivery-bound workloads.
+    pub fn recost_cpu(&self, q: &LogicalQuery, plan: &PhysPlan, remaining: bool) -> Result<f64> {
+        let (score, card) = self.recost_score(q, plan, remaining)?;
+        Ok(score.cpu
+            + match plan.agg {
+                Some(_) => self.ctx.cost_model.agg_tuple * card,
+                None => 0.0,
+            })
+    }
+
+    fn recost_score(
+        &self,
+        q: &LogicalQuery,
+        plan: &PhysPlan,
+        remaining: bool,
+    ) -> Result<(Score, f64)> {
+        q.validate()?;
+        let mut est = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Total);
+        let mut sunk = CardEstimator::with_mode(q, &self.ctx, EstimateMode::Consumed);
+        let model = self.ctx.delivery_model();
+        self.recost_node(q, &plan.root, remaining, &mut est, &mut sunk, &model)
     }
 
     fn recost_node(

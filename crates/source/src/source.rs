@@ -41,6 +41,13 @@ pub struct SourceDescriptor {
     /// relation, and the scheduler skips standbys whose range has already
     /// been fully delivered by drained candidates.
     pub key_range: Option<(i64, i64)>,
+    /// Delivery rate (tuples per timeline second) this candidate
+    /// *declares* up front — catalog metadata, not an observation. The
+    /// federation hedge gate scores parked standbys with it, so the best
+    /// payer is woken regardless of registration order. `None` means
+    /// undeclared (the gate falls back to the configured prior, then to
+    /// the mirror assumption).
+    pub declared_rate_tuples_per_sec: Option<f64>,
 }
 
 /// A sequential-only data source. Implementations must deliver tuples in a
@@ -70,7 +77,25 @@ pub trait Source: Send {
             name: self.name().to_string(),
             complete: true,
             key_range: None,
+            declared_rate_tuples_per_sec: None,
         }
+    }
+
+    /// The driver that polls this source is about to stop polling for a
+    /// while *through no fault of the source* (a corrective quiesce: the
+    /// producer thread parks at a batch boundary while plans switch).
+    /// Sources that account for their own delivery (the threaded
+    /// federation adapter) snapshot state here so the coming silence is
+    /// not misread as consumer saturation. Default: nothing to do.
+    fn quiesce_delivery(&mut self) {}
+
+    /// Polling resumes after a [`Source::quiesce_delivery`] window at
+    /// timeline instant `now_us`. Self-accounting sources forgive the
+    /// backpressure and silence accrued during the pause (it was the
+    /// consumer's quiesce, not source misbehavior). Default: nothing to
+    /// do. Must be safe to call without a preceding quiesce.
+    fn resume_delivery(&mut self, now_us: u64) {
+        let _ = now_us;
     }
 
     /// Observed delivery rate in tuples per virtual second, for sources

@@ -83,6 +83,42 @@ pub trait Clock: Send + Sync + std::fmt::Debug {
     }
 }
 
+/// Wait on `clock` until `cond()` holds or the timeline reaches
+/// `deadline_us`, returning whether the condition was met. Between checks
+/// the clock makes bounded progress toward the deadline (a virtual clock
+/// jumps, a wall clock naps one chunk), so callers stay responsive and a
+/// stuck condition cannot block past the deadline by more than one chunk.
+///
+/// This is the quiesce-timeout primitive of the threaded corrective
+/// executor: "wait for every producer fragment to park, but give up after
+/// a timeline budget" is exactly a clock-driven condition wait.
+///
+/// ```
+/// use tukwila_stats::clock::{wait_until, Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let mut polls = 0;
+/// let met = wait_until(&clock, 10_000, || {
+///     polls += 1;
+///     polls >= 2
+/// });
+/// assert!(met);
+/// // An impossible condition gives up at the deadline instead of hanging.
+/// assert!(!wait_until(&clock, 20_000, || false));
+/// assert!(clock.now_us() >= 20_000);
+/// ```
+pub fn wait_until(clock: &dyn Clock, deadline_us: u64, mut cond: impl FnMut() -> bool) -> bool {
+    loop {
+        if cond() {
+            return true;
+        }
+        if clock.now_us() >= deadline_us {
+            return false;
+        }
+        clock.sleep_toward(deadline_us);
+    }
+}
+
 /// The simulated clock: a shared monotonic µs counter.
 ///
 /// The single-threaded drivers advance it via [`Clock::observe`] with

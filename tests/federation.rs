@@ -11,7 +11,9 @@ use tukwila::core::{run_static, run_static_with_driver, CorrectiveConfig, Correc
 use tukwila::datagen::flights::{self, FlightsData};
 use tukwila::exec::reference::canonicalize_approx;
 use tukwila::exec::{CpuCostModel, SimDriver};
-use tukwila::federation::{FederatedCatalog, FederatedSource, FederationConfig, PartialReplica};
+use tukwila::federation::{
+    DeclaredRate, FederatedCatalog, FederatedSource, FederationConfig, PartialReplica,
+};
 use tukwila::optimizer::OptimizerContext;
 use tukwila::relation::{Schema, Tuple};
 use tukwila::source::{DelayModel, DelayedSource, Source};
@@ -204,6 +206,88 @@ fn overlapping_partial_replicas_union_to_full_relation() {
         travelers.candidates.iter().all(|c| c.activated),
         "both partial replicas must be read to cover the relation"
     );
+}
+
+/// Gate-aware standby ordering: when the primary goes dark, the hedge
+/// gate scores *every* parked standby with its declared rate and wakes
+/// the best payer — so the wake decision is invariant under the
+/// registration order of the standbys (the legacy rule always raced
+/// whichever standby registered first).
+#[test]
+fn gate_aware_standby_wake_is_registration_order_invariant() {
+    let rows: Vec<Tuple> = (0..120)
+        .map(|k| Tuple::new(vec![tukwila::relation::Value::Int(k)]))
+        .collect();
+    let schema = Schema::new(vec![tukwila::relation::Field::new(
+        "t.k",
+        tukwila::relation::DataType::Int,
+    )]);
+    let dead = || -> Box<dyn Source> {
+        // The primary never delivers: its first tuple is eons away.
+        Box::new(DelayedSource::new(
+            1,
+            "dead-primary",
+            schema.clone(),
+            rows.clone(),
+            &DelayModel::Bandwidth {
+                bytes_per_sec: 1e-3,
+                initial_latency_us: u32::MAX as u64,
+            },
+        ))
+    };
+    let standby = |name: &str, declared: f64| -> Box<dyn Source> {
+        Box::new(DeclaredRate::new(
+            Box::new(DelayedSource::new(
+                1,
+                name,
+                schema.clone(),
+                rows.clone(),
+                &steady_model(),
+            )),
+            declared,
+        ))
+    };
+
+    for reversed in [false, true] {
+        let mut candidates = vec![dead()];
+        if reversed {
+            candidates.push(standby("fast", 100_000.0));
+            candidates.push(standby("slow", 50.0));
+        } else {
+            candidates.push(standby("slow", 50.0));
+            candidates.push(standby("fast", 100_000.0));
+        }
+        let mut fed =
+            FederatedSource::new(vec![0], candidates, FederationConfig::default()).unwrap();
+        // Drive like the virtual-clock driver: poll, jump to next_ready.
+        let mut now = 0u64;
+        let mut got = 0usize;
+        loop {
+            match fed.poll(now, 64) {
+                tukwila::source::Poll::Ready(batch) => got += batch.len(),
+                tukwila::source::Poll::Pending { next_ready_us } => now = next_ready_us,
+                tukwila::source::Poll::Eof => break,
+            }
+        }
+        assert_eq!(got, rows.len(), "union complete despite the dead primary");
+        let report = fed.report();
+        let by_name = |n: &str| {
+            report
+                .candidates
+                .iter()
+                .find(|c| c.descriptor.name == n)
+                .unwrap()
+        };
+        assert!(
+            by_name("fast").activated,
+            "reversed={reversed}: the fast-declared standby must be woken"
+        );
+        assert!(
+            !by_name("slow").activated,
+            "reversed={reversed}: the slow-declared standby must stay parked \
+             (the gate wakes the best payer, not the next registered)"
+        );
+    }
 }
 
 /// Build the candidate catalog for each federation scenario this suite

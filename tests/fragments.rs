@@ -195,6 +195,63 @@ fn corrective_with_fragments_over_threaded_federation() {
     );
 }
 
+/// Dual-clock equivalence of the *threaded* corrective executor: with
+/// forced switches and aggressive fragmentation, the sequential
+/// virtual-clock corrective run and the threaded wall-clock corrective
+/// run (producer fragments on real threads, quiesced at every switch,
+/// over threaded federated mirrors racing into the fragment queues) must
+/// produce the identical canonicalized answer — which both must equal
+/// plain local execution.
+#[test]
+fn dual_clock_threaded_corrective_equivalence() {
+    let d = flights::generate(200, 1200, 1, 91);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let forced = |clock: Option<Arc<dyn Clock>>| CorrectiveConfig {
+        batch_size: 128,
+        cpu: if clock.is_some() {
+            CpuCostModel::Measured
+        } else {
+            CpuCostModel::Zero
+        },
+        poll_every_batches: 3,
+        warmup_batches: 2,
+        switch_threshold: 100.0,
+        max_phases: 4,
+        min_remaining_fraction: 0.0,
+        fragments: Some(FragmentationConfig::aggressive()),
+        clock,
+        ..Default::default()
+    };
+
+    // Sequential anchor under the deterministic virtual clock.
+    let mut sources = scenario_sources("federated", &d, 91, None);
+    let exec = CorrectiveExec::new(q.clone(), forced(None));
+    let report_v = exec.run(&mut sources).unwrap();
+    assert_eq!(
+        canonicalize_approx(&report_v.rows),
+        expected,
+        "sequential corrective anchor diverged from local execution"
+    );
+
+    // Threaded corrective: same forced switching, wall clock, federation
+    // producer threads feeding threaded fragment queues across switches.
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+    let mut sources = scenario_sources("federated", &d, 91, Some(clock.clone()));
+    let exec = CorrectiveExec::new(q.clone(), forced(Some(clock)));
+    let report_w = exec.run(&mut sources).unwrap();
+    assert_eq!(
+        canonicalize_approx(&report_w.rows),
+        canonicalize_approx(&report_v.rows),
+        "threaded corrective answer diverged from the sequential run"
+    );
+    assert!(
+        report_w.phases.iter().any(|p| p.fragments > 1),
+        "threaded phases must actually have producer fragments"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -243,6 +300,63 @@ proptest! {
             expected,
             "corrective switch across an exchange changed the answer \
              (seed {}, {} phases)",
+            seed,
+            report.phase_count()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The quiesce protocol under fire: forced corrective switches land
+    /// *while producer fragments run on real threads, mid-batch* — the
+    /// wall clock randomizes where in a batch (and in the exchange
+    /// queues) each quiesce lands, and the data size / polling cadence /
+    /// acceleration vary per case. Whatever the interleaving, the answer
+    /// must equal plain local execution: zero tuples dropped, zero
+    /// duplicated, every producer joined or resumed.
+    #[test]
+    fn threaded_corrective_quiesce_mid_batch_never_drops_or_duplicates(
+        seed in 0u64..500,
+        n_flights in 30usize..120,
+        n_travelers in 50usize..400,
+        poll_every in 2u64..6,
+        accel in prop::sample::select(vec![100.0f64, 200.0, 400.0]),
+    ) {
+        let d = flights::generate(n_flights, n_travelers, 1, seed);
+        let q = flights::query();
+        let expected = mem_answer(&d, &q);
+
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(accel));
+        let mut sources = scenario_sources("delayed", &d, seed, None);
+        let exec = CorrectiveExec::new(
+            q,
+            CorrectiveConfig {
+                batch_size: 64,
+                cpu: CpuCostModel::Measured,
+                poll_every_batches: poll_every,
+                warmup_batches: 2,
+                // Switch whenever the re-optimizer proposes any
+                // structurally different plan: maximal quiesce churn.
+                switch_threshold: 100.0,
+                max_phases: 4,
+                min_remaining_fraction: 0.0,
+                fragments: Some(FragmentationConfig::aggressive()),
+                clock: Some(clock),
+                ..Default::default()
+            },
+        );
+        let report = exec.run(&mut sources).unwrap();
+        prop_assert!(
+            report.phases.iter().any(|p| p.fragments > 1),
+            "no phase ran threaded producer fragments (fragments: {:?})",
+            report.phases.iter().map(|p| p.fragments).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            canonicalize_approx(&report.rows),
+            expected,
+            "threaded corrective quiesce changed the answer (seed {}, {} phases)",
             seed,
             report.phase_count()
         );
