@@ -24,6 +24,14 @@
 //!   all      everything above
 //! ```
 //!
+//! `--trace` turns on the adaptivity journal for the scenarios that
+//! support it: `mirrors` additionally prints the decision rollup and
+//! writes `results/trace-mirrors.jsonl`, `corrective-wall` journals the
+//! threaded quiesce protocol into `results/trace-corrective.jsonl`, and
+//! `smoke` diffs the combined decision-count rollup against the
+//! `results/trace-summary.txt` golden (exit 1 on mismatch) next to
+//! `results/trace-smoke.jsonl`.
+//!
 //! Results are printed and mirrored into `results/` next to the manifest.
 
 use std::io::Write;
@@ -33,7 +41,7 @@ use tukwila_bench::ExpConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] [--sweep-cuts] \
+        "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] [--sweep-cuts] [--trace] \
          <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|\
          fragments-wall|corrective-wall|smoke|all>"
     );
@@ -41,9 +49,13 @@ fn usage() -> ! {
 }
 
 fn save(name: &str, content: &str) {
+    save_as(&format!("{name}.txt"), content);
+}
+
+fn save_as(file: &str, content: &str) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.txt"));
+        let path = dir.join(file);
         if let Ok(mut f) = std::fs::File::create(&path) {
             let _ = f.write_all(content.as_bytes());
         }
@@ -71,10 +83,12 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut cmds: Vec<String> = Vec::new();
     let mut sweep_cuts = false;
+    let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sweep-cuts" => sweep_cuts = true,
+            "--trace" => trace = true,
             "--scale" => {
                 cfg.scale = args
                     .next()
@@ -176,6 +190,13 @@ fn main() {
         let out = experiments::mirror_failover_suite(&cfg);
         println!("{out}");
         save("mirrors", &out);
+        if trace {
+            let (rollup, jsonl) = experiments::mirrors_trace_suite(&cfg);
+            println!("{rollup}");
+            save("trace-mirrors", &rollup);
+            save_as("trace-mirrors.jsonl", &jsonl);
+            println!("journal: results/trace-mirrors.jsonl\n");
+        }
     }
     if want("mirrors-wall") {
         println!("== Federated mirrors on real threads: wall-clock hedging ==\n");
@@ -200,6 +221,13 @@ fn main() {
         let (out, ok) = experiments::corrective_wall_suite(&cfg);
         println!("{out}");
         save("corrective-wall", &out);
+        if trace {
+            let (rollup, jsonl) = experiments::corrective_trace_suite(&cfg);
+            println!("{rollup}");
+            save("trace-corrective", &rollup);
+            save_as("trace-corrective.jsonl", &jsonl);
+            println!("journal: results/trace-corrective.jsonl\n");
+        }
         if !ok {
             eprintln!("corrective-wall: canonical answers diverged from the committed golden");
             std::process::exit(1);
@@ -210,8 +238,25 @@ fn main() {
         let (out, ok) = experiments::smoke_suite(&cfg);
         println!("{out}");
         save("smoke", &out);
+        let trace_ok = if trace {
+            println!(
+                "== Smoke --trace: decision-count regression vs results/trace-summary.txt ==\n"
+            );
+            let (tout, jsonl, tok) = experiments::smoke_trace_suite(&cfg);
+            println!("{tout}");
+            save("trace-smoke", &tout);
+            save_as("trace-smoke.jsonl", &jsonl);
+            println!("journal: results/trace-smoke.jsonl\n");
+            tok
+        } else {
+            true
+        };
         if !ok {
             eprintln!("smoke: canonical answers diverged from the committed goldens");
+            std::process::exit(1);
+        }
+        if !trace_ok {
+            eprintln!("smoke --trace: adaptivity decisions diverged from the committed rollup");
             std::process::exit(1);
         }
     }

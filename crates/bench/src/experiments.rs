@@ -21,13 +21,16 @@ use tukwila_federation::{ConcurrentFederatedSource, FederatedSource, FederationR
 use tukwila_optimizer::{OptimizerContext, PreAggConfig, PreAggMode};
 use tukwila_relation::{Tuple, Value};
 use tukwila_stats::estimate::JoinEstimator;
-use tukwila_stats::{Clock, WallClock};
+use tukwila_stats::{
+    hedge_signatures, Clock, QuerySummary, TraceEvent, TraceSink, VirtualClock, WallClock,
+};
 
 use crate::fmt::{count, secs, secs_ci, TextTable};
 use crate::setup::{
-    concurrent_mirror_sources, datasets, federated_mirror_sources, local_sources, mean_ci,
-    pinned_mirror_sources, slow_customer_mirror_sources, true_cards, wireless_sources, ExpConfig,
-    MirrorKind, WorkloadQuery,
+    concurrent_mirror_sources, datasets, federated_mirror_sources, federated_mirror_sources_traced,
+    local_sources, mean_ci, pinned_mirror_sources, slow_customer_mirror_sources,
+    slow_customer_mirror_sources_traced, true_cards, wireless_sources, ExpConfig, MirrorKind,
+    WorkloadQuery,
 };
 use tukwila_source::Source;
 
@@ -1021,6 +1024,8 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
         timeline_s: f64,
         rows: Vec<String>,
         fragments: usize,
+        max_queue_depth: u64,
+        blocked: u64,
     }
     let run_wall = |threaded: bool| -> WallRun {
         let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
@@ -1048,6 +1053,8 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
             timeline_s: report.virtual_us as f64 / 1e6,
             rows: canonicalize_approx(&rows),
             fragments,
+            max_queue_depth: report.max_queue_depth,
+            blocked: report.blocked_sends(),
         }
     };
 
@@ -1056,7 +1063,15 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
     eprintln!("[fragments-wall] threaded fragmented plan (wall clock)");
     let threaded = run_wall(true);
 
-    let mut t = TextTable::new(&["strategy", "fragments", "real-s", "timeline-s", "rows"]);
+    let mut t = TextTable::new(&[
+        "strategy",
+        "fragments",
+        "real-s",
+        "timeline-s",
+        "rows",
+        "max-q",
+        "blocked",
+    ]);
     for (name, r) in [
         ("sequential fragments (wall)", &sequential),
         ("threaded fragments (wall)", &threaded),
@@ -1067,6 +1082,8 @@ pub fn fragments_wall_suite(cfg: &ExpConfig) -> String {
             secs(r.real_s),
             secs(r.timeline_s),
             count(r.rows.len()),
+            r.max_queue_depth.to_string(),
+            r.blocked.to_string(),
         ]);
     }
     let rendered = t.render();
@@ -1387,6 +1404,8 @@ pub fn corrective_wall_suite(cfg: &ExpConfig) -> (String, bool) {
         max_fragments: usize,
         rows: Vec<String>,
         calibrated: Option<f64>,
+        max_queue_depth: u64,
+        blocked: u64,
     }
     let run_wall = |threaded: bool| -> WallCorr {
         let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
@@ -1404,6 +1423,8 @@ pub fn corrective_wall_suite(cfg: &ExpConfig) -> (String, bool) {
             max_fragments: report.phases.iter().map(|p| p.fragments).max().unwrap_or(1),
             rows: canonicalize_approx(&report.rows),
             calibrated: report.calibrated_unit_us,
+            max_queue_depth: report.exec.max_queue_depth,
+            blocked: report.exec.blocked_sends(),
         }
     };
     eprintln!("[corrective-wall] sequential corrective (wall clock)");
@@ -1418,6 +1439,8 @@ pub fn corrective_wall_suite(cfg: &ExpConfig) -> (String, bool) {
         "real-s",
         "timeline-s",
         "rows",
+        "max-q",
+        "blocked",
     ]);
     for (name, r) in [
         ("sequential corrective (wall)", &sequential),
@@ -1430,6 +1453,8 @@ pub fn corrective_wall_suite(cfg: &ExpConfig) -> (String, bool) {
             secs(r.real_s),
             secs(r.timeline_s),
             count(r.rows.len()),
+            r.max_queue_depth.to_string(),
+            r.blocked.to_string(),
         ]);
     }
     let rendered = t.render();
@@ -1564,6 +1589,274 @@ pub fn smoke_suite(cfg: &ExpConfig) -> (String, bool) {
         ok &= diff_golden(name, answer, &mut out);
     }
     (out, ok)
+}
+
+/// The trace-enabled virtual-clock mirrors run shared by `repro mirrors
+/// --trace` and the smoke trace gate: the Q3A mirror-failover scenario
+/// with the adaptivity journal attached to both the federation schedulers
+/// (hedge decisions, activations, completion counters) and the engine
+/// driver (drive spans, tuple/batch counters). Returns the canonicalized
+/// answer; the journal accumulates into the caller's `trace`.
+fn traced_mirrors_run(cfg: &ExpConfig, trace: &TraceSink) -> Vec<String> {
+    let [(_, uniform), _] = datasets(cfg);
+    let q = WorkloadQuery::Q3A.query();
+    let order = [
+        MirrorKind::FastFlaky,
+        MirrorKind::SteadySlow,
+        MirrorKind::RemoteBackup,
+    ];
+    let mut sources = federated_mirror_sources_traced(&uniform, &q, cfg, &order, trace.clone());
+    let out = run_static_with_driver(
+        &q,
+        &mut sources,
+        OptimizerContext::no_statistics(),
+        SimDriver::new(cfg.batch_size, CpuCostModel::PerTupleNs(200)).with_trace(trace.clone()),
+        None,
+    )
+    .expect("traced mirrors run");
+    canonicalize_approx(&out.rows)
+}
+
+/// The trace-enabled virtual-clock corrective-fragments run (forced
+/// mid-stream switch): journals the corrective monitor's switch/hold
+/// decisions with observed-vs-estimated provenance, cost-unit
+/// calibrations, per-cut net-win decisions, and the query/phase span
+/// hierarchy. Returns the canonicalized answer and the phase count.
+fn traced_corrective_run(
+    fcfg: &ExpConfig,
+    uniform: &Dataset,
+    trace: &TraceSink,
+) -> (Vec<String>, usize) {
+    let q = WorkloadQuery::Q3A.query();
+    let mut sources = slow_customer_mirror_sources_traced(uniform, &q, fcfg, None, trace.clone());
+    let mut ccfg = corrective_fragments_cfg(fcfg.batch_size, None, None);
+    ccfg.trace = trace.clone();
+    let exec = CorrectiveExec::new(q, ccfg);
+    let report = exec.run(&mut sources).expect("traced corrective run");
+    (canonicalize_approx(&report.rows), report.phase_count())
+}
+
+/// Render a journal's rollup plus the per-relation hedge-decision
+/// sequences (timing-free signatures, emission order).
+fn render_trace_rollup(header: &str, records: &[tukwila_stats::TraceRecord]) -> String {
+    let summary = QuerySummary::from_records(records);
+    let mut out = format!("{header}\n");
+    out.push_str(&summary.render());
+    let sigs = hedge_signatures(records);
+    if !sigs.is_empty() {
+        out.push_str("  hedge decisions (per relation, emission order):\n");
+        for list in sigs.values() {
+            for s in list {
+                out.push_str(&format!("    {s}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// `repro mirrors --trace`: the mirror-failover scenario with the
+/// adaptivity journal on. Asserts the provenance contract — every fired
+/// hedge decision carries its candidate scores (the RaceDecision
+/// win/waste each standby was priced at) and a chosen standby — and that
+/// tracing did not perturb the answer relative to the untraced run.
+/// Returns the human rollup and the JSONL export
+/// (`results/trace-mirrors.jsonl`).
+pub fn mirrors_trace_suite(cfg: &ExpConfig) -> (String, String) {
+    eprintln!("[mirrors --trace] federated mirrors (virtual clock, journal on)");
+    let clock = Arc::new(VirtualClock::new());
+    let trace = TraceSink::unbounded(clock);
+    let answer = traced_mirrors_run(cfg, &trace);
+
+    // Tracing must be pure observation: the untraced run of the identical
+    // scenario produces the identical deduped answer.
+    let untraced = {
+        let [(_, uniform), _] = datasets(cfg);
+        let q = WorkloadQuery::Q3A.query();
+        let order = [
+            MirrorKind::FastFlaky,
+            MirrorKind::SteadySlow,
+            MirrorKind::RemoteBackup,
+        ];
+        let mut sources = federated_mirror_sources(&uniform, &q, cfg, &order);
+        let out = run_static(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            cfg.batch_size,
+            CpuCostModel::PerTupleNs(200),
+        )
+        .expect("untraced mirrors run");
+        canonicalize_approx(&out.rows)
+    };
+    assert_eq!(
+        answer, untraced,
+        "enabling the trace journal changed the answer"
+    );
+
+    let records = trace.snapshot();
+    for rec in &records {
+        if let TraceEvent::HedgeDecision {
+            fired: true,
+            chosen,
+            scores,
+            ..
+        } = &rec.event
+        {
+            assert!(
+                chosen.is_some() && !scores.is_empty(),
+                "a fired hedge decision must journal its winner and candidate scores"
+            );
+        }
+    }
+    let summary = QuerySummary::from_records(&records);
+    assert!(
+        summary.hedges_fired >= 1,
+        "the mirror scenario must hedge at least once (fired={})",
+        summary.hedges_fired
+    );
+    assert!(
+        summary.hedges_declined >= 1,
+        "the cost gate must decline at least one race (declined={})",
+        summary.hedges_declined
+    );
+
+    let out = render_trace_rollup(
+        &format!(
+            "adaptivity trace — federated mirrors (virtual clock, {} answer rows, \
+             {} journal records):",
+            answer.len(),
+            records.len()
+        ),
+        &records,
+    );
+    (out, trace.export_jsonl())
+}
+
+/// `repro corrective-wall --trace`: the *threaded* corrective run with
+/// the journal on — the one place the full span hierarchy appears at
+/// once: query → phase → fragment plus the quiesce protocol's park /
+/// drain / seal / respawn sub-spans around the forced switch, with the
+/// switch decision's observed-vs-estimated provenance. Returns the human
+/// rollup and the JSONL export (`results/trace-corrective.jsonl`).
+pub fn corrective_trace_suite(cfg: &ExpConfig) -> (String, String) {
+    const ACCEL: f64 = 25.0;
+    let fcfg = ExpConfig {
+        scale: cfg.scale.max(0.04),
+        ..*cfg
+    };
+    let [(_, uniform), _] = datasets(&fcfg);
+    let q = WorkloadQuery::Q3A.query();
+    eprintln!("[corrective-wall --trace] threaded corrective (wall clock, journal on)");
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(ACCEL));
+    let trace = TraceSink::unbounded(clock.clone());
+    let mut sources = slow_customer_mirror_sources_traced(
+        &uniform,
+        &q,
+        &fcfg,
+        Some(clock.clone()),
+        trace.clone(),
+    );
+    let mut ccfg = corrective_fragments_cfg(fcfg.batch_size, Some(clock), Some(true));
+    ccfg.trace = trace.clone();
+    let exec = CorrectiveExec::new(q, ccfg);
+    let report = exec.run(&mut sources).expect("traced corrective wall run");
+    assert!(
+        report.phase_count() > 1,
+        "the forced switch must happen in the traced run"
+    );
+
+    let records = trace.snapshot();
+    let summary = QuerySummary::from_records(&records);
+    assert!(
+        summary.switches >= 1,
+        "the journal must witness the plan switch"
+    );
+    assert!(
+        summary.spans.get("quiesce").copied().unwrap_or(0) >= 1,
+        "a threaded switch must journal its quiesce span"
+    );
+    let out = render_trace_rollup(
+        &format!(
+            "adaptivity trace — threaded corrective (wall clock ×{ACCEL:.0}, {} phases, \
+             {} journal records):",
+            report.phase_count(),
+            records.len()
+        ),
+        &records,
+    );
+    (out, trace.export_jsonl())
+}
+
+/// Diff the decision-count rollup against the committed golden
+/// `results/trace-summary.txt` — same contract as [`diff_golden`]: a
+/// missing golden is written locally (so the diff lands in review) but
+/// FAILS the gate.
+fn diff_trace_summary(counts: &str, out: &mut String) -> bool {
+    let path = std::path::Path::new("results").join("trace-summary.txt");
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == counts => {
+            out.push_str("trace-summary: OK (decision counts match golden)\n");
+            true
+        }
+        Ok(golden) => {
+            out.push_str(&format!(
+                "trace-summary: MISMATCH ({})\n--- golden ---\n{golden}--- computed ---\n{counts}",
+                path.display()
+            ));
+            false
+        }
+        Err(e) => {
+            let _ = std::fs::create_dir_all("results");
+            let _ = std::fs::write(&path, counts);
+            out.push_str(&format!(
+                "trace-summary: FAIL — golden unreadable ({e}); wrote {}, review and commit it\n",
+                path.display()
+            ));
+            false
+        }
+    }
+}
+
+/// `repro smoke --trace`: one journal shared across the deterministic
+/// virtual-clock mirrors and corrective scenarios, rolled up into the
+/// decision-count summary and diffed against the committed golden
+/// `results/trace-summary.txt`. Both scenarios are seed-pinned pure
+/// virtual-clock runs, so every decision count — hedges fired/declined,
+/// switches, holds, calibrations, cuts — is deterministic; a change here
+/// means the *adaptive decisions themselves* changed, not just timing.
+/// Also re-diffs both answers against their `answers-*.txt` goldens
+/// (tracing must not perturb results). Returns (report, jsonl, ok).
+pub fn smoke_trace_suite(cfg: &ExpConfig) -> (String, String, bool) {
+    let clock = Arc::new(VirtualClock::new());
+    let trace = TraceSink::unbounded(clock);
+    let mut out = String::new();
+
+    eprintln!("[smoke --trace] mirrors (virtual clock, journal on)");
+    let mirrors_answer = traced_mirrors_run(cfg, &trace);
+    let mut ok = diff_golden("mirrors", &mirrors_answer, &mut out);
+
+    eprintln!("[smoke --trace] corrective (virtual clock, journal on)");
+    let fcfg = ExpConfig {
+        scale: cfg.scale.max(0.04),
+        ..*cfg
+    };
+    let [(_, funiform), _] = datasets(&fcfg);
+    let (corrective_answer, phases) = traced_corrective_run(&fcfg, &funiform, &trace);
+    assert!(
+        phases > 1,
+        "smoke --trace: the corrective forced switch must happen"
+    );
+    ok &= diff_golden("corrective", &corrective_answer, &mut out);
+
+    let records = trace.snapshot();
+    let summary = QuerySummary::from_records(&records);
+    out.push('\n');
+    out.push_str(&render_trace_rollup(
+        "combined adaptivity rollup (mirrors + corrective, virtual clock):",
+        &records,
+    ));
+    ok &= diff_trace_summary(&summary.decision_counts(), &mut out);
+    (out, trace.export_jsonl(), ok)
 }
 
 /// Ablations over the design choices DESIGN.md calls out: the value of

@@ -7,7 +7,7 @@ use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
 use tukwila_federation::{FederatedCatalog, FederationConfig};
 use tukwila_optimizer::LogicalQuery;
 use tukwila_source::{DelayModel, DelayedSource, MemSource, Source};
-use tukwila_stats::Clock;
+use tukwila_stats::{Clock, TraceSink};
 
 /// Global experiment knobs (CLI-settable).
 #[derive(Debug, Clone, Copy)]
@@ -230,6 +230,30 @@ pub fn pinned_mirror_sources(
         .collect()
 }
 
+/// The mirror catalog shared by the federated/concurrent builders, with
+/// the scheduler's decision journal attached (disabled sinks cost one
+/// branch per event).
+fn mirror_catalog(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    order: &[MirrorKind],
+    trace: TraceSink,
+) -> FederatedCatalog {
+    let mut catalog = FederatedCatalog::new(FederationConfig {
+        trace,
+        ..FederationConfig::default()
+    });
+    for t in queries::tables_of(q) {
+        for &kind in order {
+            catalog
+                .register(t.key_cols(), mirror(d, t, kind, cfg))
+                .expect("uniform mirrors");
+        }
+    }
+    catalog
+}
+
 /// Every relation served by both mirrors behind the federation layer's
 /// online permutation scheduler. `order` controls registration order (the
 /// initial permutation) so permutation-invariance can be benched.
@@ -239,15 +263,22 @@ pub fn federated_mirror_sources(
     cfg: &ExpConfig,
     order: &[MirrorKind],
 ) -> Vec<Box<dyn Source>> {
-    let mut catalog = FederatedCatalog::new(FederationConfig::default());
-    for t in queries::tables_of(q) {
-        for &kind in order {
-            catalog
-                .register(t.key_cols(), mirror(d, t, kind, cfg))
-                .expect("uniform mirrors");
-        }
-    }
-    catalog.into_sources().expect("valid catalog")
+    federated_mirror_sources_traced(d, q, cfg, order, TraceSink::disabled())
+}
+
+/// [`federated_mirror_sources`] with an adaptivity-trace journal: every
+/// hedge-gate evaluation and standby activation the schedulers make lands
+/// in `trace` with its decision provenance.
+pub fn federated_mirror_sources_traced(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    order: &[MirrorKind],
+    trace: TraceSink,
+) -> Vec<Box<dyn Source>> {
+    mirror_catalog(d, q, cfg, order, trace)
+        .into_sources()
+        .expect("valid catalog")
 }
 
 /// [`federated_mirror_sources`], but racing the mirrors on real producer
@@ -260,15 +291,20 @@ pub fn concurrent_mirror_sources(
     order: &[MirrorKind],
     clock: Arc<dyn Clock>,
 ) -> Vec<Box<dyn Source>> {
-    let mut catalog = FederatedCatalog::new(FederationConfig::default());
-    for t in queries::tables_of(q) {
-        for &kind in order {
-            catalog
-                .register(t.key_cols(), mirror(d, t, kind, cfg))
-                .expect("uniform mirrors");
-        }
-    }
-    catalog
+    concurrent_mirror_sources_traced(d, q, cfg, order, clock, TraceSink::disabled())
+}
+
+/// [`concurrent_mirror_sources`] with an adaptivity-trace journal (see
+/// [`federated_mirror_sources_traced`]).
+pub fn concurrent_mirror_sources_traced(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    order: &[MirrorKind],
+    clock: Arc<dyn Clock>,
+    trace: TraceSink,
+) -> Vec<Box<dyn Source>> {
+    mirror_catalog(d, q, cfg, order, trace)
         .into_concurrent_sources(clock)
         .expect("valid catalog")
 }
@@ -284,8 +320,23 @@ pub fn slow_customer_mirror_sources(
     cfg: &ExpConfig,
     clock: Option<Arc<dyn Clock>>,
 ) -> Vec<Box<dyn Source>> {
+    slow_customer_mirror_sources_traced(d, q, cfg, clock, TraceSink::disabled())
+}
+
+/// [`slow_customer_mirror_sources`] with an adaptivity-trace journal on
+/// the customer mirrors' scheduler.
+pub fn slow_customer_mirror_sources_traced(
+    d: &Dataset,
+    q: &LogicalQuery,
+    cfg: &ExpConfig,
+    clock: Option<Arc<dyn Clock>>,
+    trace: TraceSink,
+) -> Vec<Box<dyn Source>> {
     let customer = TableId::Customer;
-    let mut catalog = FederatedCatalog::new(FederationConfig::default());
+    let mut catalog = FederatedCatalog::new(FederationConfig {
+        trace,
+        ..FederationConfig::default()
+    });
     for (i, frac) in [0.2, 0.16].into_iter().enumerate() {
         catalog
             .register(

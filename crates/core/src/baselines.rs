@@ -159,9 +159,23 @@ pub fn run_plan_partitioning_from(
             idle_us: exec_a.idle_us + run_b.exec.idle_us,
             tuples_out: run_b.exec.tuples_out,
             batches: exec_a.batches + run_b.exec.batches,
+            max_queue_depth: exec_a.max_queue_depth.max(run_b.exec.max_queue_depth),
+            blocked_by_exchange: merge_blocked(
+                &exec_a.blocked_by_exchange,
+                &run_b.exec.blocked_by_exchange,
+            ),
         },
         plan: format!("mat[{}]; {}", plan_a.describe(), run_b.plan),
     })
+}
+
+/// Sum per-exchange blocked-send counts from two phases (ids ascending).
+fn merge_blocked(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut merged: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for &(id, n) in a.iter().chain(b.iter()) {
+        *merged.entry(id).or_default() += n;
+    }
+    merged.into_iter().collect()
 }
 
 fn find_with_join_count(node: &PhysNode, target: usize) -> Option<&PhysNode> {

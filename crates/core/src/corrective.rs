@@ -35,7 +35,8 @@ use tukwila_optimizer::{
 use tukwila_relation::{Error, Expr, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceProgressView};
 use tukwila_stats::selectivity::SourceProgress;
-use tukwila_stats::{Clock, SelectivityCatalog};
+use tukwila_stats::trace::SpanKind;
+use tukwila_stats::{Clock, SelectivityCatalog, TraceEvent, TraceSink};
 use tukwila_storage::registry::ReuseStats;
 use tukwila_storage::StateRegistry;
 
@@ -98,6 +99,12 @@ pub struct CorrectiveConfig {
     pub threaded_fragments: Option<bool>,
     /// Exchange-queue and quiesce knobs for threaded fragment execution.
     pub fragment_options: FragmentOptions,
+    /// Adaptivity trace journal: phase spans, monitor decisions with
+    /// recost provenance, calibrations, and (threaded mode) the quiesce
+    /// protocol's sub-spans. Also handed to the fragment layer unless
+    /// [`CorrectiveConfig::fragment_options`] carries its own sink.
+    /// Disabled (free) by default.
+    pub trace: TraceSink,
 }
 
 impl Default for CorrectiveConfig {
@@ -118,6 +125,7 @@ impl Default for CorrectiveConfig {
             fragments: None,
             threaded_fragments: None,
             fragment_options: FragmentOptions::default(),
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -228,6 +236,31 @@ enum PhaseEnd {
     Switched(Box<PhysPlan>),
 }
 
+/// Exchange-queue statistics aggregated across a run's phases (threaded
+/// mode; the sequential fragment run has no queues and reports zeros).
+#[derive(Debug, Default)]
+struct ExchangeTotals {
+    /// High-water mark of queue depth (batches) in any one exchange.
+    max_queue_depth: u64,
+    /// Blocked sends summed per exchange id across phases.
+    blocked: HashMap<u32, u64>,
+}
+
+impl ExchangeTotals {
+    fn absorb(&mut self, max_queue_depth: u64, blocked_by_exchange: &[(u32, u64)]) {
+        self.max_queue_depth = self.max_queue_depth.max(max_queue_depth);
+        for (id, n) in blocked_by_exchange {
+            *self.blocked.entry(*id).or_insert(0) += n;
+        }
+    }
+
+    fn blocked_by_exchange(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.blocked.iter().map(|(id, n)| (*id, *n)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+}
+
 /// The mutable run-wide state the sequential and threaded drivers share,
 /// handed to the common stitch-up/finalize tail.
 struct RunTotals {
@@ -239,6 +272,8 @@ struct RunTotals {
     /// added to the report's `cpu_us` next to the controller timeline's.
     extra_cpu_us: u64,
     calibrated_unit_us: Option<f64>,
+    /// Exchange backpressure/depth totals (threaded mode only).
+    exchange_stats: ExchangeTotals,
 }
 
 /// The corrective query processing executor.
@@ -262,7 +297,9 @@ impl CorrectiveExec {
         shared: Option<Arc<SharedGroupTable>>,
     ) -> Result<PhaseLowered> {
         let cuts = match &self.config.fragments {
-            Some(fcfg) => tukwila_optimizer::choose_cuts(phys, ctx, fcfg),
+            Some(fcfg) => {
+                tukwila_optimizer::choose_cuts_traced(phys, ctx, fcfg, &self.config.trace)
+            }
             None => Vec::new(),
         };
         let fl = lower_fragmented(phys, &cuts, shared, false)?;
@@ -361,6 +398,7 @@ impl CorrectiveExec {
         let cfg = &self.config;
         let mut ctx = self.make_ctx(catalog, consumed_total, *calibrated);
         ctx.sunk_sigs = Self::sunk_sigs(current_phys, registry);
+        let prior_unit_us = ctx.cost_model.unit_us;
         let reopt = Optimizer::new(ctx);
         let start = Instant::now();
         let candidate = reopt.reoptimize_remaining(&self.q)?;
@@ -377,6 +415,15 @@ impl CorrectiveExec {
             let cpu_remaining = reopt.recost_cpu(&self.q, current_phys, true)?;
             if let Some(unit) = calibrate_unit_us(measured_cpu_us, cpu_total, cpu_remaining) {
                 *calibrated = Some(unit);
+                cfg.trace.record_at(
+                    timeline.now_us(),
+                    TraceEvent::Calibration {
+                        phase: phase as u64,
+                        measured_cpu_us,
+                        estimated_cpu_us: (cpu_total - cpu_remaining) * prior_unit_us,
+                        unit_us: unit,
+                    },
+                );
             }
         }
         // Re-optimization runs in a background thread in Tukwila; we
@@ -393,10 +440,22 @@ impl CorrectiveExec {
                 candidate.est_cost
             );
         }
-        if candidate.est_cost < cfg.switch_threshold * current_cost
+        let switching = candidate.est_cost < cfg.switch_threshold * current_cost
             && current_cost > cfg.min_remaining_fraction * current_total
-            && candidate.describe() != current_phys.describe()
-        {
+            && candidate.describe() != current_phys.describe();
+        cfg.trace.record_at(
+            timeline.now_us(),
+            TraceEvent::CorrectiveDecision {
+                phase: phase as u64,
+                current_plan: current_phys.describe(),
+                candidate_plan: candidate.describe(),
+                current_cost,
+                candidate_cost: candidate.est_cost,
+                threshold: cfg.switch_threshold,
+                switched: switching,
+            },
+        );
+        if switching {
             Ok(Some(candidate))
         } else {
             Ok(None)
@@ -440,6 +499,10 @@ impl CorrectiveExec {
         // cannot drift apart on clock semantics.
         let mut timeline = Timeline::new(cfg.clock.clone());
         let mut eof: Vec<bool> = vec![false; sources.len()];
+        let trace = cfg.trace.clone();
+        timeline.resync();
+        trace.record_at(timeline.now_us(), SpanKind::Query.begin("corrective"));
+        trace.record_at(timeline.now_us(), SpanKind::Phase.begin("phase-0"));
 
         loop {
             timeline.resync();
@@ -548,10 +611,18 @@ impl CorrectiveExec {
                         consumed: consumed_phase.clone(),
                         fragments: old_fragments,
                     });
+                    trace.record_at(
+                        timeline.now_us(),
+                        SpanKind::Phase.end(format!("phase-{phase}")),
+                    );
                     current_phys = candidate;
                     phase += 1;
                     phase_batches = 0;
                     consumed_phase.clear();
+                    trace.record_at(
+                        timeline.now_us(),
+                        SpanKind::Phase.begin(format!("phase-{phase}")),
+                    );
                     // Sources already at EOF must close their ports in the
                     // new plan too.
                     let mut sink = Batch::new();
@@ -580,6 +651,11 @@ impl CorrectiveExec {
             consumed: consumed_phase.clone(),
             fragments: final_fragments,
         });
+        trace.record_at(
+            timeline.now_us(),
+            SpanKind::Phase.end(format!("phase-{phase}")),
+        );
+        trace.record_at(timeline.now_us(), SpanKind::Query.end("corrective"));
 
         self.stitch_and_finalize(
             &current_phys,
@@ -594,6 +670,7 @@ impl CorrectiveExec {
                 total_batches,
                 extra_cpu_us: 0,
                 calibrated_unit_us: calibrated,
+                exchange_stats: ExchangeTotals::default(),
             },
         )
     }
@@ -663,14 +740,28 @@ impl CorrectiveExec {
         let mut answers: Batch = Vec::new();
         let mut timeline = Timeline::new(Some(clock.clone()));
         let mut extra_cpu_us: u64 = 0;
+        let mut exchange_stats = ExchangeTotals::default();
+        let trace = cfg.trace.clone();
+        // The fragment layer (producer spans, exchange counters, the park
+        // sub-span) journals into the corrective sink unless the caller
+        // configured a dedicated one on the fragment options.
+        let mut fopts = cfg.fragment_options.clone();
+        if !fopts.trace.is_enabled() {
+            fopts.trace = trace.clone();
+        }
+        trace.record_at(clock.now_us(), SpanKind::Query.begin("corrective"));
+        // Whether a quiesce span is open across the seal/respawn of a plan
+        // switch (it closes once the next phase's producers are running).
+        let mut quiesce_open = false;
 
         'phases: loop {
             // Lower this phase with cuts chosen from the live catalog.
             let ctx = self.make_ctx(&catalog, &consumed_total, calibrated);
-            let cuts = tukwila_optimizer::choose_cuts(
+            let cuts = tukwila_optimizer::choose_cuts_traced(
                 &current_phys,
                 &ctx,
                 cfg.fragments.as_ref().expect("checked above"),
+                &cfg.trace,
             );
             let fl = lower_fragmented(&current_phys, &cuts, shared_table.clone(), false)?;
             if shared_table.is_none() {
@@ -689,14 +780,26 @@ impl CorrectiveExec {
                     phase_sources.push(src);
                 }
             }
+            if quiesce_open {
+                trace.record_at(clock.now_us(), SpanKind::Respawn.begin("respawn"));
+            }
             let (mut run, mut root_sources) = ThreadedFragmentRun::spawn(
                 fl.plan,
                 phase_sources,
                 clock.clone(),
                 cfg.batch_size,
                 cfg.cpu,
-                &cfg.fragment_options,
+                &fopts,
             )?;
+            if quiesce_open {
+                trace.record_at(clock.now_us(), SpanKind::Respawn.end("respawn"));
+                trace.record_at(clock.now_us(), SpanKind::Quiesce.end("switch"));
+                quiesce_open = false;
+            }
+            trace.record_at(
+                clock.now_us(),
+                SpanKind::Phase.begin(format!("phase-{phase}")),
+            );
             // Sources recovered from a sealed previous phase arrive with
             // their delivery accounting still paused (their old producer
             // quiesced them and sealing keeps the pause). Producer-bound
@@ -910,9 +1013,12 @@ impl CorrectiveExec {
                         // boundary. If one cannot (wedged source), resume
                         // and abandon this switch — correctness over
                         // adaptivity.
+                        trace.record_at(clock.now_us(), SpanKind::Quiesce.begin("switch"));
                         if run.quiesce() {
+                            quiesce_open = true;
                             break PhaseEnd::Switched(Box::new(candidate));
                         }
+                        trace.record_at(clock.now_us(), SpanKind::Quiesce.end("switch"));
                         run.resume();
                         let now = clock.now_us();
                         for (_, src) in root_sources.iter_mut() {
@@ -936,6 +1042,7 @@ impl CorrectiveExec {
             let outcome = run.seal(&mut sink)?;
             answers.extend(sink);
             extra_cpu_us += outcome.producer_cpu_us;
+            exchange_stats.absorb(outcome.max_queue_depth, &outcome.blocked_by_exchange);
             // Producer batches count toward reporting only — folding them
             // into `total_batches` (the monitor's cadence counter) would
             // blow past `next_poll_at` and fire the next phase's first
@@ -959,6 +1066,10 @@ impl CorrectiveExec {
                 consumed: consumed_phase.clone(),
                 fragments: phase_fragments,
             });
+            trace.record_at(
+                clock.now_us(),
+                SpanKind::Phase.end(format!("phase-{phase}")),
+            );
             match end {
                 PhaseEnd::Completed => break 'phases,
                 PhaseEnd::Switched(candidate) => {
@@ -977,6 +1088,7 @@ impl CorrectiveExec {
             }
         }
 
+        trace.record_at(clock.now_us(), SpanKind::Query.end("corrective"));
         let nphases = phase + 1;
         self.stitch_and_finalize(
             &current_phys,
@@ -991,6 +1103,7 @@ impl CorrectiveExec {
                 total_batches: total_batches + producer_batches_total,
                 extra_cpu_us,
                 calibrated_unit_us: calibrated,
+                exchange_stats,
             },
         )
     }
@@ -1034,6 +1147,7 @@ impl CorrectiveExec {
             total_batches,
             extra_cpu_us,
             calibrated_unit_us,
+            exchange_stats,
         } = totals;
 
         let stitch_start_clock = timeline.clock_us();
@@ -1095,6 +1209,8 @@ impl CorrectiveExec {
                 idle_us: timeline.idle_us() as u64,
                 tuples_out: rows.len() as u64,
                 batches: total_batches,
+                max_queue_depth: exchange_stats.max_queue_depth,
+                blocked_by_exchange: exchange_stats.blocked_by_exchange(),
             },
             stitch_us,
             stitch,

@@ -19,7 +19,8 @@ use std::time::Instant;
 
 use tukwila_relation::{Result, Tuple};
 use tukwila_source::{Poll, Source};
-use tukwila_stats::Clock;
+use tukwila_stats::trace::SpanKind;
+use tukwila_stats::{Clock, TraceSink};
 
 use crate::metrics::ExecReport;
 use crate::op::Batch;
@@ -182,6 +183,10 @@ pub struct SimDriver {
     /// shared clock: `now` is read from it each sweep and idling really
     /// waits on it. All sources of the run must share the same instance.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Adaptivity trace journal: each run brackets itself in a
+    /// [`SpanKind::Drive`] span and tallies batches/tuples at the end
+    /// (bounded per-run events, never per-tuple). Disabled by default.
+    pub trace: TraceSink,
 }
 
 impl Default for SimDriver {
@@ -190,6 +195,7 @@ impl Default for SimDriver {
             batch_size: 1024,
             cpu: CpuCostModel::Measured,
             clock: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -202,6 +208,7 @@ impl SimDriver {
             batch_size,
             cpu,
             clock: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -209,6 +216,12 @@ impl SimDriver {
     /// [`tukwila_stats::WallClock`]) instead of the virtual accumulator.
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> SimDriver {
         self.clock = Some(clock);
+        self
+    }
+
+    /// Journal this driver's runs into `trace`.
+    pub fn with_trace(mut self, trace: TraceSink) -> SimDriver {
+        self.trace = trace;
         self
     }
 
@@ -254,6 +267,9 @@ impl SimDriver {
         let mut report = ExecReport::default();
         let mut timeline = Timeline::new(self.clock.clone());
         let mut finished = vec![false; sources.len()];
+        timeline.resync();
+        self.trace
+            .record_at(timeline.now_us(), SpanKind::Drive.begin("drive"));
 
         loop {
             timeline.resync();
@@ -310,6 +326,26 @@ impl SimDriver {
         report.cpu_us = timeline.cpu_us() as u64;
         report.idle_us = timeline.idle_us() as u64;
         report.tuples_out = out.len() as u64;
+        if self.trace.is_enabled() {
+            let now = timeline.now_us();
+            self.trace.record_at(
+                now,
+                tukwila_stats::TraceEvent::Counter {
+                    name: "batches".into(),
+                    scope: "drive".into(),
+                    value: report.batches,
+                },
+            );
+            self.trace.record_at(
+                now,
+                tukwila_stats::TraceEvent::Counter {
+                    name: "tuples_out".into(),
+                    scope: "drive".into(),
+                    value: report.tuples_out,
+                },
+            );
+            self.trace.record_at(now, SpanKind::Drive.end("drive"));
+        }
         Ok((out, report))
     }
 }

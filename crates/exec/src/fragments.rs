@@ -50,7 +50,8 @@ use std::thread::JoinHandle;
 
 use tukwila_relation::{Error, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
-use tukwila_stats::Clock;
+use tukwila_stats::trace::SpanKind;
+use tukwila_stats::{Clock, TraceSink};
 
 use crate::driver::{charged_cost, CpuCostModel, PushTarget, SimDriver, Timeline};
 use crate::metrics::ExecReport;
@@ -87,6 +88,11 @@ pub struct FragmentOptions {
     /// query). Producers park within one poll sweep plus one bounded
     /// clock chunk, so this only ever bites on a wedged source.
     pub quiesce_timeout_us: u64,
+    /// Adaptivity trace journal. Producer fragments bracket their
+    /// lifetimes in [`SpanKind::Fragment`] spans and tally per-exchange
+    /// backpressure; the quiesce protocol journals its park/drain/seal
+    /// sub-steps. Disabled (free) by default.
+    pub trace: TraceSink,
 }
 
 impl Default for FragmentOptions {
@@ -95,6 +101,7 @@ impl Default for FragmentOptions {
             queue_capacity: 8,
             poll_tick_us: 200,
             quiesce_timeout_us: 5_000_000,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -840,6 +847,7 @@ fn quiesce_point(
 #[allow(clippy::too_many_arguments)]
 fn run_producer(
     frag_index: usize,
+    ex_id: u32,
     mut pipeline: PipelinePlan,
     mut sources: Vec<ProducerSource>,
     mut writer: QueueWriter,
@@ -848,6 +856,7 @@ fn run_producer(
     batch_size: usize,
     cpu: CpuCostModel,
     retry_tick_us: u64,
+    trace: TraceSink,
 ) -> ProducerYield {
     let mut timeline = Timeline::new(Some(clock.clone()));
     let mut report = ExecReport::default();
@@ -855,6 +864,9 @@ fn run_producer(
     let mut pending: Batch = Batch::new();
     let mut error: Option<Error> = None;
     let mut completed = false;
+    let mut depth_hw: u64 = 0;
+    let frag_name = format!("frag-{frag_index}");
+    trace.record_at(clock.now_us(), SpanKind::Fragment.begin(frag_name.clone()));
 
     // Sources recovered from a sealed previous phase arrive still paused;
     // fresh sources treat this as a no-op.
@@ -881,7 +893,10 @@ fn run_producer(
         // a pending quiesce is honored with the batch carried along).
         if !pending.is_empty() {
             match writer.try_send(std::mem::take(&mut pending)) {
-                Ok(None) => timeline.resync(),
+                Ok(None) => {
+                    depth_hw = depth_hw.max(writer.depth() as u64);
+                    timeline.resync();
+                }
                 Ok(Some(back)) => {
                     pending = back;
                     if !shared.wants_stop() {
@@ -975,7 +990,7 @@ fn run_producer(
         // buffered batch before reading Closed.
         while !pending.is_empty() {
             match writer.try_send(std::mem::take(&mut pending)) {
-                Ok(None) => {}
+                Ok(None) => depth_hw = depth_hw.max(writer.depth() as u64),
                 Ok(Some(back)) => {
                     pending = back;
                     if shared.wants_stop() {
@@ -1008,6 +1023,34 @@ fn run_producer(
     report.cpu_us = timeline.cpu_us() as u64;
     report.idle_us = timeline.idle_us() as u64;
     report.virtual_us = timeline.clock_us() as u64;
+    report.max_queue_depth = depth_hw;
+    let blocked = writer.blocked_sends();
+    if blocked > 0 {
+        report.blocked_by_exchange = vec![(ex_id, blocked)];
+    }
+    if trace.is_enabled() {
+        let now = clock.now_us();
+        let ex_name = format!("exchange-{}", ex_id - EXCHANGE_REL_BASE);
+        trace.record_at(
+            now,
+            tukwila_stats::TraceEvent::Counter {
+                name: "batches".into(),
+                scope: frag_name.clone(),
+                value: report.batches,
+            },
+        );
+        if blocked > 0 {
+            trace.record_at(
+                now,
+                tukwila_stats::TraceEvent::Counter {
+                    name: "blocked_sends".into(),
+                    scope: ex_name,
+                    value: blocked,
+                },
+            );
+        }
+        trace.record_at(now, SpanKind::Fragment.end(frag_name));
+    }
     ProducerYield {
         frag_index,
         pipeline,
@@ -1032,6 +1075,12 @@ pub struct SealedOutcome {
     pub producer_cpu_us: u64,
     /// Source batches the producer threads consumed.
     pub producer_batches: u64,
+    /// High-water mark of exchange-queue depth (batches) across every
+    /// producer, sampled after each successful send.
+    pub max_queue_depth: u64,
+    /// Per-exchange backpressure, ascending exchange id: every exchange
+    /// whose producer found the queue full at least once.
+    pub blocked_by_exchange: Vec<(u32, u64)>,
 }
 
 /// One producer fragment tracked by the controller.
@@ -1184,6 +1233,7 @@ impl ThreadedFragmentRun {
             let shared = Arc::new(QuiesceShared::new());
             let thread_shared = shared.clone();
             let thread_clock = clock.clone();
+            let thread_trace = opts.trace.clone();
             let (bs, cm, tick) = (batch_size, cpu, opts.poll_tick_us);
             let pipeline = frag.pipeline;
             let spawned = std::thread::Builder::new()
@@ -1191,6 +1241,7 @@ impl ThreadedFragmentRun {
                 .spawn(move || {
                     run_producer(
                         idx,
+                        ex,
                         pipeline,
                         frag_sources,
                         writer,
@@ -1199,6 +1250,7 @@ impl ThreadedFragmentRun {
                         bs,
                         cm,
                         tick,
+                        thread_trace,
                     )
                 });
             match spawned {
@@ -1291,6 +1343,9 @@ impl ThreadedFragmentRun {
     /// quiescent; on `false` the caller should [`ThreadedFragmentRun::
     /// resume`] and abandon the plan switch rather than stall the query.
     pub fn quiesce(&mut self) -> bool {
+        self.opts
+            .trace
+            .record_at(self.clock.now_us(), SpanKind::Park.begin("park"));
         for p in &self.producers {
             p.quiesce.request_quiesce();
         }
@@ -1300,9 +1355,13 @@ impl ThreadedFragmentRun {
             .saturating_add(self.opts.quiesce_timeout_us);
         let clock = self.clock.clone();
         let producers = &self.producers;
-        tukwila_stats::clock::wait_until(clock.as_ref(), deadline, || {
+        let parked = tukwila_stats::clock::wait_until(clock.as_ref(), deadline, || {
             producers.iter().all(|p| p.quiesce.is_stopped())
-        })
+        });
+        self.opts
+            .trace
+            .record_at(self.clock.now_us(), SpanKind::Park.end("park"));
+        parked
     }
 
     /// Abandon a quiesce: wake every parked producer and continue the
@@ -1336,6 +1395,8 @@ impl ThreadedFragmentRun {
         // Collect every exchange's leftovers before reassembly: the
         // consumer side (carry + still-queued batches) in stream order,
         // then the producer's unshipped output.
+        let trace = self.opts.trace.clone();
+        trace.record_at(self.clock.now_us(), SpanKind::Drain.begin("drain"));
         let mut leftovers: HashMap<u32, Vec<Tuple>> = HashMap::new();
         for ex in &mut self.root_exchanges {
             leftovers.insert(ex.exchange_id(), ex.drain_buffered());
@@ -1362,11 +1423,15 @@ impl ThreadedFragmentRun {
         // consumers (root output to `out`) with nothing re-queued.
         let mut producer_cpu_us = 0;
         let mut producer_batches = 0;
+        let mut max_queue_depth = 0;
+        let mut blocked_by_exchange: Vec<(u32, u64)> = Vec::new();
         let mut recovered: Vec<SlottedSource> = Vec::new();
         let mut fragments: Vec<Fragment> = Vec::with_capacity(self.outputs.len());
         for y in yields {
             producer_cpu_us += y.report.cpu_us;
             producer_batches += y.report.batches;
+            max_queue_depth = max_queue_depth.max(y.report.max_queue_depth);
+            blocked_by_exchange.extend(y.report.blocked_by_exchange.iter().copied());
             for s in y.sources {
                 if let ProducerSource::Real { slot, src, .. } = s {
                     recovered.push((slot, src));
@@ -1389,13 +1454,19 @@ impl ThreadedFragmentRun {
                 }
             }
         }
+        trace.record_at(self.clock.now_us(), SpanKind::Drain.end("drain"));
+        trace.record_at(self.clock.now_us(), SpanKind::Seal.begin("seal"));
         let states = run.seal();
+        trace.record_at(self.clock.now_us(), SpanKind::Seal.end("seal"));
         recovered.sort_by_key(|(slot, _)| *slot);
+        blocked_by_exchange.sort_by_key(|(id, _)| *id);
         Ok(SealedOutcome {
             states,
             sources: recovered,
             producer_cpu_us,
             producer_batches,
+            max_queue_depth,
+            blocked_by_exchange,
         })
     }
 
@@ -1517,13 +1588,19 @@ impl SimDriver {
                 ))
             }
         };
+        // The driver's own sink covers runs whose caller configured
+        // tracing on the driver but not on the fragment options.
+        let mut opts = opts.clone();
+        if !opts.trace.is_enabled() && self.trace.is_enabled() {
+            opts.trace = self.trace.clone();
+        }
         let (mut run, mut root_sources) = ThreadedFragmentRun::spawn(
             plan,
             sources,
             clock.clone(),
             self.batch_size,
             self.cpu,
-            opts,
+            &opts,
         )?;
 
         // Root fragment on this thread, over its base relations plus the
@@ -1549,6 +1626,8 @@ impl SimDriver {
                 out.extend(sink);
                 report.cpu_us += outcome.producer_cpu_us;
                 report.tuples_out = out.len() as u64;
+                report.max_queue_depth = outcome.max_queue_depth;
+                report.blocked_by_exchange = outcome.blocked_by_exchange.clone();
                 Ok((out, report))
             }
             Err(e) => {

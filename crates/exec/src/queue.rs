@@ -174,6 +174,12 @@ impl QueueWriter {
         self.blocked.clone()
     }
 
+    /// Batches currently buffered in the queue (0 once closed). Sampled
+    /// by producers after a send to keep a queue-depth high-water mark.
+    pub fn depth(&self) -> usize {
+        self.tx.as_ref().map_or(0, |tx| tx.len())
+    }
+
     /// Sends (so far) that had to block on a full queue.
     pub fn blocked_sends(&self) -> u64 {
         self.blocked.load(Ordering::Relaxed)

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use tukwila_relation::{Error, Result};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
-use tukwila_stats::{Clock, DeliveryCosts};
+use tukwila_stats::{Clock, DeliveryCosts, TraceSink};
 
 use crate::federated::FederatedSource;
 
@@ -54,6 +54,11 @@ pub struct FederationConfig {
     /// schedules its next look when every queue is empty and no stall
     /// deadline is nearer. Smaller reacts faster, wakes more.
     pub poll_tick_us: u64,
+    /// Adaptivity trace journal. Every hedge-gate evaluation (fired or
+    /// declined, with per-candidate win/waste scores), EOF-sweep
+    /// activation, and backpressure tally is recorded here. The default
+    /// [`TraceSink::disabled`] records nothing at the cost of a branch.
+    pub trace: TraceSink,
 }
 
 impl Default for FederationConfig {
@@ -67,6 +72,7 @@ impl Default for FederationConfig {
             queue_capacity: 8,
             producer_batch: 256,
             poll_tick_us: 500,
+            trace: TraceSink::disabled(),
         }
     }
 }

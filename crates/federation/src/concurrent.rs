@@ -262,6 +262,10 @@ impl ConcurrentFederatedSource {
         // Threaded mode: the hedge gate's busy-core waste term knows the
         // real host parallelism.
         scheduler.set_core_budget(std::thread::available_parallelism().map_or(1, |n| n.get()));
+        scheduler.set_identity(
+            name.clone(),
+            candidates.iter().map(|c| c.name().to_string()).collect(),
+        );
         let mut lanes: Vec<Lane> = Vec::with_capacity(candidates.len());
         for (idx, source) in candidates.into_iter().enumerate() {
             let descriptor = source.descriptor();
@@ -365,12 +369,37 @@ impl ConcurrentFederatedSource {
 
     /// End the run: stop every producer and join it. Idempotent.
     fn complete(&mut self) {
+        if !self.done {
+            self.trace_completion();
+        }
         self.done = true;
         for lane in &mut self.lanes {
             lane.shutdown();
         }
         for lane in &mut self.lanes {
             lane.join();
+        }
+    }
+
+    /// Journal the end-of-union tallies — distinct tuples, dedup hits,
+    /// stalls, and per-lane blocked sends (the real backpressure the
+    /// hedge gate priced). One bounded set of events per relation.
+    fn trace_completion(&self) {
+        let trace = &self.config.trace;
+        if !trace.is_enabled() {
+            return;
+        }
+        let dup: u64 = self.scheduler.profiles().iter().map(|p| p.duplicates).sum();
+        let stalls: u64 = self.scheduler.profiles().iter().map(|p| p.stalls).sum();
+        trace.counter("tuples", self.name.clone(), self.delivered);
+        trace.counter("dedup_hits", self.name.clone(), dup);
+        trace.counter("stalls", self.name.clone(), stalls);
+        for lane in &self.lanes {
+            trace.counter(
+                "blocked_sends",
+                lane.descriptor.name.clone(),
+                lane.blocked.load(Ordering::Relaxed),
+            );
         }
     }
 

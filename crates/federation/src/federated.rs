@@ -234,6 +234,10 @@ impl FederatedSource {
                 .map(|c| c.descriptor().declared_rate_tuples_per_sec)
                 .collect(),
         );
+        scheduler.set_identity(
+            name.clone(),
+            candidates.iter().map(|c| c.name().to_string()).collect(),
+        );
         Ok(FederatedSource {
             rel_id,
             name,
@@ -251,6 +255,34 @@ impl FederatedSource {
     /// The online permutation scheduler driving this adapter.
     pub fn scheduler(&self) -> &PermutationScheduler {
         &self.scheduler
+    }
+
+    /// Journal the end-of-union tallies (distinct tuples, dedup hits,
+    /// stalls) — one bounded set of counter events per relation, emitted
+    /// exactly once when the union completes.
+    fn trace_completion(&self, now_us: u64) {
+        let trace = &self.scheduler.config().trace;
+        if !trace.is_enabled() {
+            return;
+        }
+        let dup: u64 = self.scheduler.profiles().iter().map(|p| p.duplicates).sum();
+        let stalls: u64 = self.scheduler.profiles().iter().map(|p| p.stalls).sum();
+        for (name, value) in [
+            ("tuples", self.delivered),
+            ("dedup_hits", dup),
+            ("stalls", stalls),
+        ] {
+            if value > 0 {
+                trace.record_at(
+                    now_us,
+                    tukwila_stats::TraceEvent::Counter {
+                        name: name.into(),
+                        scope: self.name.clone(),
+                        value,
+                    },
+                );
+            }
+        }
     }
 
     /// Per-candidate statistics snapshot (available mid-run or after).
@@ -317,6 +349,7 @@ impl Source for FederatedSource {
                     continue 'sweep;
                 }
                 self.done = true;
+                self.trace_completion(now_us);
                 return Poll::Eof;
             }
             for idx in order {
@@ -350,6 +383,7 @@ impl Source for FederatedSource {
                             // held was delivered (or deduped), so the
                             // union is complete.
                             self.done = true;
+                            self.trace_completion(now_us);
                             return Poll::Eof;
                         }
                         continue 'sweep;

@@ -39,7 +39,8 @@
 //! arrival timestamps while the logic stays identical, which is the
 //! contract the dual-clock equivalence tests pin down.
 
-use tukwila_stats::{DeliveryModel, RaceContext};
+use tukwila_stats::trace::{CandidateScore, TraceEvent};
+use tukwila_stats::{DeliveryModel, RaceContext, RaceDecision};
 
 use crate::catalog::FederationConfig;
 use crate::profile::BehaviorProfile;
@@ -90,6 +91,11 @@ pub struct PermutationScheduler {
     blocked_sends: Vec<u64>,
     /// Host core budget for the busy-core waste term (threaded mode).
     cores: Option<usize>,
+    /// Trace identity: the federated relation's display name and the
+    /// candidates' names (registration order), used to label decision
+    /// events. Empty until [`PermutationScheduler::set_identity`].
+    relation_name: String,
+    candidate_names: Vec<String>,
     config: FederationConfig,
 }
 
@@ -108,6 +114,8 @@ impl PermutationScheduler {
             declared_rates: vec![None; candidates],
             blocked_sends: vec![0; candidates],
             cores: None,
+            relation_name: String::new(),
+            candidate_names: Vec::new(),
             config,
         };
         s.activate_idx(0, 0);
@@ -131,6 +139,23 @@ impl PermutationScheduler {
     pub fn set_declared_rates(&mut self, rates: Vec<Option<f64>>) {
         assert_eq!(rates.len(), self.profiles.len());
         self.declared_rates = rates;
+    }
+
+    /// Name the relation and its candidates (registration order) for the
+    /// trace journal; decision events are labeled with these instead of
+    /// bare indices. Optional — unnamed schedulers fall back to
+    /// `cand-<idx>` labels.
+    pub fn set_identity(&mut self, relation: impl Into<String>, candidates: Vec<String>) {
+        self.relation_name = relation.into();
+        self.candidate_names = candidates;
+    }
+
+    /// The trace label for candidate `idx`.
+    fn candidate_label(&self, idx: usize) -> String {
+        self.candidate_names
+            .get(idx)
+            .cloned()
+            .unwrap_or_else(|| format!("cand-{idx}"))
     }
 
     /// Polling resumed at `now_us` after a consumer-side quiesce window
@@ -262,14 +287,61 @@ impl PermutationScheduler {
                 // Deprecated stall-only mode: always race, next standby
                 // in registration order (the legacy behavior, preserved
                 // for A/B comparison).
-                return self.activate_idx(standbys[0], now_us);
+                let woken = self.activate_idx(standbys[0], now_us);
+                self.trace_hedge(now_us, idx, Vec::new(), woken, 0.0, 0.0);
+                return woken;
             };
-            match self.best_paying_standby(costs, &standbys, now_us) {
-                Some(best) => return self.activate_idx(best, now_us),
-                None => self.declined += 1,
+            let (scores, best) = self.score_standbys(costs, &standbys, now_us);
+            match best {
+                Some((best_idx, decision)) => {
+                    let woken = self.activate_idx(best_idx, now_us);
+                    self.trace_hedge(
+                        now_us,
+                        idx,
+                        scores,
+                        woken,
+                        decision.win_us,
+                        decision.waste_us,
+                    );
+                    return woken;
+                }
+                None => {
+                    self.declined += 1;
+                    self.trace_hedge(now_us, idx, scores, None, 0.0, 0.0);
+                }
             }
         }
         None
+    }
+
+    /// Journal one hedge-gate evaluation: the stalled candidate, every
+    /// standby's [`RaceDecision`]-derived score, and the outcome. Stamped
+    /// with the caller-supplied `now_us` so the scheduler still never
+    /// reads a clock itself.
+    fn trace_hedge(
+        &self,
+        now_us: u64,
+        stalled_idx: usize,
+        scores: Vec<CandidateScore>,
+        chosen_idx: Option<usize>,
+        win_us: f64,
+        waste_us: f64,
+    ) {
+        if !self.config.trace.is_enabled() {
+            return;
+        }
+        self.config.trace.record_at(
+            now_us,
+            TraceEvent::HedgeDecision {
+                relation: self.relation_name.clone(),
+                stalled: self.candidate_label(stalled_idx),
+                scores,
+                chosen: chosen_idx.map(|i| self.candidate_label(i)),
+                win_us,
+                waste_us,
+                fired: chosen_idx.is_some(),
+            },
+        );
     }
 
     /// Never-activated candidates that could actually be woken, in
@@ -303,12 +375,17 @@ impl PermutationScheduler {
     /// logic under the wall clock with real arrival rates and real
     /// `blocked_sends` — and independent of registration order whenever
     /// the declared rates distinguish the standbys.
-    fn best_paying_standby(
+    ///
+    /// Returns every candidate's score (provenance for the trace
+    /// journal; empty when tracing is disabled, so the gate stays
+    /// allocation-free on the hot path) plus the winning `(index,
+    /// RaceDecision)` when at least one race pays.
+    fn score_standbys(
         &self,
         costs: tukwila_stats::DeliveryCosts,
         standbys: &[usize],
         now_us: u64,
-    ) -> Option<usize> {
+    ) -> (Vec<CandidateScore>, Option<(usize, RaceDecision)>) {
         let model = DeliveryModel::with_costs(costs);
         // Union tuples delivered so far, and the "assume at least 25%
         // more is coming" remaining-data heuristic shared with the
@@ -335,9 +412,12 @@ impl PermutationScheduler {
             .filter(|&&i| !self.profiles[i].eof)
             .count();
         let prior = Some(self.config.prior_rate_tuples_per_sec).filter(|r| *r > 0.0);
-        let mut best: Option<(f64, f64, usize)> = None;
+        let tracing = self.config.trace.is_enabled();
+        let mut scores: Vec<CandidateScore> = Vec::new();
+        let mut best: Option<(f64, f64, usize, RaceDecision)> = None;
         for &idx in standbys {
             let declared = self.declared_rates[idx].filter(|r| *r > 0.0);
+            let rate_key = declared.or(prior).unwrap_or(0.0);
             let decision = model.race(&RaceContext {
                 healthy,
                 delivered: delivered as f64,
@@ -347,6 +427,15 @@ impl PermutationScheduler {
                 racing,
                 cores: self.cores,
             });
+            if tracing {
+                scores.push(CandidateScore {
+                    candidate: self.candidate_label(idx),
+                    rate_tps: rate_key,
+                    win_us: decision.win_us,
+                    waste_us: decision.waste_us,
+                    pays: decision.hedge,
+                });
+            }
             if !decision.hedge {
                 continue;
             }
@@ -354,21 +443,20 @@ impl PermutationScheduler {
             // candidate: every win is unbounded) on declared rate, then
             // registration order — deterministic either way.
             let net = decision.win_us - decision.waste_us;
-            let rate_key = declared.or(prior).unwrap_or(0.0);
-            let better = match best {
+            let better = match &best {
                 None => true,
-                Some((bnet, brate, bidx)) => {
-                    let primary = net.partial_cmp(&bnet).unwrap_or(std::cmp::Ordering::Equal);
+                Some((bnet, brate, bidx, _)) => {
+                    let primary = net.partial_cmp(bnet).unwrap_or(std::cmp::Ordering::Equal);
                     primary == std::cmp::Ordering::Greater
                         || (primary == std::cmp::Ordering::Equal
-                            && (rate_key > brate || (rate_key == brate && idx < bidx)))
+                            && (rate_key > *brate || (rate_key == *brate && idx < *bidx)))
                 }
             };
             if better {
-                best = Some((net, rate_key, idx));
+                best = Some((net, rate_key, idx, decision));
             }
         }
-        best.map(|(_, _, idx)| idx)
+        (scores, best.map(|(_, _, idx, decision)| (idx, decision)))
     }
 
     /// Activate a standby without a stall trigger — used when every
@@ -387,7 +475,18 @@ impl PermutationScheduler {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(b.cmp(&a)) // tie: lower registration index wins
         })?;
-        self.activate_idx(best, now_us)
+        let woken = self.activate_idx(best, now_us);
+        if self.config.trace.is_enabled() {
+            self.config.trace.record_at(
+                now_us,
+                TraceEvent::Activation {
+                    relation: self.relation_name.clone(),
+                    candidate: self.candidate_label(best),
+                    sweep: true,
+                },
+            );
+        }
+        woken
     }
 
     fn activate_idx(&mut self, idx: usize, now_us: u64) -> Option<usize> {

@@ -30,6 +30,7 @@
 
 use crate::cost::OptimizerContext;
 use crate::phys::{PhysKind, PhysNode, PhysPlan};
+use tukwila_stats::{TraceEvent, TraceSink};
 use tukwila_storage::ExprSig;
 
 /// Tunables of the fragmentation pass.
@@ -109,9 +110,43 @@ pub fn choose_cuts(
     ctx: &OptimizerContext,
     config: &FragmentationConfig,
 ) -> Vec<ExprSig> {
+    choose_cuts_traced(plan, ctx, config, &TraceSink::disabled())
+}
+
+/// [`choose_cuts`] with decision provenance: every candidate subtree the
+/// pass actually prices is journaled as a [`TraceEvent::CutDecision`]
+/// carrying its modeled net win, the bar it was held to, and whether the
+/// cut was taken. Budget-exhausted subtrees are never priced and so emit
+/// nothing.
+pub fn choose_cuts_traced(
+    plan: &PhysPlan,
+    ctx: &OptimizerContext,
+    config: &FragmentationConfig,
+    trace: &TraceSink,
+) -> Vec<ExprSig> {
     let mut cuts = Vec::new();
-    walk(&plan.root, ctx, config, &mut cuts);
+    walk(&plan.root, ctx, config, &mut cuts, trace);
     cuts
+}
+
+/// Price one candidate, journal the decision, and return whether it
+/// clears the bar.
+fn consider(
+    candidate: &PhysNode,
+    slow_wait_us: f64,
+    ctx: &OptimizerContext,
+    config: &FragmentationConfig,
+    trace: &TraceSink,
+) -> bool {
+    let net_win_us = cut_net_win_us(candidate, slow_wait_us, ctx, config);
+    let accepted = net_win_us >= config.min_net_win_us;
+    trace.record(TraceEvent::CutDecision {
+        site: candidate.sig.to_string(),
+        net_win_us,
+        min_net_win_us: config.min_net_win_us,
+        accepted,
+    });
+    accepted
 }
 
 fn eligible(node: &PhysNode) -> bool {
@@ -125,6 +160,7 @@ fn walk(
     ctx: &OptimizerContext,
     config: &FragmentationConfig,
     cuts: &mut Vec<ExprSig>,
+    trace: &TraceSink,
 ) {
     if cuts.len() >= config.max_fragments {
         return;
@@ -141,19 +177,19 @@ fn walk(
             // the modeled net win clears the bar.
             let cut_left = eligible(left)
                 && !cuts.contains(&left.sig)
-                && cut_net_win_us(left, right.est_wait_us, ctx, config) >= config.min_net_win_us;
+                && consider(left, right.est_wait_us, ctx, config, trace);
             if cut_left {
                 cuts.push(left.sig.clone());
             } else if eligible(right)
                 && !cuts.contains(&right.sig)
-                && cut_net_win_us(right, left.est_wait_us, ctx, config) >= config.min_net_win_us
+                && consider(right, left.est_wait_us, ctx, config, trace)
             {
                 cuts.push(right.sig.clone());
             }
-            walk(left, ctx, config, cuts);
-            walk(right, ctx, config, cuts);
+            walk(left, ctx, config, cuts, trace);
+            walk(right, ctx, config, cuts, trace);
         }
-        PhysKind::PreAgg { child, .. } => walk(child, ctx, config, cuts),
+        PhysKind::PreAgg { child, .. } => walk(child, ctx, config, cuts, trace),
         PhysKind::Scan { .. } => {}
     }
 }

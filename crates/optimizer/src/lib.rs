@@ -32,6 +32,6 @@ pub mod preagg;
 
 pub use cost::{CostModel, OptimizerContext, PreAggConfig};
 pub use enumerate::Optimizer;
-pub use fragment::{choose_cuts, FragmentationConfig};
+pub use fragment::{choose_cuts, choose_cuts_traced, FragmentationConfig};
 pub use logical::{AggRef, JoinPred, LogicalQuery, QueryAgg, QueryRel};
 pub use phys::{PhysAgg, PhysJoinAlgo, PhysKind, PhysNode, PhysPlan, PreAggMode};

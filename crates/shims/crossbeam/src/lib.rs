@@ -1,49 +1,108 @@
 //! Offline shim for the subset of `crossbeam` this workspace uses:
 //! `channel::{bounded, Sender, Receiver, SendError}` with blocking
-//! bounded-capacity semantics. Backed by `std::sync::mpsc::sync_channel`.
+//! bounded-capacity semantics. Backed by `std::sync::mpsc::sync_channel`,
+//! plus a shared depth counter so `Sender::len` mirrors crossbeam's
+//! queue-introspection API (the exec layer samples it for its
+//! queue-depth high-water mark).
 
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// Blocking bounded sender (crossbeam's `Sender` over a bounded channel).
     #[derive(Debug, Clone)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Sender<T> {
+        tx: mpsc::SyncSender<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     /// Receiving half.
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                depth: depth.clone(),
+            },
+            Receiver { rx, depth },
+        )
     }
 
     impl<T> Sender<T> {
         /// Blocks while the channel is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            self.tx.send(value)?;
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
         }
 
         /// Non-blocking send: `Full` when at capacity, `Disconnected` when
         /// the receiver hung up.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(value)
+            self.tx.try_send(value)?;
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+
+        /// Messages currently buffered in the channel (racy by nature;
+        /// suitable for watermarks, not for synchronization).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the channel is currently empty (racy, advisory).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let v = self.rx.recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let v = self.rx.try_recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
         }
 
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
+        /// Messages currently buffered in the channel (racy, advisory).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the channel is currently empty (racy, advisory).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Blocking iterator over received messages (ends when every sender
+    /// hung up), keeping the depth counter accurate.
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
         }
     }
 }
@@ -78,5 +137,30 @@ mod tests {
         assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
         drop(rx);
         assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+    }
+
+    #[test]
+    fn len_tracks_buffered_depth() {
+        let (tx, rx) = bounded::<i32>(3);
+        assert_eq!(tx.len(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(tx.len(), 1);
+        rx.try_recv().unwrap();
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn iter_drains_and_keeps_depth() {
+        let (tx, rx) = bounded::<i32>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.is_empty());
     }
 }

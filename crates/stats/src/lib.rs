@@ -44,6 +44,7 @@ pub mod order_detect;
 pub mod rate;
 pub mod schedule;
 pub mod selectivity;
+pub mod trace;
 
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use counters::OpCounters;
@@ -52,3 +53,7 @@ pub use order_detect::{OrderDetector, Orderedness, UniquenessDetector};
 pub use rate::RateEstimator;
 pub use schedule::{ArrivalSchedule, DeliveryCosts, DeliveryModel, RaceContext, RaceDecision};
 pub use selectivity::SelectivityCatalog;
+pub use trace::{
+    decision_signature, hedge_signatures, QuerySummary, SpanKind, TraceEvent, TraceRecord,
+    TraceSink,
+};

@@ -1,0 +1,274 @@
+//! Integration tests for the adaptivity trace journal (`tukwila_stats::
+//! trace`): the dual-clock decision-sequence equivalence and the
+//! observer-purity / bounded-overhead contracts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tukwila::core::{run_static, run_static_with_driver};
+use tukwila::datagen::flights;
+use tukwila::exec::reference::canonicalize_approx;
+use tukwila::exec::{CpuCostModel, SimDriver};
+use tukwila::federation::{DeclaredRate, FederatedCatalog, FederationConfig};
+use tukwila::optimizer::OptimizerContext;
+use tukwila::relation::{Schema, Tuple};
+use tukwila::source::{DelayModel, DelayedSource, Source};
+use tukwila::stats::{
+    hedge_signatures, Clock, QuerySummary, TraceEvent, TraceRecord, TraceSink, VirtualClock,
+    WallClock,
+};
+
+mod common;
+use common::{mem_answer, tables};
+
+fn delayed(
+    rel: u32,
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    model: &DelayModel,
+) -> Box<dyn Source> {
+    Box::new(DelayedSource::new(rel, name, schema, rows, model))
+}
+
+/// A primary that never delivers: its first tuple is eons away, so the
+/// stall latch fires the hedge gate exactly once per relation — under
+/// *any* clock — and the gate's choice among the declared-rate standbys
+/// is a pure function of the declared rates.
+fn dead_model() -> DelayModel {
+    DelayModel::Bandwidth {
+        bytes_per_sec: 1e-3,
+        initial_latency_us: u32::MAX as u64,
+    }
+}
+
+/// The seed-pinned mirrors scenario of the dual-clock test: every
+/// relation served by a dead primary plus two declared-rate standbys
+/// (fast and slow). The decision the journal must witness, per relation:
+/// one fired hedge, stalled = the dead primary, chosen = the fast
+/// standby.
+fn dead_primary_catalog(d: &flights::FlightsData, trace: TraceSink) -> FederatedCatalog {
+    let mut catalog = FederatedCatalog::new(FederationConfig {
+        // The wall-clock leg races real producer threads: an OS
+        // scheduling hiccup must not read as a stall, or the journal
+        // gains jitter-dependent decisions. The floor sits far above any
+        // healthy standby's inter-batch gap (timeline µs), so only the
+        // dead primary — silent forever — can trip the gate.
+        min_stall_us: 2_000_000,
+        stall_sigma: 8.0,
+        trace,
+        ..FederationConfig::default()
+    });
+    for (rel, name, schema, rows) in tables(d) {
+        catalog
+            .register(
+                vec![0],
+                delayed(
+                    rel,
+                    format!("{name}-dead"),
+                    schema.clone(),
+                    rows.clone(),
+                    &dead_model(),
+                ),
+            )
+            .unwrap();
+        let standby = |suffix: &str, bps: f64, declared: f64| -> Box<dyn Source> {
+            Box::new(DeclaredRate::new(
+                delayed(
+                    rel,
+                    format!("{name}-{suffix}"),
+                    schema.clone(),
+                    rows.clone(),
+                    &DelayModel::Bandwidth {
+                        bytes_per_sec: bps,
+                        initial_latency_us: 1_000,
+                    },
+                ),
+                declared,
+            ))
+        };
+        catalog
+            .register(vec![0], standby("slow", 50_000.0, 50.0))
+            .unwrap();
+        catalog
+            .register(vec![0], standby("fast", 200_000.0, 100_000.0))
+            .unwrap();
+    }
+    catalog
+}
+
+/// Per-relation hedge signatures with the adapter naming stripped: the
+/// sequential adapter calls a relation `fed(F-dead×3)` where the
+/// threaded one says `fed-mt(F-dead×3)`, so keys are normalized to the
+/// `(first-candidate×n)` core and each signature to its
+/// `|stalled=…|chosen=…|fired=…` tail. Everything that remains is pure
+/// decision content.
+fn normalized_signatures(records: &[TraceRecord]) -> BTreeMap<String, Vec<String>> {
+    hedge_signatures(records)
+        .into_iter()
+        .map(|(rel, sigs)| {
+            let key = rel[rel.find('(').unwrap_or(0)..].to_string();
+            let tails: Vec<String> = sigs
+                .iter()
+                .map(|s| s[s.find('|').unwrap_or(0)..].to_string())
+                .collect();
+            (key, tails)
+        })
+        .collect()
+}
+
+/// The dual-clock decision-sequence equivalence: the ordered list of
+/// hedge-gate decision events per relation is identical between a
+/// deterministic [`VirtualClock`] run and a threaded [`WallClock`] run
+/// of the same mirrors scenario. Timing fields (timestamps, win/waste
+/// magnitudes) differ with the clock; the *decisions* — which candidate
+/// stalled, which standby was chosen, whether the gate fired — must not.
+#[test]
+fn dual_clock_hedge_decision_sequences_match() {
+    let d = flights::generate(300, 1500, 1, 13);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    // Virtual: the sequential federated adapter under the engine's
+    // simulated timeline.
+    let virtual_trace = TraceSink::unbounded(Arc::new(VirtualClock::new()));
+    let mut vsources = dead_primary_catalog(&d, virtual_trace.clone())
+        .into_sources()
+        .unwrap();
+    let vrun = run_static(
+        &q,
+        &mut vsources,
+        OptimizerContext::no_statistics(),
+        256,
+        CpuCostModel::Zero,
+    )
+    .unwrap();
+    assert_eq!(
+        canonicalize_approx(&vrun.rows),
+        expected,
+        "virtual run answer diverged"
+    );
+
+    // Threaded: the same candidates racing on real producer threads
+    // against an accelerated wall clock shared with the driver.
+    // Moderate acceleration: the 2 s (timeline) stall floor is then
+    // 100 ms of real silence — far beyond scheduler jitter, so the
+    // journal's decision content is reproducible on a loaded machine.
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(20.0));
+    let threaded_trace = TraceSink::unbounded(clock.clone());
+    let mut tsources = dead_primary_catalog(&d, threaded_trace.clone())
+        .into_concurrent_sources(clock.clone())
+        .unwrap();
+    let trun = run_static_with_driver(
+        &q,
+        &mut tsources,
+        OptimizerContext::no_statistics(),
+        SimDriver::new(256, CpuCostModel::Measured).with_clock(clock),
+        None,
+    )
+    .unwrap();
+    assert_eq!(
+        canonicalize_approx(&trun.rows),
+        expected,
+        "threaded run answer diverged"
+    );
+
+    let virt = normalized_signatures(&virtual_trace.snapshot());
+    let wall = normalized_signatures(&threaded_trace.snapshot());
+    assert_eq!(
+        virt.len(),
+        3,
+        "every relation's scheduler must journal its hedge decision"
+    );
+    assert_eq!(
+        virt, wall,
+        "hedge-gate decision sequences must be clock-invariant"
+    );
+    for (rel, sigs) in &virt {
+        assert_eq!(sigs.len(), 1, "{rel}: the stall latch fires the gate once");
+        assert!(
+            sigs[0].contains("stalled=") && sigs[0].contains("-dead"),
+            "{rel}: the dead primary triggers the decision ({})",
+            sigs[0]
+        );
+        assert!(
+            sigs[0].contains("chosen=") && sigs[0].contains("-fast"),
+            "{rel}: the gate must pick the fast declared-rate standby ({})",
+            sigs[0]
+        );
+        assert!(
+            sigs[0].ends_with("fired=true"),
+            "{rel}: the hedge must fire"
+        );
+    }
+}
+
+/// Observer purity and bounded overhead: a disabled sink journals
+/// nothing and an enabled one changes no answers; the enabled journal is
+/// non-empty but bounded (one decision per gate evaluation plus O(1)
+/// completion counters per relation — not per tuple).
+#[test]
+fn trace_overhead_is_bounded_and_answers_unchanged() {
+    let d = flights::generate(300, 1500, 1, 13);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let run = |trace: TraceSink| -> Vec<String> {
+        let mut sources = dead_primary_catalog(&d, trace).into_sources().unwrap();
+        let out = run_static(
+            &q,
+            &mut sources,
+            OptimizerContext::no_statistics(),
+            256,
+            CpuCostModel::Zero,
+        )
+        .unwrap();
+        canonicalize_approx(&out.rows)
+    };
+
+    let disabled = TraceSink::disabled();
+    assert_eq!(run(disabled.clone()), expected, "disabled-sink answer");
+    assert!(!disabled.is_enabled());
+    assert!(
+        disabled.snapshot().is_empty(),
+        "a disabled sink stays empty"
+    );
+
+    let enabled = TraceSink::unbounded(Arc::new(VirtualClock::new()));
+    assert_eq!(
+        run(enabled.clone()),
+        expected,
+        "enabling the journal changed the answer"
+    );
+    let records = enabled.snapshot();
+    assert!(!records.is_empty(), "the enabled journal must see the run");
+    // Bounded: decisions + activations + a handful of completion
+    // counters per relation. 3 relations × 3 candidates leaves room for
+    // well under 100 records; tuple-proportional emission would blow far
+    // past this.
+    assert!(
+        records.len() < 100,
+        "journal must stay decision-proportional, got {} records",
+        records.len()
+    );
+    let summary = QuerySummary::from_records(&records);
+    assert_eq!(summary.hedges_fired, 3, "one fired hedge per relation");
+    for rec in &records {
+        if let TraceEvent::HedgeDecision { scores, fired, .. } = &rec.event {
+            assert!(
+                !fired || !scores.is_empty(),
+                "fired decisions carry candidate-score provenance"
+            );
+        }
+    }
+
+    // A bounded ring keeps only the newest records but counts the drops.
+    let ring = TraceSink::bounded(Arc::new(VirtualClock::new()), 4);
+    assert_eq!(run(ring.clone()), expected, "bounded-sink answer");
+    let kept = ring.snapshot();
+    assert!(kept.len() <= 4, "ring respects its capacity");
+    assert!(
+        ring.dropped() > 0,
+        "this scenario emits more than 4 records, so the ring must drop"
+    );
+}
