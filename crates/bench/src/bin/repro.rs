@@ -20,6 +20,9 @@
 //!   corrective-wall threaded corrective execution with a forced mid-stream switch
 //!                   (the quiesce protocol) over slow federated mirrors; asserts
 //!                   byte-identical answers vs the virtual clock + its golden
+//!   serve    multi-query serving: N queries over one shared learning catalog
+//!            (virtual anchor + cold-per-query baseline + threaded wall run);
+//!            diffs answers-serve-q*.txt and trace-summary-serve.txt goldens
 //!   smoke    virtual-clock answer regression vs results/answers-*.txt (CI gate)
 //!   all      everything above
 //! ```
@@ -43,7 +46,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale SF] [--runs N] [--batch N] [--bps B] [--sweep-cuts] [--trace] \
          <fig2|table1|fig3|table2|fig5|table3|fig6|sec45|ablation|mirrors|mirrors-wall|\
-         fragments-wall|corrective-wall|smoke|all>"
+         fragments-wall|corrective-wall|serve|smoke|all>"
     );
     std::process::exit(2);
 }
@@ -63,7 +66,7 @@ fn save_as(file: &str, content: &str) {
 }
 
 fn main() {
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "fig2",
         "table1",
         "fig3",
@@ -77,6 +80,7 @@ fn main() {
         "mirrors-wall",
         "fragments-wall",
         "corrective-wall",
+        "serve",
         "smoke",
         "all",
     ];
@@ -230,6 +234,16 @@ fn main() {
         }
         if !ok {
             eprintln!("corrective-wall: canonical answers diverged from the committed golden");
+            std::process::exit(1);
+        }
+    }
+    if want("serve") {
+        println!("== Serve: multi-query front end over the shared learning catalog ==\n");
+        let (out, ok) = experiments::serve_suite(&cfg);
+        println!("{out}");
+        save("serve", &out);
+        if !ok {
+            eprintln!("serve: answers or decision counts diverged from the committed goldens");
             std::process::exit(1);
         }
     }

@@ -17,7 +17,9 @@ use tukwila_exec::join::PipelinedHashJoin;
 use tukwila_exec::op::IncOp;
 use tukwila_exec::reference::canonicalize_approx;
 use tukwila_exec::{CpuCostModel, SimDriver};
-use tukwila_federation::{ConcurrentFederatedSource, FederatedSource, FederationReport};
+use tukwila_federation::{
+    ConcurrentFederatedSource, FederatedSource, FederationConfig, FederationReport,
+};
 use tukwila_optimizer::{OptimizerContext, PreAggConfig, PreAggMode};
 use tukwila_relation::{Tuple, Value};
 use tukwila_stats::estimate::JoinEstimator;
@@ -25,12 +27,14 @@ use tukwila_stats::{
     hedge_signatures, Clock, QuerySummary, TraceEvent, TraceSink, VirtualClock, WallClock,
 };
 
+use tukwila_serve::{QuerySpec, ServeMode, Server, ServerConfig};
+
 use crate::fmt::{count, secs, secs_ci, TextTable};
 use crate::setup::{
     concurrent_mirror_sources, datasets, federated_mirror_sources, federated_mirror_sources_traced,
-    local_sources, mean_ci, pinned_mirror_sources, slow_customer_mirror_sources,
-    slow_customer_mirror_sources_traced, true_cards, wireless_sources, ExpConfig, MirrorKind,
-    WorkloadQuery,
+    local_sources, mean_ci, pinned_mirror_sources, serve_degraded_catalog,
+    slow_customer_mirror_sources, slow_customer_mirror_sources_traced, true_cards,
+    wireless_sources, ExpConfig, MirrorKind, WorkloadQuery,
 };
 use tukwila_source::Source;
 
@@ -1792,15 +1796,22 @@ pub fn corrective_trace_suite(cfg: &ExpConfig) -> (String, String) {
 /// missing golden is written locally (so the diff lands in review) but
 /// FAILS the gate.
 fn diff_trace_summary(counts: &str, out: &mut String) -> bool {
-    let path = std::path::Path::new("results").join("trace-summary.txt");
+    diff_trace_summary_named("trace-summary.txt", counts, out)
+}
+
+/// [`diff_trace_summary`] against an arbitrary golden file under
+/// `results/` (the serve smoke has its own decision-count golden).
+fn diff_trace_summary_named(file: &str, counts: &str, out: &mut String) -> bool {
+    let path = std::path::Path::new("results").join(file);
+    let stem = file.strip_suffix(".txt").unwrap_or(file);
     match std::fs::read_to_string(&path) {
         Ok(golden) if golden == counts => {
-            out.push_str("trace-summary: OK (decision counts match golden)\n");
+            out.push_str(&format!("{stem}: OK (decision counts match golden)\n"));
             true
         }
         Ok(golden) => {
             out.push_str(&format!(
-                "trace-summary: MISMATCH ({})\n--- golden ---\n{golden}--- computed ---\n{counts}",
+                "{stem}: MISMATCH ({})\n--- golden ---\n{golden}--- computed ---\n{counts}",
                 path.display()
             ));
             false
@@ -1809,7 +1820,7 @@ fn diff_trace_summary(counts: &str, out: &mut String) -> bool {
             let _ = std::fs::create_dir_all("results");
             let _ = std::fs::write(&path, counts);
             out.push_str(&format!(
-                "trace-summary: FAIL — golden unreadable ({e}); wrote {}, review and commit it\n",
+                "{stem}: FAIL — golden unreadable ({e}); wrote {}, review and commit it\n",
                 path.display()
             ));
             false
@@ -1857,6 +1868,174 @@ pub fn smoke_trace_suite(cfg: &ExpConfig) -> (String, String, bool) {
     ));
     ok &= diff_trace_summary(&summary.decision_counts(), &mut out);
     (out, trace.export_jsonl(), ok)
+}
+
+/// `repro serve`: the multi-query serving front end over the shared
+/// learning catalog — the headline serving bench.
+///
+/// N queries arrive one wave at a time over the same degraded catalog
+/// (every relation: dead primary + slow + fast declared standbys, see
+/// [`serve_degraded_catalog`]). Three runs over identical specs:
+///
+/// * **shared / virtual** — one [`Server`], one learning store: query 1
+///   pays the full cold stall patience (`min_stall_us`), every later
+///   query hedges at the warm floor because the store knows the primary
+///   is dead. The deterministic anchor: per-query answers are diffed
+///   against the `answers-serve-q*.txt` goldens and the fleet's
+///   decision counts against `trace-summary-serve.txt`.
+/// * **cold / virtual** — a fresh server (fresh learning store) per
+///   query: the no-serving baseline. Shared must beat it on total
+///   makespan — that *is* the value of the shared catalog.
+/// * **shared / threaded** — the same waves on real threads against an
+///   accelerated wall clock; per-query answers must match the virtual
+///   anchor byte-for-byte (canonicalized).
+///
+/// The true-parallel claim (a concurrent wave beating sequential waves
+/// in real time) additionally runs when the host has >1 core, and is
+/// honestly reported as "skipped (1 core)" otherwise.
+///
+/// Returns the report and whether every golden matched (the CI gate).
+pub fn serve_suite(cfg: &ExpConfig) -> (String, bool) {
+    const QUERIES: usize = 4;
+    let [(_, uniform), _] = datasets(cfg);
+    let uniform = Arc::new(uniform);
+    let q = WorkloadQuery::Q3A.query();
+
+    let server_config = || ServerConfig {
+        federation: FederationConfig {
+            // A cold query waits out 2 virtual seconds before its first
+            // hedge; a warm one (primary learned dead) only 100ms.
+            min_stall_us: 2_000_000,
+            stall_sigma: 8.0,
+            warm_stall_us: Some(100_000),
+            ..FederationConfig::default()
+        },
+        batch_size: cfg.batch_size,
+        ..ServerConfig::default()
+    };
+    let waves = |names: &[String]| -> Vec<Vec<QuerySpec>> {
+        names
+            .iter()
+            .map(|name| {
+                let d = uniform.clone();
+                let tables_q = q.clone();
+                vec![QuerySpec::new(name.clone(), q.clone(), move |fed| {
+                    serve_degraded_catalog(&d, &tables_q, fed)
+                })]
+            })
+            .collect()
+    };
+    let names: Vec<String> = (1..=QUERIES).map(|i| format!("q{i}")).collect();
+
+    eprintln!("[serve] shared learning catalog, {QUERIES} waves (virtual clock)");
+    let shared_server = Server::new(server_config());
+    let shared = shared_server
+        .serve(&waves(&names), ServeMode::Virtual)
+        .expect("shared virtual serve");
+
+    eprintln!("[serve] cold catalog per query (virtual clock)");
+    let mut cold_makespan_us: u64 = 0;
+    let mut cold_rows: Vec<Vec<String>> = Vec::new();
+    for name in &names {
+        let cold = Server::new(server_config())
+            .serve(&waves(std::slice::from_ref(name)), ServeMode::Virtual)
+            .expect("cold virtual serve");
+        cold_makespan_us += cold.makespan_us;
+        cold_rows.push(cold.outcomes[0].rows.clone());
+    }
+
+    eprintln!("[serve] shared learning catalog, {QUERIES} waves (threaded, wall clock)");
+    let threaded = Server::new(server_config())
+        .serve(&waves(&names), ServeMode::Threaded)
+        .expect("shared threaded serve");
+
+    // Correctness: every mode, every query — one identical answer.
+    // Learning repriced *when* the fleet hedged, never *what* it read.
+    for (i, o) in shared.outcomes.iter().enumerate() {
+        assert_eq!(
+            o.rows, cold_rows[i],
+            "shared vs cold answer diverged ({})",
+            o.name
+        );
+        assert_eq!(
+            o.rows, threaded.outcomes[i].rows,
+            "virtual vs threaded answer diverged ({})",
+            o.name
+        );
+        assert!(
+            o.summary.hedges_fired >= 1,
+            "query {} never hedged off the dead primary",
+            o.name
+        );
+    }
+    // The serving claim, asserted on the deterministic virtual clock:
+    // the warm queries hedge ~20× sooner, so the shared fleet's total
+    // makespan beats cold-catalog-per-query.
+    assert!(
+        shared.makespan_us < cold_makespan_us,
+        "shared-catalog serving ({} us) must beat cold-per-query ({cold_makespan_us} us)",
+        shared.makespan_us
+    );
+    assert!(
+        shared.outcomes[0].latency_us > shared.outcomes[QUERIES - 1].latency_us,
+        "the warm queries must be faster than the cold first query"
+    );
+    assert!(
+        shared_server.learning().len() >= 3,
+        "the learning store must have published profiles"
+    );
+
+    // Goldens: per-query answers + the fleet's decision counts.
+    let mut out = String::new();
+    let mut ok = true;
+    for o in &shared.outcomes {
+        ok &= diff_golden(&format!("serve-{}", o.name), &o.rows, &mut out);
+    }
+    ok &= diff_trace_summary_named(
+        "trace-summary-serve.txt",
+        &shared.fleet_summary().decision_counts(),
+        &mut out,
+    );
+
+    out.push('\n');
+    out.push_str(&shared.render());
+    out.push_str(&format!(
+        "cold-per-query total makespan: {} us — shared catalog is {:.2}× faster\n",
+        cold_makespan_us,
+        cold_makespan_us as f64 / shared.makespan_us.max(1) as f64
+    ));
+    out.push_str(&threaded.render());
+
+    // True-parallel claim: one admission wave of all N queries at once,
+    // racing on threads. Only meaningful with real cores to grant.
+    let budget = shared_server.arbiter().budget();
+    if budget > 1 {
+        eprintln!("[serve] concurrent wave of {QUERIES} (threaded, wall clock)");
+        let start = Instant::now();
+        let concurrent = Server::new(server_config())
+            .serve(
+                &[waves(&names).into_iter().flatten().collect()],
+                ServeMode::Threaded,
+            )
+            .expect("concurrent threaded serve");
+        let real_s = start.elapsed().as_secs_f64();
+        for (i, o) in concurrent.outcomes.iter().enumerate() {
+            assert_eq!(
+                o.rows, shared.outcomes[i].rows,
+                "concurrent-wave answer diverged ({})",
+                o.name
+            );
+        }
+        out.push_str(&format!(
+            "concurrent wave of {QUERIES}: makespan {} us ({real_s:.2} real s) across {budget} cores\n",
+            concurrent.makespan_us
+        ));
+    } else {
+        out.push_str(&format!(
+            "concurrent wave of {QUERIES}: skipped (1 core) — no parallel win can exist here\n"
+        ));
+    }
+    (out, ok)
 }
 
 /// Ablations over the design choices DESIGN.md calls out: the value of

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tukwila_datagen::{queries, Dataset, DatasetConfig, TableId};
-use tukwila_federation::{FederatedCatalog, FederationConfig};
+use tukwila_federation::{DeclaredRate, FederatedCatalog, FederationConfig};
 use tukwila_optimizer::LogicalQuery;
 use tukwila_source::{DelayModel, DelayedSource, MemSource, Source};
 use tukwila_stats::{Clock, TraceSink};
@@ -371,6 +371,67 @@ pub fn slow_customer_mirror_sources_traced(
         }
     }
     sources
+}
+
+/// Catalog builder for the serving scenario: every relation of `q` is
+/// served by a *dead* primary (connected, never delivers — the worst
+/// case for per-query cold-start patience), a slow declared standby,
+/// and a fast declared standby. A cold query must wait out the full
+/// `min_stall_us` before its first hedge fires; a server whose learning
+/// store knows the primary is dead hedges at the `warm_stall_us` floor
+/// instead. The declared standby rates make the gate's choice (the fast
+/// standby) identical whether or not learning is present, so serving
+/// changes *when* the fleet hedges, never *what* it answers.
+///
+/// Takes the [`FederationConfig`] as a parameter (rather than building
+/// it) because in serving mode the [`tukwila_serve::Server`] owns the
+/// config — it injects the learning store, fair core share, and trace
+/// journal at admission.
+pub fn serve_degraded_catalog(
+    d: &Dataset,
+    q: &LogicalQuery,
+    fed: FederationConfig,
+) -> tukwila_relation::Result<FederatedCatalog> {
+    let dead = DelayModel::Bandwidth {
+        bytes_per_sec: 1e-3,
+        initial_latency_us: u32::MAX as u64,
+    };
+    let slow = DelayModel::Bandwidth {
+        bytes_per_sec: 50_000.0,
+        initial_latency_us: 2_000,
+    };
+    let fast = DelayModel::Bandwidth {
+        bytes_per_sec: 200_000.0,
+        initial_latency_us: 1_000,
+    };
+    let mut catalog = FederatedCatalog::new(fed);
+    for t in queries::tables_of(q) {
+        // Connect-on-demand mirrors: each link's delivery clock starts
+        // at first poll, so *when* a hedge wakes the fast standby moves
+        // the query's completion time — the serving win under test.
+        let src = |suffix: &str, model: &DelayModel| {
+            Box::new(
+                DelayedSource::new(
+                    t.rel_id(),
+                    format!("{}-{suffix}", t.name()),
+                    Dataset::schema(t),
+                    d.table(t).to_vec(),
+                    model,
+                )
+                .anchored(),
+            ) as Box<dyn Source>
+        };
+        catalog.register(t.key_cols(), src("dead", &dead))?;
+        catalog.register(
+            t.key_cols(),
+            Box::new(DeclaredRate::new(src("slow", &slow), 50.0)),
+        )?;
+        catalog.register(
+            t.key_cols(),
+            Box::new(DeclaredRate::new(src("fast", &fast), 100_000.0)),
+        )?;
+    }
+    Ok(catalog)
 }
 
 /// True per-relation cardinalities ("Given cardinalities" mode).

@@ -130,6 +130,24 @@ impl Default for CorrectiveConfig {
     }
 }
 
+impl CorrectiveConfig {
+    /// Run this query under a granted slice of a shared core budget: pins
+    /// the fragmentation pass to plan at most `cores` pipeline fragments
+    /// (instead of sizing to `available_parallelism`, which a multi-query
+    /// server would over-subscribe N times) and charges the producer
+    /// threads against `lease` so the arbiter's fleet accounting sees
+    /// them. Enables fragmentation with [`FragmentationConfig::default`]
+    /// when the config had none; an existing fragmentation config keeps
+    /// its other knobs and only has `cores` overridden.
+    pub fn with_core_grant(mut self, lease: tukwila_stats::QueryLease, cores: usize) -> Self {
+        let mut frag = self.fragments.take().unwrap_or_default();
+        frag.cores = Some(cores.max(1));
+        self.fragments = Some(frag);
+        self.fragment_options.lease = Some(lease);
+        self
+    }
+}
+
 /// Per-phase record for reporting (Table 1/2).
 #[derive(Debug, Clone)]
 pub struct PhaseInfo {

@@ -93,6 +93,15 @@ pub struct FragmentOptions {
     /// backpressure; the quiesce protocol journals its park/drain/seal
     /// sub-steps. Disabled (free) by default.
     pub trace: TraceSink,
+    /// Core lease this run charges its producer threads against, when the
+    /// query runs under a [`tukwila_stats::CoreArbiter`] shared with other
+    /// queries. Spawning never blocks on the arbiter — correctness needs
+    /// the threads — so the run `try_acquire`s its producer count (taking
+    /// whatever is free, possibly zero) and returns those cores when the
+    /// threads are joined. The *planning* side of the budget lives in the
+    /// optimizer's fragmentation config (`cores`), which callers should
+    /// pin to their fair share so over-subscription stays bounded.
+    pub lease: Option<tukwila_stats::QueryLease>,
 }
 
 impl Default for FragmentOptions {
@@ -102,6 +111,7 @@ impl Default for FragmentOptions {
             poll_tick_us: 200,
             quiesce_timeout_us: 5_000_000,
             trace: TraceSink::disabled(),
+            lease: None,
         }
     }
 }
@@ -1127,6 +1137,10 @@ pub struct ThreadedFragmentRun {
     obs_templates: Vec<NodeObservation>,
     clock: Arc<dyn Clock>,
     opts: FragmentOptions,
+    /// Cores actually granted by `opts.lease` for the producer threads
+    /// (zero without a lease, or when the arbiter had nothing free).
+    /// Returned in `join_all`, the single teardown point.
+    lease_granted: usize,
     joined: bool,
 }
 
@@ -1278,6 +1292,17 @@ impl ThreadedFragmentRun {
             }
         }
 
+        // Charge the producer threads against the query's core lease only
+        // once every spawn succeeded (the error path above has nothing to
+        // return). Non-blocking: a zero grant means the fleet is saturated
+        // and these threads time-share — the planner bounded their count
+        // via the fragmentation config's core budget, so this is pressure
+        // accounting, not a correctness gate.
+        let lease_granted = opts
+            .lease
+            .as_ref()
+            .map_or(0, |lease| lease.try_acquire(producers.len()));
+
         Ok((
             ThreadedFragmentRun {
                 producers,
@@ -1287,6 +1312,7 @@ impl ThreadedFragmentRun {
                 obs_templates,
                 clock,
                 opts: opts.clone(),
+                lease_granted,
                 joined: false,
             },
             root_sources,
@@ -1493,6 +1519,9 @@ impl ThreadedFragmentRun {
             }
         }
         yields.sort_by_key(|y| y.frag_index);
+        if let Some(lease) = &self.opts.lease {
+            lease.release(std::mem::take(&mut self.lease_granted));
+        }
         (yields, panic_payload)
     }
 }
@@ -1738,6 +1767,36 @@ mod tests {
             )
             .unwrap();
         assert_eq!(keys(&frag_out), keys(&single_out));
+    }
+
+    #[test]
+    fn threaded_fragments_charge_and_return_their_core_lease() {
+        let arbiter = tukwila_stats::CoreArbiter::new(4);
+        let lease = arbiter.lease();
+        let clock = Arc::new(WallClock::accelerated(100.0));
+        let driver = SimDriver::new(16, CpuCostModel::Measured).with_clock(clock);
+        let opts = FragmentOptions {
+            lease: Some(lease.clone()),
+            ..Default::default()
+        };
+        let (out, _) = driver
+            .run_fragments(two_fragment_plan(), mem_sources(), &opts)
+            .unwrap();
+        assert_eq!(out.len(), 40);
+        // The run's one producer thread was charged while live and
+        // returned at seal — nothing is still held afterwards.
+        assert_eq!(lease.held(), 0, "seal returned the granted cores");
+        assert_eq!(arbiter.granted(), 0);
+        // A saturated arbiter grants nothing, and the run still works:
+        // the lease is pressure accounting, never a correctness gate.
+        let greedy = arbiter.lease();
+        assert_eq!(greedy.try_acquire(4), 4);
+        let (out2, _) = driver
+            .run_fragments(two_fragment_plan(), mem_sources(), &opts)
+            .unwrap();
+        assert_eq!(out2.len(), 40);
+        assert_eq!(lease.held(), 0);
+        assert_eq!(arbiter.granted(), 4, "only the greedy lease holds cores");
     }
 
     #[test]

@@ -59,6 +59,32 @@ pub struct FederationConfig {
     /// activation, and backpressure tally is recorded here. The default
     /// [`TraceSink::disabled`] records nothing at the cost of a branch.
     pub trace: TraceSink,
+    /// Cross-query learning store (serving mode). When set, every
+    /// adapter built from the catalog snapshots the store's
+    /// [`crate::learning::LearnedProfile`]s at construction — learned
+    /// rates replace the prior in hedge pricing, and candidates past
+    /// queries saw stall without delivering get the
+    /// [`FederationConfig::warm_stall_us`] floor — and publishes its own
+    /// observations back exactly once, at union completion. `None`
+    /// (default) is the single-query behavior: learn from scratch,
+    /// publish nowhere.
+    pub learning: Option<crate::learning::SharedLearning>,
+    /// Warm stall floor (timeline µs) for candidates the learning store
+    /// knows as dead (stalled in past queries, never delivered). `None`
+    /// (default) keeps the conservative [`FederationConfig::min_stall_us`]
+    /// even for known-dead candidates. Only ever applied *before* a
+    /// candidate's own gap evidence exists — and never to candidates
+    /// with learned healthy rates, so real-time jitter on a live mirror
+    /// cannot read as a stall.
+    pub warm_stall_us: Option<u64>,
+    /// Threaded mode: core budget for the hedge gate's busy-core waste
+    /// term. `None` (default) reads the host's
+    /// `available_parallelism` — correct when the query is alone.
+    /// A serving front end sets this to the admitted query's fair share
+    /// of the global [`tukwila_stats::CoreArbiter`] budget, fixed at
+    /// admission so hedge decisions stay a pure function of the
+    /// timeline.
+    pub core_budget: Option<usize>,
 }
 
 impl Default for FederationConfig {
@@ -73,6 +99,9 @@ impl Default for FederationConfig {
             producer_batch: 256,
             poll_tick_us: 500,
             trace: TraceSink::disabled(),
+            learning: None,
+            warm_stall_us: None,
+            core_budget: None,
         }
     }
 }

@@ -259,13 +259,26 @@ impl ConcurrentFederatedSource {
                 .map(|c| c.descriptor().declared_rate_tuples_per_sec)
                 .collect(),
         );
-        // Threaded mode: the hedge gate's busy-core waste term knows the
-        // real host parallelism.
-        scheduler.set_core_budget(std::thread::available_parallelism().map_or(1, |n| n.get()));
+        // Threaded mode: the hedge gate's busy-core waste term. A lone
+        // query owns the host; under a serving front end the config
+        // carries the query's fair share of the global core-arbiter
+        // budget instead (fixed at admission, so decisions stay a pure
+        // function of the timeline).
+        scheduler.set_core_budget(
+            config
+                .core_budget
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        );
         scheduler.set_identity(
             name.clone(),
             candidates.iter().map(|c| c.name().to_string()).collect(),
         );
+        // Serving mode: snapshot the cross-query learning store at
+        // admission (see the sequential adapter; identical contract).
+        if let Some(store) = config.learning.clone() {
+            let names: Vec<String> = candidates.iter().map(|c| c.name().to_string()).collect();
+            scheduler.seed_learned(store.snapshot(&names));
+        }
         let mut lanes: Vec<Lane> = Vec::with_capacity(candidates.len());
         for (idx, source) in candidates.into_iter().enumerate() {
             let descriptor = source.descriptor();
@@ -371,6 +384,10 @@ impl ConcurrentFederatedSource {
     fn complete(&mut self) {
         if !self.done {
             self.trace_completion();
+            // Publication rides the same exactly-once edge (an abandoned
+            // run publishes what it saw on drop — partial evidence beats
+            // none, and the scheduler's flag keeps it single-shot).
+            self.scheduler.publish_learning();
         }
         self.done = true;
         for lane in &mut self.lanes {

@@ -238,6 +238,13 @@ impl FederatedSource {
             name.clone(),
             candidates.iter().map(|c| c.name().to_string()).collect(),
         );
+        // Serving mode: snapshot the cross-query learning store at
+        // admission. The seed is immutable for the run; observations
+        // flow back exactly once, at union completion.
+        if let Some(store) = scheduler.config().learning.clone() {
+            let names: Vec<String> = candidates.iter().map(|c| c.name().to_string()).collect();
+            scheduler.seed_learned(store.snapshot(&names));
+        }
         Ok(FederatedSource {
             rel_id,
             name,
@@ -350,6 +357,7 @@ impl Source for FederatedSource {
                 }
                 self.done = true;
                 self.trace_completion(now_us);
+                self.scheduler.publish_learning();
                 return Poll::Eof;
             }
             for idx in order {
@@ -384,6 +392,7 @@ impl Source for FederatedSource {
                             // union is complete.
                             self.done = true;
                             self.trace_completion(now_us);
+                            self.scheduler.publish_learning();
                             return Poll::Eof;
                         }
                         continue 'sweep;

@@ -1,0 +1,211 @@
+//! Cross-query source learning: the shared profile store behind a
+//! serving catalog.
+//!
+//! A single query learns each candidate's behavior from scratch — the
+//! first stall of a dead mirror costs the full conservative
+//! `min_stall_us` wait, and a standby's worth is guessed from declared
+//! rates or the configured prior. A serving front end admitting many
+//! queries over the same catalog can do better: what query *k* observed
+//! about a candidate (its delivery rate, its stalls) immediately
+//! reprices hedging for query *k+1*. [`SharedLearning`] is that store:
+//! a cheap-clone handle over per-candidate [`LearnedProfile`]s, keyed by
+//! candidate name.
+//!
+//! ## The determinism contract
+//!
+//! Learning must never change answers, and serving runs must stay
+//! dual-clock reproducible. Both hold because the store is only touched
+//! at two well-defined instants:
+//!
+//! * **Snapshot at admission** — a federated adapter reads the store
+//!   once, at construction, into the scheduler's immutable seeded state
+//!   ([`crate::PermutationScheduler::seed_learned`]). Decisions remain a
+//!   pure function of (timeline, seeded state): two runs admitted
+//!   against the same snapshot decide identically under any clock.
+//! * **Publish at completion** — the adapter merges its observed
+//!   profiles back exactly once, when its union completes (or the
+//!   adapter is dropped). Queries admitted *concurrently* therefore
+//!   never see each other's in-flight observations; learning flows only
+//!   across admission waves, which is an ordering the serving front end
+//!   controls deterministically.
+//!
+//! What the seeded state changes is *pricing and patience*, never
+//! content: a learned rate replaces the prior in the hedge gate's
+//! break-even inequality, and a candidate that previous queries saw
+//! stall without ever delivering ("learned dead") may be given a shorter
+//! warm stall floor ([`crate::FederationConfig::warm_stall_us`]) so the
+//! next query stops waiting out the full cold-start threshold. The
+//! key-dedup union delivers the same tuples regardless of which mirror
+//! serves them — the property the cross-query proptest pins.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::profile::BehaviorProfile;
+
+/// What past queries learned about one candidate source, aggregated
+/// across publications. All values are in timeline units of the runs
+/// that published them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LearnedProfile {
+    /// Last observed delivery rate (tuples per timeline second); `None`
+    /// when no publishing query ever saw a rate window (e.g. the
+    /// candidate never delivered two batches).
+    pub rate_tuples_per_sec: Option<f64>,
+    /// Stalls charged to this candidate across all publications.
+    pub stalls: u64,
+    /// Raw tuples delivered across all publications.
+    pub delivered: u64,
+    /// Queries that published observations of this candidate (only
+    /// activated candidates publish — a parked standby learned nothing).
+    pub queries: u64,
+}
+
+impl LearnedProfile {
+    /// Whether past queries know this candidate as dead weight: it
+    /// stalled and never established a delivery rate. The warm stall
+    /// floor applies only to such candidates — a learned *healthy* rate
+    /// keeps the conservative cold floor, because tightening the
+    /// patience of a live source would read ordinary jitter as a stall
+    /// (and wall-clock runs would diverge from virtual ones).
+    pub fn known_dead(&self) -> bool {
+        self.stalls > 0 && self.rate_tuples_per_sec.is_none()
+    }
+
+    /// Merge one completed query's observations of this candidate.
+    fn absorb(&mut self, p: &BehaviorProfile) {
+        if let Some(rate) = p.rate.rate_tuples_per_sec() {
+            // Latest observation wins: source behavior drifts, and the
+            // most recent query saw the current reality.
+            self.rate_tuples_per_sec = Some(rate);
+        }
+        self.stalls += p.stalls;
+        self.delivered += p.delivered;
+        self.queries += 1;
+    }
+}
+
+/// The shared cross-query profile store. Clones are cheap handles on
+/// one underlying map; a [`crate::FederatedCatalog`] carrying one in its
+/// [`crate::FederationConfig::learning`] seeds every adapter it builds
+/// from the store and publishes their observations back at completion.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLearning {
+    profiles: Arc<Mutex<HashMap<String, LearnedProfile>>>,
+}
+
+impl SharedLearning {
+    /// An empty store.
+    pub fn new() -> SharedLearning {
+        SharedLearning::default()
+    }
+
+    /// Snapshot the learned profile of one candidate by name, or `None`
+    /// if no query has published observations of it.
+    pub fn lookup(&self, candidate: &str) -> Option<LearnedProfile> {
+        self.lock().get(candidate).cloned()
+    }
+
+    /// Snapshot the learned profiles for a whole candidate set, in the
+    /// caller's (registration) order — the admission-time read.
+    pub fn snapshot(&self, candidates: &[String]) -> Vec<Option<LearnedProfile>> {
+        let map = self.lock();
+        candidates.iter().map(|c| map.get(c).cloned()).collect()
+    }
+
+    /// Merge one completed query's observation of `candidate` into the
+    /// store. Unactivated candidates (standbys that never raced) carry
+    /// no evidence and are skipped by the adapters.
+    pub fn publish(&self, candidate: &str, profile: &BehaviorProfile) {
+        self.lock()
+            .entry(candidate.to_string())
+            .or_default()
+            .absorb(profile);
+    }
+
+    /// Candidates with published observations (diagnostics / fleet
+    /// reporting).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no query has published anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, LearnedProfile>> {
+        self.profiles.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(rate_events: &[(u64, u64)], stalls: u64) -> BehaviorProfile {
+        let mut p = BehaviorProfile::new();
+        p.activate(0);
+        for &(t, n) in rate_events {
+            p.observe_batch(t, n, n);
+        }
+        p.stalls = stalls;
+        p
+    }
+
+    #[test]
+    fn publish_then_lookup_roundtrips() {
+        let store = SharedLearning::new();
+        assert!(store.is_empty());
+        assert_eq!(store.lookup("m0"), None);
+        // 100 tuples per 1000 µs => ~100k tuples/s.
+        let p = profile_with(&[(1_000, 100), (2_000, 100), (3_000, 100)], 0);
+        store.publish("m0", &p);
+        let learned = store.lookup("m0").unwrap();
+        assert_eq!(learned.queries, 1);
+        assert_eq!(learned.delivered, 300);
+        assert!(learned.rate_tuples_per_sec.unwrap() > 50_000.0);
+        assert!(!learned.known_dead());
+    }
+
+    #[test]
+    fn stalled_never_delivering_candidate_is_known_dead() {
+        let store = SharedLearning::new();
+        let mut dead = BehaviorProfile::new();
+        dead.activate(0);
+        dead.stalls = 1;
+        store.publish("dead-mirror", &dead);
+        assert!(store.lookup("dead-mirror").unwrap().known_dead());
+        // A later query that saw it deliver clears the verdict.
+        store.publish("dead-mirror", &profile_with(&[(1_000, 10), (2_000, 10)], 0));
+        let l = store.lookup("dead-mirror").unwrap();
+        assert!(!l.known_dead());
+        assert_eq!(l.stalls, 1, "stall history is kept");
+        assert_eq!(l.queries, 2);
+    }
+
+    #[test]
+    fn latest_rate_wins_and_snapshot_preserves_order() {
+        let store = SharedLearning::new();
+        store.publish("m", &profile_with(&[(1_000, 10), (2_000, 10)], 0));
+        let first = store.lookup("m").unwrap().rate_tuples_per_sec.unwrap();
+        store.publish("m", &profile_with(&[(10_000, 10), (110_000, 10)], 0));
+        let second = store.lookup("m").unwrap().rate_tuples_per_sec.unwrap();
+        assert!(second < first, "latest (slower) observation replaces");
+        let snap = store.snapshot(&["zzz".into(), "m".into()]);
+        assert_eq!(snap[0], None);
+        assert_eq!(
+            snap[1].as_ref().unwrap().rate_tuples_per_sec,
+            Some(second),
+            "snapshot order follows the caller's candidate order"
+        );
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let a = SharedLearning::new();
+        let b = a.clone();
+        a.publish("m", &profile_with(&[(1_000, 5), (2_000, 5)], 0));
+        assert_eq!(b.len(), 1, "clone sees the publication");
+    }
+}

@@ -54,11 +54,13 @@
 pub mod catalog;
 pub mod concurrent;
 pub mod federated;
+pub mod learning;
 pub mod profile;
 pub mod scheduler;
 
 pub use catalog::{DeclaredRate, FederatedCatalog, FederationConfig, PartialReplica};
 pub use concurrent::ConcurrentFederatedSource;
 pub use federated::{CandidateReport, FederatedSource, FederationReport};
+pub use learning::{LearnedProfile, SharedLearning};
 pub use profile::BehaviorProfile;
 pub use scheduler::PermutationScheduler;

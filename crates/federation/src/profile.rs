@@ -12,6 +12,7 @@
 use tukwila_stats::{ArrivalSchedule, RateEstimator};
 
 use crate::catalog::FederationConfig;
+use crate::learning::LearnedProfile;
 
 /// Online profile of one candidate source. All timestamps are timeline
 /// µs from whichever [`tukwila_stats::Clock`] drives the run — the
@@ -42,6 +43,12 @@ pub struct BehaviorProfile {
     /// Whether the current silence has already been counted as a stall
     /// (reset on every arrival, so one silence = one stall).
     stall_flagged: bool,
+    /// What past queries learned about this candidate (serving mode),
+    /// snapshotted at adapter construction. Immutable for the run: the
+    /// profile's own observations always take precedence, the seed only
+    /// fills the cold-start gaps (see
+    /// [`BehaviorProfile::stall_deadline_us`]).
+    learned: Option<LearnedProfile>,
 }
 
 impl BehaviorProfile {
@@ -56,7 +63,21 @@ impl BehaviorProfile {
             activated_at_us: None,
             resumed_at_us: None,
             stall_flagged: false,
+            learned: None,
         }
+    }
+
+    /// Seed this profile with what past queries learned about its
+    /// candidate (cross-query serving). Call before the run starts; the
+    /// seed never changes mid-run, so every decision derived from it is
+    /// still a pure function of the timeline.
+    pub fn seed_learned(&mut self, learned: Option<LearnedProfile>) {
+        self.learned = learned;
+    }
+
+    /// The cross-query seed, if any.
+    pub fn learned(&self) -> Option<&LearnedProfile> {
+        self.learned.as_ref()
     }
 
     /// Mark the candidate activated at `now_us` (idempotent).
@@ -112,14 +133,27 @@ impl BehaviorProfile {
             .map(|last| now_us.saturating_sub(last))
     }
 
-    /// Timeline instant after which the current silence counts as a stall.
+    /// Timeline instant after which the current silence counts as a
+    /// stall.
+    ///
+    /// The floor is normally [`FederationConfig::min_stall_us`]. In
+    /// serving mode a tighter [`FederationConfig::warm_stall_us`] floor
+    /// applies when the learning seed knows the candidate as dead
+    /// (stalled in past queries, never delivered) *and* this run has no
+    /// gap evidence of its own yet — the cross-query cure for the
+    /// cold-start stall wait. Own evidence always wins: once the
+    /// candidate delivers, its observed gap distribution sets the
+    /// threshold exactly as in single-query mode, and learned *healthy*
+    /// candidates keep the conservative floor throughout (tight patience
+    /// on a live mirror would let real-time jitter read as a stall and
+    /// split the dual-clock decision sequences).
     pub fn stall_deadline_us(&self, config: &FederationConfig) -> Option<u64> {
         let last = self.last_activity_us()?;
-        Some(
-            last + self
-                .rate
-                .stall_threshold_us(config.stall_sigma, config.min_stall_us),
-        )
+        let floor = match (config.warm_stall_us, &self.learned) {
+            (Some(warm), Some(l)) if l.known_dead() && self.rate.ewma_gap_us().is_none() => warm,
+            _ => config.min_stall_us,
+        };
+        Some(last + self.rate.stall_threshold_us(config.stall_sigma, floor))
     }
 
     /// Whether the current silence has been latched as a stall (cleared
@@ -184,6 +218,7 @@ impl Default for BehaviorProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::learning::LearnedProfile;
 
     fn cfg() -> FederationConfig {
         FederationConfig::default()
@@ -258,6 +293,62 @@ mod tests {
         let mut standby = BehaviorProfile::new();
         standby.note_resume(1_000);
         assert_eq!(standby.stall_deadline_us(&cfg()), None);
+    }
+
+    #[test]
+    fn warm_floor_applies_only_to_known_dead_without_own_evidence() {
+        let warm_cfg = FederationConfig {
+            warm_stall_us: Some(1_000),
+            ..FederationConfig::default()
+        };
+        let dead_seed = Some(LearnedProfile {
+            rate_tuples_per_sec: None,
+            stalls: 2,
+            delivered: 0,
+            queries: 2,
+        });
+        // Known-dead, no own evidence: the warm floor replaces the cold
+        // min_stall_us.
+        let mut p = BehaviorProfile::new();
+        p.seed_learned(dead_seed.clone());
+        p.activate(0);
+        assert_eq!(p.stall_deadline_us(&warm_cfg), Some(1_000));
+        // Without warm_stall_us configured the seed changes nothing.
+        assert_eq!(
+            p.stall_deadline_us(&FederationConfig::default()),
+            Some(FederationConfig::default().min_stall_us)
+        );
+        // A learned *healthy* candidate keeps the conservative floor.
+        let mut healthy = BehaviorProfile::new();
+        healthy.seed_learned(Some(LearnedProfile {
+            rate_tuples_per_sec: Some(50_000.0),
+            stalls: 0,
+            delivered: 1_000,
+            queries: 1,
+        }));
+        healthy.activate(0);
+        assert_eq!(
+            healthy.stall_deadline_us(&warm_cfg),
+            Some(warm_cfg.min_stall_us)
+        );
+        // Own gap evidence overrides the seed entirely.
+        let mut recovered = BehaviorProfile::new();
+        recovered.seed_learned(dead_seed);
+        recovered.activate(0);
+        recovered.observe_batch(100, 10, 10);
+        recovered.observe_batch(200, 10, 10);
+        let own = recovered.stall_deadline_us(&warm_cfg).unwrap();
+        assert!(
+            own >= 200 + warm_cfg.min_stall_us.min(own),
+            "own evidence sets the threshold"
+        );
+        assert_eq!(
+            own,
+            200 + recovered
+                .rate
+                .stall_threshold_us(warm_cfg.stall_sigma, warm_cfg.min_stall_us),
+            "with gap evidence the cold floor is back"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ use tukwila_stats::trace::{CandidateScore, TraceEvent};
 use tukwila_stats::{DeliveryModel, RaceContext, RaceDecision};
 
 use crate::catalog::FederationConfig;
+use crate::learning::LearnedProfile;
 use crate::profile::BehaviorProfile;
 
 /// Scheduler state for one federated relation.
@@ -86,6 +87,15 @@ pub struct PermutationScheduler {
     /// The hedge gate scores *every* parked standby with these, so the
     /// best payer is woken regardless of registration order.
     declared_rates: Vec<Option<f64>>,
+    /// Rates past queries observed per candidate (registration order),
+    /// snapshotted from the cross-query learning store at construction.
+    /// Hedge pricing falls back `declared → learned → prior`: an
+    /// operator's declaration is authoritative, but absent one, what a
+    /// previous query measured beats a blanket prior.
+    learned_rates: Vec<Option<f64>>,
+    /// Whether this run's observations were already merged back into
+    /// the learning store (publication is exactly-once).
+    published: bool,
     /// Queue-backpressure totals per candidate (threaded mode; stays 0
     /// in sequential mode, which has no queues).
     blocked_sends: Vec<u64>,
@@ -112,6 +122,8 @@ impl PermutationScheduler {
             skipped_covered: 0,
             coverage: vec![None; candidates],
             declared_rates: vec![None; candidates],
+            learned_rates: vec![None; candidates],
+            published: false,
             blocked_sends: vec![0; candidates],
             cores: None,
             relation_name: String::new(),
@@ -139,6 +151,45 @@ impl PermutationScheduler {
     pub fn set_declared_rates(&mut self, rates: Vec<Option<f64>>) {
         assert_eq!(rates.len(), self.profiles.len());
         self.declared_rates = rates;
+    }
+
+    /// Seed per-candidate cross-query learning (registration order): the
+    /// admission-time snapshot of the shared store. Learned rates slot
+    /// into hedge pricing between the declared rates and the prior, and
+    /// the profiles use the seeds for the warm stall floor (see
+    /// [`crate::profile::BehaviorProfile::stall_deadline_us`]). The seed
+    /// is immutable for the run — decisions stay a pure function of
+    /// (timeline, seed), which is what keeps serving runs dual-clock
+    /// reproducible.
+    pub fn seed_learned(&mut self, learned: Vec<Option<LearnedProfile>>) {
+        assert_eq!(learned.len(), self.profiles.len());
+        self.learned_rates = learned
+            .iter()
+            .map(|l| l.as_ref().and_then(|l| l.rate_tuples_per_sec))
+            .collect();
+        for (p, l) in self.profiles.iter_mut().zip(learned) {
+            p.seed_learned(l);
+        }
+    }
+
+    /// Merge this run's observations back into the configured learning
+    /// store (no-op without one). Only activated candidates publish — a
+    /// parked standby taught us nothing. Exactly-once: the adapters call
+    /// this at union completion *and* from teardown paths, and only the
+    /// first call publishes.
+    pub fn publish_learning(&mut self) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        let Some(store) = self.config.learning.clone() else {
+            return;
+        };
+        for (idx, p) in self.profiles.iter().enumerate() {
+            if p.is_active() {
+                store.publish(&self.candidate_label(idx), p);
+            }
+        }
     }
 
     /// Name the relation and its candidates (registration order) for the
@@ -417,12 +468,13 @@ impl PermutationScheduler {
         let mut best: Option<(f64, f64, usize, RaceDecision)> = None;
         for &idx in standbys {
             let declared = self.declared_rates[idx].filter(|r| *r > 0.0);
-            let rate_key = declared.or(prior).unwrap_or(0.0);
+            let learned = self.learned_rates[idx].filter(|r| *r > 0.0);
+            let rate_key = declared.or(learned).or(prior).unwrap_or(0.0);
             let decision = model.race(&RaceContext {
                 healthy,
                 delivered: delivered as f64,
                 remaining,
-                standby_rate_tps: declared.or(prior),
+                standby_rate_tps: declared.or(learned).or(prior),
                 blocked_sends: self.blocked_sends.iter().sum(),
                 racing,
                 cores: self.cores,
@@ -467,9 +519,15 @@ impl PermutationScheduler {
     pub fn activate_standby(&mut self, now_us: u64) -> Option<usize> {
         let standbys = self.activatable_standbys();
         let best = standbys.into_iter().max_by(|&a, &b| {
+            // Same `declared → learned` precedence as hedge pricing (the
+            // prior is a constant here, so it cannot reorder anything).
             let (ra, rb) = (
-                self.declared_rates[a].unwrap_or(0.0),
-                self.declared_rates[b].unwrap_or(0.0),
+                self.declared_rates[a]
+                    .or(self.learned_rates[a])
+                    .unwrap_or(0.0),
+                self.declared_rates[b]
+                    .or(self.learned_rates[b])
+                    .unwrap_or(0.0),
             );
             ra.partial_cmp(&rb)
                 .unwrap_or(std::cmp::Ordering::Equal)

@@ -90,6 +90,11 @@ pub struct DelayedSource {
     arrivals: Vec<u64>,
     pos: usize,
     advertise_total: bool,
+    /// Offset the schedule by the first poll's timestamp (connect-on-
+    /// demand semantics); `None` anchors at timeline zero (broadcast
+    /// semantics, the default).
+    anchor_at_first_poll: bool,
+    anchor_us: Option<u64>,
 }
 
 impl DelayedSource {
@@ -109,6 +114,8 @@ impl DelayedSource {
             arrivals,
             pos: 0,
             advertise_total: false,
+            anchor_at_first_poll: false,
+            anchor_us: None,
         }
     }
 
@@ -117,7 +124,22 @@ impl DelayedSource {
         self
     }
 
-    /// Virtual time at which the last tuple arrives.
+    /// Anchor the delivery schedule at the *first poll* instead of
+    /// timeline zero — connect-on-demand semantics: the link's initial
+    /// latency and bandwidth clock start when the consumer first asks,
+    /// the way a standby mirror starts streaming only once a hedge wakes
+    /// it. The default (unanchored) schedule models a broadcast-style
+    /// feed whose tuples arrive at fixed absolute instants whether or
+    /// not anyone is listening — under that model, *when* a standby is
+    /// woken cannot change *when* its last tuple exists, so failover
+    /// timing is invisible in completion times.
+    pub fn anchored(mut self) -> Self {
+        self.anchor_at_first_poll = true;
+        self
+    }
+
+    /// Virtual time at which the last tuple arrives (relative to the
+    /// anchor when [`DelayedSource::anchored`]).
     pub fn completion_time_us(&self) -> u64 {
         self.arrivals.last().copied().unwrap_or(0)
     }
@@ -140,14 +162,19 @@ impl Source for DelayedSource {
         if self.pos >= self.tuples.len() {
             return Poll::Eof;
         }
-        if self.arrivals[self.pos] > now_us {
+        let offset = if self.anchor_at_first_poll {
+            *self.anchor_us.get_or_insert(now_us)
+        } else {
+            0
+        };
+        if self.arrivals[self.pos] + offset > now_us {
             return Poll::Pending {
-                next_ready_us: self.arrivals[self.pos],
+                next_ready_us: self.arrivals[self.pos] + offset,
             };
         }
         let mut end = self.pos;
         let cap = (self.pos + max_tuples).min(self.tuples.len());
-        while end < cap && self.arrivals[end] <= now_us {
+        while end < cap && self.arrivals[end] + offset <= now_us {
             end += 1;
         }
         let batch = self.tuples[self.pos..end].to_vec();

@@ -36,6 +36,7 @@
 //!   logic runs deterministically in tests and on real threads in
 //!   production.
 
+pub mod arbiter;
 pub mod clock;
 pub mod counters;
 pub mod estimate;
@@ -46,6 +47,7 @@ pub mod schedule;
 pub mod selectivity;
 pub mod trace;
 
+pub use arbiter::{CoreArbiter, QueryLease};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use counters::OpCounters;
 pub use histogram::DynamicHistogram;

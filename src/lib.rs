@@ -48,9 +48,14 @@ pub use tukwila_federation as federation;
 pub use tukwila_optimizer as optimizer;
 /// Tuples, schemas, expressions, mergeable aggregates.
 pub use tukwila_relation as relation;
+/// Multi-query serving front end: shared learning catalog, global core
+/// arbiter, fleet metrics.
+pub use tukwila_serve as serve;
 /// Simulated sequential sources under a virtual clock.
 pub use tukwila_source as source;
 /// Runtime statistics: selectivities, histograms, order detection.
 pub use tukwila_stats as stats;
 /// State structures and the state-structure registry.
 pub use tukwila_storage as storage;
+
+pub use tukwila_serve::{FleetReport, QueryOutcome, QuerySpec, ServeMode, Server, ServerConfig};
