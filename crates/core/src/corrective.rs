@@ -1195,6 +1195,12 @@ impl CorrectiveExec {
                 }
             };
             stitch = stitcher.run(&current_phys.root, &mut sink)?;
+            // A rehash during stitch-up means a state structure's
+            // advertised key didn't match the join key it was reused
+            // under — worth a journal line (zero is elided, so quiet
+            // runs don't grow).
+            cfg.trace
+                .counter("rehashes", "stitchup", stitch.join.rehashes as u64);
             let cost = match cfg.cpu {
                 CpuCostModel::Measured => {
                     timeline.measured_to_timeline(wall.elapsed().as_secs_f64() * 1e6)

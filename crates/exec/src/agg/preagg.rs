@@ -133,8 +133,10 @@ impl PreAggOp {
             return Ok(());
         }
         let mut groups: FxHashMap<GroupKey, Vec<AggState>> = FxHashMap::default();
-        for t in tuples {
-            let key = t.group_key(&self.spec.group_cols);
+        // One pass per key column over the window (column-at-a-time type
+        // dispatch) instead of a per-tuple group_key walk.
+        let keys = tukwila_relation::column::group_keys_rows(tuples, &self.spec.group_cols);
+        for (t, key) in tuples.iter().zip(keys) {
             let states = groups.entry(key).or_insert_with(|| {
                 self.spec
                     .aggs

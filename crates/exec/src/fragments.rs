@@ -102,6 +102,12 @@ pub struct FragmentOptions {
     /// optimizer's fragmentation config (`cores`), which callers should
     /// pin to their fair share so over-subscription stays bounded.
     pub lease: Option<tukwila_stats::QueryLease>,
+    /// Ship exchange batches (and the quiesce drain) as typed columns
+    /// instead of boxed rows — producers transpose at the batch boundary,
+    /// consumers receive whichever representation was shipped. Logically
+    /// invisible (answers and decisions are byte-identical either way);
+    /// default off so existing goldens measure the row path unchanged.
+    pub columnar_exchange: bool,
 }
 
 impl Default for FragmentOptions {
@@ -112,6 +118,7 @@ impl Default for FragmentOptions {
             quiesce_timeout_us: 5_000_000,
             trace: TraceSink::disabled(),
             lease: None,
+            columnar_exchange: false,
         }
     }
 }
@@ -1221,8 +1228,9 @@ impl ThreadedFragmentRun {
         let mut producers: Vec<ProducerSlot> = Vec::with_capacity(nfrag - 1);
         for (idx, frag) in fragments.into_iter().enumerate() {
             let ex = frag.output.expect("non-root fragments output an exchange");
-            let (writer, reader) =
+            let (mut writer, reader) =
                 queue_pair(frag.pipeline.root_schema().clone(), opts.queue_capacity);
+            writer.set_columnar(opts.columnar_exchange);
             let exchange_source = ExchangeSource::new(
                 ex,
                 frag.pipeline.root_schema().clone(),

@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use tukwila_relation::{Result, Tuple};
+use tukwila_relation::column::{hash_keys_into, key_elem_eq};
+use tukwila_relation::{ColumnarBatch, Result, Tuple};
+use tukwila_storage::fx::FxHashMap;
 use tukwila_storage::{StateStructure, TupleHashTable};
 
 /// Statistics from batch/stitch-up join primitives.
@@ -57,6 +59,75 @@ pub fn hash_join_slices(
         }
     }
     Ok(())
+}
+
+/// Hash join over two columnar batches: one vectorized hash pass per key
+/// column on each side, bucketed by hash with exact key verification, and
+/// output assembled by column gather instead of per-row `concat`.
+///
+/// Output rows (after [`ColumnarBatch::to_tuples`]) are identical to
+/// [`hash_join_slices`] over the corresponding row batches, in the same
+/// order: build on the smaller side, probe in row order, matches in build
+/// insertion order, orientation `left ++ right`.
+pub fn hash_join_columnar(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    left_key: usize,
+    right_key: usize,
+    stats: &mut BatchJoinStats,
+) -> Result<ColumnarBatch> {
+    // An empty side produces no pairs; bail out before touching key
+    // columns (a rowless batch converted from tuples has no columns at
+    // all, so the key index would be out of range).
+    if left.selected_rows() == 0 || right.selected_rows() == 0 {
+        return Ok(ColumnarBatch::empty(left.arity() + right.arity()));
+    }
+    // Physical row indices must equal logical order for the gather below.
+    let left = if left.selection().is_some() {
+        left.compact()
+    } else {
+        left.clone()
+    };
+    let right = if right.selection().is_some() {
+        right.compact()
+    } else {
+        right.clone()
+    };
+    let left_builds = left.num_rows() <= right.num_rows();
+    let (build, probe, build_key, probe_key) = if left_builds {
+        (&left, &right, left_key, right_key)
+    } else {
+        (&right, &left, right_key, left_key)
+    };
+
+    let mut hashes = Vec::new();
+    hash_keys_into(build, &[build_key], &mut hashes);
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, &h) in hashes.iter().enumerate() {
+        buckets.entry(h).or_default().push(i as u32);
+    }
+
+    hash_keys_into(probe, &[probe_key], &mut hashes);
+    let build_col = build.column(build_key);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for (i, &h) in hashes.iter().enumerate() {
+        stats.probes += 1;
+        if let Some(bucket) = buckets.get(&h) {
+            let k = probe.column(probe_key).key(i);
+            for &j in bucket {
+                if key_elem_eq(build_col, j as usize, &k) {
+                    // Orientation is always left ++ right.
+                    pairs.push(if left_builds {
+                        (j, i as u32)
+                    } else {
+                        (i as u32, j)
+                    });
+                }
+            }
+        }
+    }
+    stats.output += pairs.len();
+    Ok(ColumnarBatch::gather_concat(&left, &right, &pairs))
 }
 
 /// Join a tuple slice against an existing state structure, reusing the
@@ -137,6 +208,57 @@ mod tests {
         hash_join_slices(&large, &small, 0, 0, &mut out2, &mut stats).unwrap();
         assert_eq!(out2.len(), 2);
         assert_eq!(out2[0].get(3).as_int().unwrap(), 0);
+    }
+
+    #[test]
+    fn columnar_join_matches_row_join_exactly() {
+        // Duplicates, misses, nulls, strings — both build directions.
+        let ts = |pairs: &[(Option<i64>, &str)]| -> Vec<Tuple> {
+            pairs
+                .iter()
+                .map(|(k, v)| Tuple::new(vec![k.map_or(Value::Null, Value::Int), Value::str(v)]))
+                .collect()
+        };
+        let small = ts(&[(Some(1), "a"), (None, "n"), (Some(2), "b"), (Some(1), "c")]);
+        let large = ts(&[
+            (Some(1), "x"),
+            (Some(3), "y"),
+            (None, "z"),
+            (Some(1), "w"),
+            (Some(2), "v"),
+        ]);
+        for (l, r) in [(&small, &large), (&large, &small)] {
+            let mut row_out = Vec::new();
+            let mut row_stats = BatchJoinStats::default();
+            hash_join_slices(l, r, 0, 0, &mut row_out, &mut row_stats).unwrap();
+
+            let (lc, rc) = (ColumnarBatch::from_tuples(l), ColumnarBatch::from_tuples(r));
+            let mut col_stats = BatchJoinStats::default();
+            let col_out = hash_join_columnar(&lc, &rc, 0, 0, &mut col_stats)
+                .unwrap()
+                .to_tuples();
+            assert_eq!(col_out, row_out);
+            assert_eq!(col_stats.probes, row_stats.probes);
+            assert_eq!(col_stats.output, row_stats.output);
+        }
+    }
+
+    #[test]
+    fn columnar_join_honors_selection() {
+        let l = vec![t(1, 10), t(2, 20), t(3, 30)];
+        let r = vec![t(1, 1), t(2, 2)];
+        let mut lc = ColumnarBatch::from_tuples(&l);
+        let mut sel = tukwila_relation::Bitmap::zeros(3);
+        sel.set(1, true); // keep only key=2
+        lc.select(sel);
+        let rc = ColumnarBatch::from_tuples(&r);
+        let mut stats = BatchJoinStats::default();
+        let out = hash_join_columnar(&lc, &rc, 0, 0, &mut stats)
+            .unwrap()
+            .to_tuples();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(1).as_int().unwrap(), 20);
+        assert_eq!(out[0].get(3).as_int().unwrap(), 2);
     }
 
     #[test]

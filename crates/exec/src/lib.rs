@@ -50,6 +50,6 @@ pub use fragments::{
     FragmentSourceProgress, QuiesceHandle, SealedOutcome, ThreadedFragmentRun, EXCHANGE_REL_BASE,
 };
 pub use metrics::ExecReport;
-pub use op::{Batch, ExtractedState, IncOp};
+pub use op::{Batch, DataBatch, ExtractedState, IncOp};
 pub use plan::{PipelinePlan, PlanBuilder};
-pub use queue::{queue_pair, QueueReader, QueueWriter, TryRecv};
+pub use queue::{queue_pair, QueueReader, QueueWriter, TryRecv, TryRecvData};

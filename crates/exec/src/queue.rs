@@ -13,24 +13,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, SendError, Sender, TryRecvError, TrySendError};
-use tukwila_relation::{Error, Result, Schema, Tuple};
+use tukwila_relation::{ColumnarBatch, Error, Result, Schema, Tuple};
 use tukwila_stats::OpCounters;
 
-use crate::op::{Batch, IncOp};
+use crate::op::{Batch, DataBatch, IncOp};
 
 /// Producer half: a pipeline sink that forwards batches to the channel.
+///
+/// The channel carries [`DataBatch`], so a producer can ship typed columns
+/// instead of boxed rows (see [`QueueWriter::set_columnar`]); every
+/// row-level API below is representation-agnostic and unchanged.
 pub struct QueueWriter {
     schema: Schema,
-    tx: Option<Sender<Batch>>,
+    tx: Option<Sender<DataBatch>>,
     counters: Arc<OpCounters>,
     /// Sends that found the queue full and had to block (backpressure).
     blocked: Arc<AtomicU64>,
+    /// Transpose row batches to columns before shipping.
+    columnar: bool,
 }
 
 /// Consumer half: iterate received batches on another thread.
 pub struct QueueReader {
     schema: Schema,
-    rx: Receiver<Batch>,
+    rx: Receiver<DataBatch>,
 }
 
 /// Outcome of a non-blocking receive. `Empty` and `Closed` are distinct on
@@ -46,6 +52,19 @@ pub enum TryRecv {
     Empty,
     /// The producer finished (or dropped its writer) and every buffered
     /// batch has been drained. Nothing more will ever arrive.
+    Closed,
+}
+
+/// [`TryRecv`] preserving the shipped representation: consumers that
+/// understand columns route a [`DataBatch::Columns`] straight into
+/// vectorized operator kernels instead of paying the row conversion.
+#[derive(Debug, Clone)]
+pub enum TryRecvData {
+    /// A batch was waiting, in whatever representation the producer sent.
+    Batch(DataBatch),
+    /// Nothing buffered, but the producer is still alive.
+    Empty,
+    /// The producer finished and the buffer is drained.
     Closed,
 }
 
@@ -89,6 +108,7 @@ pub fn queue_pair(schema: Schema, capacity: usize) -> (QueueWriter, QueueReader)
             tx: Some(tx),
             counters: OpCounters::new(),
             blocked: Arc::new(AtomicU64::new(0)),
+            columnar: false,
         },
         QueueReader { schema, rx },
     )
@@ -106,11 +126,27 @@ pub(crate) fn is_hangup(e: &Error) -> bool {
 }
 
 impl QueueWriter {
+    /// Ship row batches as typed columns. Logically invisible to the
+    /// reader (row APIs convert back); columnar-aware consumers receive
+    /// the columns intact via [`QueueReader::try_recv_data`].
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
+    }
+
+    fn encode(&self, batch: Batch) -> DataBatch {
+        if self.columnar {
+            DataBatch::Columns(ColumnarBatch::from_tuples(&batch))
+        } else {
+            DataBatch::Rows(batch)
+        }
+    }
+
     /// Send an owned batch without the slice copy [`IncOp::push`] incurs.
     /// Blocks while the queue is at capacity (counting the event as
     /// backpressure); errors once the consumer hung up.
     pub fn send(&mut self, batch: Batch) -> Result<()> {
         let n = batch.len() as u64;
+        let batch = self.encode(batch);
         let tx = self
             .tx
             .as_ref()
@@ -154,7 +190,24 @@ impl QueueWriter {
             .tx
             .as_ref()
             .ok_or_else(|| Error::Exec("queue already closed".into()))?;
-        match tx.try_send(batch) {
+        if self.columnar {
+            // Transpose from the borrowed rows so a refused send hands
+            // the caller's batch back untouched (the quiesce carry path).
+            let payload = DataBatch::Columns(ColumnarBatch::from_tuples(&batch));
+            return match tx.try_send(payload) {
+                Ok(()) => {
+                    self.counters.add_in(n);
+                    self.counters.add_out(n);
+                    Ok(None)
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.blocked.fetch_add(1, Ordering::Relaxed);
+                    Ok(Some(batch))
+                }
+                Err(TrySendError::Disconnected(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
+            };
+        }
+        match tx.try_send(DataBatch::Rows(batch)) {
             Ok(()) => {
                 self.counters.add_in(n);
                 self.counters.add_out(n);
@@ -162,7 +215,7 @@ impl QueueWriter {
             }
             Err(TrySendError::Full(b)) => {
                 self.blocked.fetch_add(1, Ordering::Relaxed);
-                Ok(Some(b))
+                Ok(Some(b.into_rows()))
             }
             Err(TrySendError::Disconnected(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
         }
@@ -202,8 +255,9 @@ impl IncOp for QueueWriter {
     fn push(&mut self, _port: usize, batch: &[Tuple], _out: &mut Batch) -> Result<()> {
         self.counters.add_in(batch.len() as u64);
         self.counters.add_out(batch.len() as u64);
+        let payload = self.encode(batch.to_vec());
         match &self.tx {
-            Some(tx) => match tx.send(batch.to_vec()) {
+            Some(tx) => match tx.send(payload) {
                 Ok(()) => Ok(()),
                 Err(SendError(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
             },
@@ -233,6 +287,12 @@ impl QueueReader {
     /// writer dropped are still delivered — a writer drop never loses
     /// in-flight data.
     pub fn recv(&self) -> Option<Batch> {
+        self.rx.recv().ok().map(DataBatch::into_rows)
+    }
+
+    /// Like [`QueueReader::recv`], but preserving the representation the
+    /// producer shipped.
+    pub fn recv_data(&self) -> Option<DataBatch> {
         self.rx.recv().ok()
     }
 
@@ -245,9 +305,19 @@ impl QueueReader {
     /// them).
     pub fn try_recv_status(&self) -> TryRecv {
         match self.rx.try_recv() {
-            Ok(b) => TryRecv::Batch(b),
+            Ok(b) => TryRecv::Batch(b.into_rows()),
             Err(TryRecvError::Empty) => TryRecv::Empty,
             Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    /// [`QueueReader::try_recv_status`] preserving the shipped
+    /// representation (see [`TryRecvData`]).
+    pub fn try_recv_data(&self) -> TryRecvData {
+        match self.rx.try_recv() {
+            Ok(b) => TryRecvData::Batch(b),
+            Err(TryRecvError::Empty) => TryRecvData::Empty,
+            Err(TryRecvError::Disconnected) => TryRecvData::Closed,
         }
     }
 
@@ -255,7 +325,7 @@ impl QueueReader {
     /// when the caller never uses `None` as an EOF signal; prefer
     /// [`QueueReader::try_recv_status`].
     pub fn try_recv(&self) -> Option<Batch> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().map(DataBatch::into_rows)
     }
 
     /// Drain everything remaining (blocks until producer EOF). Built on
@@ -389,6 +459,30 @@ mod tests {
         assert!(writer.try_send(back).unwrap().is_none());
         drop(reader);
         assert!(writer.try_send(vec![t(3)]).is_err());
+    }
+
+    #[test]
+    fn columnar_shipping_is_logically_invisible() {
+        let (mut writer, reader) = queue_pair(schema(), 4);
+        writer.set_columnar(true);
+        writer.send(vec![t(1), t(2)]).unwrap();
+        // Row API converts back transparently.
+        assert_eq!(reader.recv().unwrap(), vec![t(1), t(2)]);
+        // Columnar-aware API sees the columns intact.
+        writer.send(vec![t(3)]).unwrap();
+        match reader.try_recv_data() {
+            TryRecvData::Batch(DataBatch::Columns(c)) => {
+                assert_eq!(c.to_tuples(), vec![t(3)]);
+            }
+            other => panic!("expected columnar batch, got {other:?}"),
+        }
+        // Full queue hands the original rows back on try_send.
+        let (mut w2, r2) = queue_pair(schema(), 1);
+        w2.set_columnar(true);
+        assert!(w2.try_send(vec![t(1)]).unwrap().is_none());
+        let back = w2.try_send(vec![t(2)]).unwrap().unwrap();
+        assert_eq!(back, vec![t(2)]);
+        assert_eq!(r2.recv().unwrap(), vec![t(1)]);
     }
 
     #[test]

@@ -161,24 +161,50 @@ impl<R: Router> Split<R> {
         Split { router, n }
     }
 
-    /// Route a batch; returns one buffer per output port.
+    /// Route a batch; returns one buffer per output port. Allocates the
+    /// port buffers every call — steady-state callers should hold a
+    /// `Vec<Vec<Tuple>>` and use [`Split::split_into`] instead.
     pub fn split(&mut self, batch: &[Tuple]) -> Vec<Vec<Tuple>> {
-        let mut out = vec![Vec::new(); self.n];
+        let mut out = Vec::new();
+        self.split_into(batch, &mut out);
+        out
+    }
+
+    /// Route a batch into caller-owned port buffers, clearing and reusing
+    /// them (their capacity survives across batches, so a port that stays
+    /// empty costs nothing after the first call).
+    pub fn split_into(&mut self, batch: &[Tuple], out: &mut Vec<Vec<Tuple>>) {
+        prepare_port_buffers(out, self.n);
         for t in batch {
             let p = self.router.route(t).min(self.n - 1);
             out[p].push(t.clone());
         }
+    }
+
+    /// Flush buffered tuples at end of input. Allocates like
+    /// [`Split::split`]; see [`Split::drain_into`].
+    pub fn drain(&mut self) -> Vec<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
         out
     }
 
-    /// Flush buffered tuples at end of input.
-    pub fn drain(&mut self) -> Vec<Vec<Tuple>> {
-        let mut out = vec![Vec::new(); self.n];
+    /// Flush buffered tuples into caller-owned, reused port buffers.
+    pub fn drain_into(&mut self, out: &mut Vec<Vec<Tuple>>) {
+        prepare_port_buffers(out, self.n);
         for (p, t) in self.router.drain() {
             out[p.min(self.n - 1)].push(t);
         }
-        out
     }
+}
+
+/// Clear and resize a set of per-port buffers without dropping their
+/// allocations.
+fn prepare_port_buffers(out: &mut Vec<Vec<Tuple>>, n: usize) {
+    for b in out.iter_mut() {
+        b.clear();
+    }
+    out.resize_with(n, Vec::new);
 }
 
 /// Unions batches from multiple subplans (trivial, but named for symmetry
@@ -189,6 +215,16 @@ pub fn combine(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
         out.extend(p);
     }
     out
+}
+
+/// [`combine`] without consuming the per-port buffers: drains each into
+/// `out` so the buffers can be refilled by the next
+/// [`Split::split_into`] call.
+pub fn combine_into(parts: &mut [Vec<Tuple>], out: &mut Vec<Tuple>) {
+    out.reserve(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.append(p);
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +298,28 @@ mod tests {
         assert_eq!(parts[1].len(), 1, "only the 2 after 3 violates");
         let all = combine(parts);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn split_into_reuses_buffers() {
+        let mut s = Split::new(OrderRouter::new(0), 2);
+        let mut bufs: Vec<Vec<Tuple>> = Vec::new();
+        s.split_into(&[t(1), t(3), t(2)], &mut bufs);
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(bufs[0].len(), 2);
+        assert_eq!(bufs[1].len(), 1);
+        let cap0 = bufs[0].capacity();
+        let mut merged = Vec::new();
+        combine_into(&mut bufs, &mut merged);
+        assert_eq!(merged.len(), 3);
+        assert!(bufs.iter().all(Vec::is_empty), "combine_into drains");
+        // Second batch reuses the same buffers (capacity survives).
+        s.split_into(&[t(4), t(5)], &mut bufs);
+        assert!(bufs[0].capacity() >= cap0.min(2));
+        assert_eq!(bufs[0].len() + bufs[1].len(), 2);
+        let mut drained = Vec::new();
+        s.drain_into(&mut drained);
+        assert_eq!(drained.len(), 2);
     }
 
     #[test]

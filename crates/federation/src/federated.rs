@@ -19,10 +19,12 @@
 //! complete; the key-dedupe makes any *overlap* harmless.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use tukwila_relation::column::{hash_keys_into, key_elem_eq, tuple_key_hash, value_key_eq};
 use tukwila_relation::value::{group_key, GroupKey};
-use tukwila_relation::{Error, Result, Schema, Tuple};
+use tukwila_relation::{ColumnarBatch, Error, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
 use tukwila_stats::clock::{Clock, VirtualClock};
 use tukwila_stats::{ArrivalSchedule, RateEstimator};
@@ -30,26 +32,85 @@ use tukwila_stats::{ArrivalSchedule, RateEstimator};
 use crate::catalog::FederationConfig;
 use crate::scheduler::PermutationScheduler;
 
+/// Pass-through hasher for keys that are already well-mixed key hashes
+/// ([`tuple_key_hash`] ends in a multiply), sparing the seen-set a second
+/// SipHash pass per probe.
+#[derive(Default)]
+struct KeyHashId(u64);
+
+impl Hasher for KeyHashId {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("KeyHashId only hashes u64 key hashes");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
 /// The key-based dedupe shared by the sequential [`FederatedSource`] and
 /// the threaded [`crate::concurrent::ConcurrentFederatedSource`]: drop
 /// keys another replica already delivered, and catch misdeclared keys by
 /// provenance (a candidate re-delivering its *own* key proves the
 /// declared key columns are not unique).
-pub(crate) struct KeyDedup {
+///
+/// The seen-set is bucketed by a stable composite-key hash computed once
+/// per tuple with no allocation ([`tuple_key_hash`]); the `GroupKey` is
+/// only materialized when a key is inserted, and the columnar entry point
+/// ([`KeyDedup::filter_columnar`]) hashes whole batches with one pass per
+/// key column.
+pub struct KeyDedup {
     rel_id: u32,
     key_cols: Vec<usize>,
+    /// Key-hash → indices into `entries` (hash collisions resolved by the
+    /// exact key comparison below).
+    buckets: HashMap<u64, Vec<u32>, BuildHasherDefault<KeyHashId>>,
     /// Keys delivered to the engine, with the candidate that delivered
     /// each first.
-    seen: HashMap<GroupKey, usize>,
+    entries: Vec<(GroupKey, usize)>,
 }
 
 impl KeyDedup {
-    pub(crate) fn new(rel_id: u32, key_cols: Vec<usize>) -> KeyDedup {
+    /// A dedupe for `rel_id` keyed on `key_cols`.
+    pub fn new(rel_id: u32, key_cols: Vec<usize>) -> KeyDedup {
         KeyDedup {
             rel_id,
             key_cols,
-            seen: HashMap::new(),
+            buckets: HashMap::default(),
+            entries: Vec::new(),
         }
+    }
+
+    /// Distinct keys delivered so far.
+    pub fn seen_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Find the first-delivering candidate of the key in `bucket` equal
+    /// to the key of `t` (by per-column comparison, no allocation).
+    fn probe_row(&self, bucket: &[u32], t: &Tuple) -> Option<usize> {
+        for &ei in bucket {
+            let (k, who) = &self.entries[ei as usize];
+            if k.iter()
+                .zip(&self.key_cols)
+                .all(|(ke, &c)| value_key_eq(t.get(c), ke))
+            {
+                return Some(*who);
+            }
+        }
+        None
+    }
+
+    #[track_caller]
+    fn assert_fresh_provenance(&self, first: usize, candidate: usize, name: &str) {
+        assert_ne!(
+            first, candidate,
+            "relation {}: candidate '{name}' delivered key columns {:?} twice — \
+             the declared key is not unique, so deduping would drop real tuples",
+            self.rel_id, self.key_cols,
+        );
     }
 
     /// Filter `batch` down to tuples whose key has not been delivered yet.
@@ -59,23 +120,120 @@ impl KeyDedup {
     /// data sequentially exactly once, so that can only mean the declared
     /// key columns are not a real key, and silently dropping the tuple
     /// would corrupt the union.
-    pub(crate) fn filter(&mut self, candidate: usize, name: &str, batch: Vec<Tuple>) -> Vec<Tuple> {
+    pub fn filter(&mut self, candidate: usize, name: &str, batch: Vec<Tuple>) -> Vec<Tuple> {
         let mut fresh = Vec::with_capacity(batch.len());
         for t in batch {
-            match self.seen.entry(group_key(t.values(), &self.key_cols)) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(candidate);
+            let h = tuple_key_hash(&t, &self.key_cols);
+            match self
+                .buckets
+                .get(&h)
+                .and_then(|bucket| self.probe_row(bucket, &t))
+            {
+                Some(first) => self.assert_fresh_provenance(first, candidate, name),
+                None => {
+                    let ei = self.entries.len() as u32;
+                    self.entries
+                        .push((group_key(t.values(), &self.key_cols), candidate));
+                    self.buckets.entry(h).or_default().push(ei);
                     fresh.push(t);
                 }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    assert_ne!(
-                        *e.get(),
-                        candidate,
-                        "relation {}: candidate '{name}' delivered key columns {:?} twice — \
-                         the declared key is not unique, so deduping would drop real tuples",
-                        self.rel_id,
-                        self.key_cols,
-                    );
+            }
+        }
+        fresh
+    }
+
+    /// [`KeyDedup::filter`] over a columnar batch: key hashes for the
+    /// whole batch are computed with one pass per key column, and the
+    /// seen-set is probed in *stages* — a tight read-only bucket-lookup
+    /// sweep, then exact key verification, then an ordered insert pass
+    /// over the rows that survived. The read-only sweeps have no
+    /// mutation or branching in their bodies, so the out-of-order core
+    /// overlaps the (cache-missing) hash-table reads of many rows at
+    /// once; on duplicate-heavy feeds — the normal case for mirrored
+    /// candidates — this is where the columnar path wins. Fresh rows
+    /// still re-probe in row order, which is what catches an intra-batch
+    /// key redelivery exactly like the row path does.
+    pub fn filter_columnar(
+        &mut self,
+        candidate: usize,
+        name: &str,
+        batch: &ColumnarBatch,
+        hash_buf: &mut Vec<u64>,
+    ) -> Vec<Tuple> {
+        /// Bucket-hit marker for "more than one entry, re-fetch the list".
+        const MULTI: u32 = u32::MAX;
+        if batch.num_rows() == 0 {
+            // A rowless batch has no columns to hash (or deliver).
+            return Vec::new();
+        }
+        hash_keys_into(batch, &self.key_cols, hash_buf);
+        let rows = batch.selected_indices();
+
+        // Stage 1: bucket lookups only. `hits` records (slot, sole entry
+        // index) — or MULTI for the rare collision bucket.
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        for (s, &r) in rows.iter().enumerate() {
+            if let Some(bucket) = self.buckets.get(&hash_buf[r]) {
+                let ei = if bucket.len() == 1 { bucket[0] } else { MULTI };
+                hits.push((s as u32, ei));
+            }
+        }
+
+        // Stage 2: exact key verification for hash hits (still read-only;
+        // a non-equal key is just a 64-bit hash collision and stays a
+        // fresh candidate).
+        let mut dup = vec![false; rows.len()];
+        for &(s, ei) in &hits {
+            let r = rows[s as usize];
+            let verify = |ei: u32| {
+                let (k, who) = &self.entries[ei as usize];
+                k.iter()
+                    .zip(&self.key_cols)
+                    .all(|(ke, &c)| key_elem_eq(batch.column(c), r, ke))
+                    .then_some(*who)
+            };
+            let seen_by = if ei != MULTI {
+                verify(ei)
+            } else {
+                self.buckets[&hash_buf[r]].iter().copied().find_map(verify)
+            };
+            if let Some(first) = seen_by {
+                self.assert_fresh_provenance(first, candidate, name);
+                dup[s as usize] = true;
+            }
+        }
+
+        // Stage 3: ordered probe-and-insert over the fresh candidates.
+        // The re-probe is not redundant: an earlier row of *this* batch
+        // may have inserted the key (same-candidate redelivery → panic),
+        // and stage-1 misses may collide with stage-3 inserts.
+        let mut fresh = Vec::with_capacity(rows.len());
+        for (s, &r) in rows.iter().enumerate() {
+            if dup[s] {
+                continue;
+            }
+            let h = hash_buf[r];
+            let seen_by = self.buckets.get(&h).and_then(|bucket| {
+                bucket.iter().find_map(|&ei| {
+                    let (k, who) = &self.entries[ei as usize];
+                    k.iter()
+                        .zip(&self.key_cols)
+                        .all(|(ke, &c)| key_elem_eq(batch.column(c), r, ke))
+                        .then_some(*who)
+                })
+            });
+            match seen_by {
+                Some(first) => self.assert_fresh_provenance(first, candidate, name),
+                None => {
+                    let ei = self.entries.len() as u32;
+                    let key: GroupKey = self
+                        .key_cols
+                        .iter()
+                        .map(|&c| batch.column(c).key(r))
+                        .collect();
+                    self.entries.push((key, candidate));
+                    self.buckets.entry(h).or_default().push(ei);
+                    fresh.push(batch.tuple_at(r));
                 }
             }
         }
@@ -457,6 +615,65 @@ mod tests {
 
     fn tuple(k: i64) -> Tuple {
         Tuple::new(vec![Value::Int(k), Value::Int(k * 10)])
+    }
+
+    #[test]
+    fn dedup_row_and_columnar_paths_agree() {
+        let mk = |k: Option<i64>, s: &str| {
+            Tuple::new(vec![
+                k.map_or(Value::Null, Value::Int),
+                Value::str(s),
+                Value::Int(7),
+            ])
+        };
+        // Composite (nullable int, string) key; candidate 0 then an
+        // overlapping candidate 1.
+        let b0 = vec![mk(Some(1), "a"), mk(None, "n"), mk(Some(2), "b")];
+        let b1 = vec![
+            mk(Some(2), "b"),
+            mk(Some(3), "c"),
+            mk(None, "n"),
+            mk(Some(1), "z"),
+        ];
+
+        let mut row = KeyDedup::new(9, vec![0, 1]);
+        let r0 = row.filter(0, "c0", b0.clone());
+        let r1 = row.filter(1, "c1", b1.clone());
+
+        let mut col = KeyDedup::new(9, vec![0, 1]);
+        let mut hashes = Vec::new();
+        let c0 = col.filter_columnar(0, "c0", &ColumnarBatch::from_tuples(&b0), &mut hashes);
+        let c1 = col.filter_columnar(1, "c1", &ColumnarBatch::from_tuples(&b1), &mut hashes);
+
+        assert_eq!(r0, c0);
+        assert_eq!(r1, c1);
+        assert_eq!(r1.len(), 2, "overlap (2,b) and (NULL,n) deduped");
+        assert_eq!(row.seen_keys(), col.seen_keys());
+
+        // Mixed representations share one seen-set.
+        let mut mixed = KeyDedup::new(9, vec![0, 1]);
+        let m0 = mixed.filter(0, "c0", b0.clone());
+        let m1 = mixed.filter_columnar(1, "c1", &ColumnarBatch::from_tuples(&b1), &mut hashes);
+        assert_eq!(m0, r0);
+        assert_eq!(m1, r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered key columns")]
+    fn dedup_same_candidate_redelivery_panics() {
+        let mut d = KeyDedup::new(1, vec![0]);
+        d.filter(0, "c0", vec![tuple(5)]);
+        d.filter(0, "c0", vec![tuple(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered key columns")]
+    fn dedup_columnar_same_candidate_redelivery_panics() {
+        let mut d = KeyDedup::new(1, vec![0]);
+        let mut hashes = Vec::new();
+        let b = ColumnarBatch::from_tuples(&[tuple(5)]);
+        d.filter_columnar(0, "c0", &b, &mut hashes);
+        d.filter_columnar(0, "c0", &b, &mut hashes);
     }
 
     /// Test source with an explicit per-tuple arrival schedule.

@@ -60,7 +60,7 @@ pub mod scheduler;
 
 pub use catalog::{DeclaredRate, FederatedCatalog, FederationConfig, PartialReplica};
 pub use concurrent::ConcurrentFederatedSource;
-pub use federated::{CandidateReport, FederatedSource, FederationReport};
+pub use federated::{CandidateReport, FederatedSource, FederationReport, KeyDedup};
 pub use learning::{LearnedProfile, SharedLearning};
 pub use profile::BehaviorProfile;
 pub use scheduler::PermutationScheduler;

@@ -866,6 +866,18 @@ mod tests {
     }
 
     #[test]
+    fn rehash_counter_reaches_rollup() {
+        // The stitch-up executor reports `rehashes` through the generic
+        // counter channel; the rollup must carry it by name so `--trace`
+        // output surfaces key-mismatch rebuilds without a schema change.
+        let clock = Arc::new(VirtualClock::new());
+        let sink = TraceSink::unbounded(clock);
+        sink.counter("rehashes", "stitchup", 2);
+        let summary = QuerySummary::from_records(&sink.snapshot());
+        assert_eq!(summary.counters.get("rehashes"), Some(&2));
+    }
+
+    #[test]
     fn json_is_escaped_and_finite() {
         let clock = Arc::new(VirtualClock::new());
         let sink = TraceSink::unbounded(clock);
