@@ -26,8 +26,8 @@ use tukwila_exec::agg::SharedGroupTable;
 use tukwila_exec::driver::charged_cost;
 use tukwila_exec::plan::NodeObservation;
 use tukwila_exec::{
-    Batch, CpuCostModel, ExecReport, FragmentOptions, FragmentRun, PushTarget, ThreadedFragmentRun,
-    Timeline,
+    Batch, CpuCostModel, DataBatch, ExchangePoll, ExecReport, FragmentOptions, FragmentRun,
+    PushTarget, ThreadedFragmentRun, Timeline,
 };
 use tukwila_optimizer::{
     FragmentationConfig, LogicalQuery, Optimizer, OptimizerContext, PhysPlan, PreAggConfig,
@@ -36,7 +36,7 @@ use tukwila_relation::{Error, Expr, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceProgressView};
 use tukwila_stats::selectivity::SourceProgress;
 use tukwila_stats::trace::SpanKind;
-use tukwila_stats::{Clock, SelectivityCatalog, TraceEvent, TraceSink};
+use tukwila_stats::{Clock, DeliveryCosts, SelectivityCatalog, TraceEvent, TraceSink};
 use tukwila_storage::registry::ReuseStats;
 use tukwila_storage::StateRegistry;
 
@@ -307,14 +307,18 @@ impl CorrectiveExec {
 
     /// Lower a phase plan, fragmenting it at the cuts the optimizer's
     /// fragmentation pass chooses from the *current* context (observed
-    /// delivery rates included) when fragments are enabled.
+    /// delivery rates included) when fragments are enabled. `fragments`
+    /// is the run's live fragmentation config — the drivers thread a
+    /// mutable copy so the warmup calibration can reprice exchanges
+    /// before later phases lower.
     fn lower_phase(
         &self,
         phys: &PhysPlan,
         ctx: &OptimizerContext,
         shared: Option<Arc<SharedGroupTable>>,
+        fragments: Option<&FragmentationConfig>,
     ) -> Result<PhaseLowered> {
-        let cuts = match &self.config.fragments {
+        let cuts = match fragments {
             Some(fcfg) => {
                 tukwila_optimizer::choose_cuts_traced(phys, ctx, fcfg, &self.config.trace)
             }
@@ -490,6 +494,9 @@ impl CorrectiveExec {
         let mut consumed_total: HashMap<u32, u64> = HashMap::new();
         let mut consumed_phase: HashMap<u32, u64> = HashMap::new();
         let mut calibrated: Option<f64> = None;
+        // Live copy of the fragmentation config: the warmup calibration
+        // repriced exchanges here affect every later phase's cuts.
+        let mut frag_cfg = cfg.fragments.clone();
 
         // Phase 0 plan.
         let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total, calibrated));
@@ -501,6 +508,7 @@ impl CorrectiveExec {
             &current_phys,
             &self.make_ctx(&catalog, &consumed_total, calibrated),
             None,
+            frag_cfg.as_ref(),
         )?;
         let shared = lowered.table.clone();
         let post_project = lowered.post_project.clone();
@@ -592,6 +600,7 @@ impl CorrectiveExec {
                     &consumed_phase,
                 );
                 let measured_cpu_us = timeline.cpu_us();
+                let was_uncalibrated = calibrated.is_none();
                 let candidate = self.consider_switch(
                     &catalog,
                     &consumed_total,
@@ -603,6 +612,22 @@ impl CorrectiveExec {
                     total_batches,
                     measured_cpu_us,
                 )?;
+                if was_uncalibrated {
+                    if let Some(unit) = calibrated {
+                        // Warmup calibration just landed: re-derive the
+                        // delivery unit prices from the measured kernels
+                        // and push them into every pricing surface —
+                        // source-side hedge gates and the fragment
+                        // optimizer's exchange tax.
+                        let costs = DeliveryCosts::from_unit_us(unit);
+                        for src in sources.iter_mut() {
+                            src.recalibrate_delivery_costs(&costs);
+                        }
+                        if let Some(fc) = frag_cfg.as_mut() {
+                            fc.recalibrate(unit);
+                        }
+                    }
+                }
                 if let Some(candidate) = candidate {
                     // Switch: seal the current phase, register its state,
                     // resume into the new plan. Sealing covers *every*
@@ -615,6 +640,7 @@ impl CorrectiveExec {
                         &candidate,
                         &self.make_ctx(&catalog, &consumed_total, calibrated),
                         shared.clone(),
+                        frag_cfg.as_ref(),
                     )?;
                     let old = std::mem::replace(&mut lowered, fresh);
                     let old_fragments = old.fragments;
@@ -721,6 +747,12 @@ impl CorrectiveExec {
         let mut consumed_total: HashMap<u32, u64> = HashMap::new();
         let mut consumed_phase: HashMap<u32, u64> = HashMap::new();
         let mut calibrated: Option<f64> = None;
+        // Live fragmentation config (exchange prices recalibrate when the
+        // warmup calibration lands), plus the deferred source repricing:
+        // producer-bound sources can only adopt new delivery costs at the
+        // next phase spawn, when this controller briefly owns them.
+        let mut frag_cfg = cfg.fragments.clone();
+        let mut pending_recal: Option<DeliveryCosts> = None;
 
         // Phase 0 plan.
         let optimizer = Optimizer::new(self.make_ctx(&catalog, &consumed_total, calibrated));
@@ -773,12 +805,20 @@ impl CorrectiveExec {
         let mut quiesce_open = false;
 
         'phases: loop {
+            // Sources recovered from the previous phase adopt the
+            // recalibrated delivery prices before the new phase binds
+            // them to producer threads.
+            if let Some(costs) = pending_recal.take() {
+                for src in avail.iter_mut().flatten() {
+                    src.recalibrate_delivery_costs(&costs);
+                }
+            }
             // Lower this phase with cuts chosen from the live catalog.
             let ctx = self.make_ctx(&catalog, &consumed_total, calibrated);
             let cuts = tukwila_optimizer::choose_cuts_traced(
                 &current_phys,
                 &ctx,
-                cfg.fragments.as_ref().expect("checked above"),
+                frag_cfg.as_ref().expect("checked above"),
                 &cfg.trace,
             );
             let fl = lower_fragmented(&current_phys, &cuts, shared_table.clone(), false)?;
@@ -906,24 +946,39 @@ impl CorrectiveExec {
                             continue;
                         }
                         all_done = false;
-                        match ex.poll(timeline.now_us(), cfg.batch_size) {
-                            Poll::Ready(batch) => {
+                        // Columnar producer batches arrive as columns and
+                        // feed the vectorized operator entry directly; rows
+                        // (carry-buffer leftovers, row-mode producers) take
+                        // the row entry. No transpose on this path.
+                        match ex.poll_data(timeline.now_us(), cfg.batch_size) {
+                            ExchangePoll::Ready(batch) => {
                                 any_ready = true;
                                 total_batches += 1;
                                 phase_batches += 1;
                                 let rel = ex.rel_id();
-                                let cost = charged_cost(cfg.cpu, &timeline, batch.len(), || {
-                                    pipeline.push_source(rel, &batch, &mut answers)
-                                })?;
+                                let cost =
+                                    charged_cost(
+                                        cfg.cpu,
+                                        &timeline,
+                                        batch.len(),
+                                        || match &batch {
+                                            DataBatch::Rows(b) => {
+                                                pipeline.push_source(rel, b, &mut answers)
+                                            }
+                                            DataBatch::Columns(c) => {
+                                                pipeline.push_source_columns(rel, c, &mut answers)
+                                            }
+                                        },
+                                    )?;
                                 timeline.charge(cost);
                             }
-                            Poll::Pending { next_ready_us } => {
+                            ExchangePoll::Pending { next_ready_us } => {
                                 next_ready = Some(match next_ready {
                                     Some(n) => n.min(next_ready_us),
                                     None => next_ready_us,
                                 });
                             }
-                            Poll::Eof => {
+                            ExchangePoll::Eof => {
                                 eof_ex[j] = true;
                                 let rel = ex.rel_id();
                                 let cost = charged_cost(cfg.cpu, &timeline, 0, || {
@@ -1003,6 +1058,7 @@ impl CorrectiveExec {
                     // denominator of the warmup calibration.
                     let measured_cpu_us =
                         timeline.cpu_us() + (extra_cpu_us + run.producer_cpu_us()) as f64;
+                    let was_uncalibrated = calibrated.is_none();
                     let candidate = self.consider_switch(
                         &catalog,
                         &consumed_total,
@@ -1014,6 +1070,23 @@ impl CorrectiveExec {
                         total_batches,
                         measured_cpu_us,
                     )?;
+                    if was_uncalibrated {
+                        if let Some(unit) = calibrated {
+                            // Calibration landed: reprice exchanges for
+                            // every later phase's cuts, reprice the root
+                            // fragment's own sources now, and queue the
+                            // repricing for producer-bound sources (they
+                            // adopt it when recovered at the next spawn).
+                            let costs = DeliveryCosts::from_unit_us(unit);
+                            for (_, src) in root_sources.iter_mut() {
+                                src.recalibrate_delivery_costs(&costs);
+                            }
+                            if let Some(fc) = frag_cfg.as_mut() {
+                                fc.recalibrate(unit);
+                            }
+                            pending_recal = Some(costs);
+                        }
+                    }
                     if let Some(candidate) = candidate {
                         // Pause delivery accounting on the controller's
                         // own sources too: the quiesce-wait + seal +

@@ -17,10 +17,10 @@
 //! * Only the root's `mixed` tuples are new answers: the diagonal `pure`
 //!   results were already emitted by the phases themselves.
 
-use tukwila_exec::join::batch::BatchJoinStats;
+use tukwila_exec::join::batch::{probe_table_columnar, BatchJoinStats};
 use tukwila_exec::Batch;
 use tukwila_optimizer::{LogicalQuery, PhysKind, PhysNode};
-use tukwila_relation::{Expr, Result, Tuple};
+use tukwila_relation::{ColumnarBatch, Expr, Result, Tuple};
 use tukwila_storage::{ExprSig, StateRegistry, TupleHashTable};
 
 /// Statistics from one stitch-up execution.
@@ -160,29 +160,16 @@ impl<'a> StitchUp<'a> {
                 let r_pure_tables: Vec<TupleHashTable> = l_to_r(&r.pure, &build)?;
                 let r_mixed_table = build(&r.mixed)?;
 
-                fn probe(
-                    probes: &Batch,
-                    table: &TupleHashTable,
-                    left_col: usize,
-                    residual: &[(usize, usize)],
-                    stats: &mut StitchUpStats,
-                    out: &mut Batch,
-                ) -> Result<()> {
-                    for t in probes {
-                        stats.join.probes += 1;
-                        for m in table.probe(&t.key(left_col)) {
-                            let joined = t.concat(m);
-                            let keep = residual
-                                .iter()
-                                .all(|&(a, b)| joined.get(a).eq_total(joined.get(b)));
-                            if keep {
-                                out.push(joined);
-                                stats.join.output += 1;
-                            }
-                        }
-                    }
-                    Ok(())
-                }
+                // Each left partition converts to columns once; every probe
+                // against the right-side tables then reads keys and residual
+                // values straight from those columns (the staged columnar
+                // probe), materializing only the surviving joined tuples.
+                let l_pure_cols: Vec<ColumnarBatch> = l
+                    .pure
+                    .iter()
+                    .map(|b| ColumnarBatch::from_tuples(b))
+                    .collect();
+                let l_mixed_cols = ColumnarBatch::from_tuples(&l.mixed);
 
                 // pure[i]: reuse from the registry or recompute from the
                 // children's pure partitions.
@@ -204,12 +191,12 @@ impl<'a> StitchUp<'a> {
                         continue;
                     }
                     let mut out = Vec::new();
-                    probe(
-                        &l.pure[i],
-                        &r_pure_tables[i],
+                    probe_table_columnar(
+                        &l_pure_cols[i],
                         *left_col,
+                        &r_pure_tables[i],
                         residual,
-                        stats,
+                        &mut stats.join,
                         &mut out,
                     )?;
                     stats.recomputed_pure += out.len();
@@ -218,30 +205,44 @@ impl<'a> StitchUp<'a> {
 
                 // mixed: all cross-phase combinations.
                 let mut mixed = Vec::new();
-                for a in 0..self.nphases {
+                for (a, l_cols) in l_pure_cols.iter().enumerate().take(self.nphases) {
                     for (b, table) in r_pure_tables.iter().enumerate() {
                         if a != b {
-                            probe(&l.pure[a], table, *left_col, residual, stats, &mut mixed)?;
+                            probe_table_columnar(
+                                l_cols,
+                                *left_col,
+                                table,
+                                residual,
+                                &mut stats.join,
+                                &mut mixed,
+                            )?;
                         }
                     }
-                    probe(
-                        &l.pure[a],
-                        &r_mixed_table,
+                    probe_table_columnar(
+                        l_cols,
                         *left_col,
+                        &r_mixed_table,
                         residual,
-                        stats,
+                        &mut stats.join,
                         &mut mixed,
                     )?;
                 }
                 for table in &r_pure_tables {
-                    probe(&l.mixed, table, *left_col, residual, stats, &mut mixed)?;
+                    probe_table_columnar(
+                        &l_mixed_cols,
+                        *left_col,
+                        table,
+                        residual,
+                        &mut stats.join,
+                        &mut mixed,
+                    )?;
                 }
-                probe(
-                    &l.mixed,
-                    &r_mixed_table,
+                probe_table_columnar(
+                    &l_mixed_cols,
                     *left_col,
+                    &r_mixed_table,
                     residual,
-                    stats,
+                    &mut stats.join,
                     &mut mixed,
                 )?;
 

@@ -55,9 +55,9 @@ use tukwila_stats::{Clock, TraceSink};
 
 use crate::driver::{charged_cost, CpuCostModel, PushTarget, SimDriver, Timeline};
 use crate::metrics::ExecReport;
-use crate::op::{Batch, IncOp};
+use crate::op::{Batch, DataBatch, IncOp};
 use crate::plan::{NodeObservation, PipelinePlan, SealedState};
-use crate::queue::{queue_pair, QueueReader, QueueWriter, TryRecv};
+use crate::queue::{queue_pair, QueueReader, QueueWriter, TryRecv, TryRecvData};
 
 /// First synthetic relation id used for exchange streams. Real base
 /// relations live far below this; the two id spaces never collide.
@@ -102,11 +102,14 @@ pub struct FragmentOptions {
     /// optimizer's fragmentation config (`cores`), which callers should
     /// pin to their fair share so over-subscription stays bounded.
     pub lease: Option<tukwila_stats::QueryLease>,
-    /// Ship exchange batches (and the quiesce drain) as typed columns
-    /// instead of boxed rows — producers transpose at the batch boundary,
-    /// consumers receive whichever representation was shipped. Logically
-    /// invisible (answers and decisions are byte-identical either way);
-    /// default off so existing goldens measure the row path unchanged.
+    /// Ship exchange batches as typed columns instead of boxed rows —
+    /// producers transpose once at the batch boundary (refused sends
+    /// carry the *encoded* batch across retries), and columnar-aware
+    /// consumers route the columns straight into vectorized operator
+    /// kernels. Logically invisible (answers and decisions are
+    /// byte-identical either way, and the quiesce drain always
+    /// re-materializes rows losslessly); on by default now that every
+    /// hot operator consumes columns natively.
     pub columnar_exchange: bool,
 }
 
@@ -118,7 +121,7 @@ impl Default for FragmentOptions {
             quiesce_timeout_us: 5_000_000,
             trace: TraceSink::disabled(),
             lease: None,
-            columnar_exchange: false,
+            columnar_exchange: true,
         }
     }
 }
@@ -420,6 +423,22 @@ impl PushTarget for FragmentRun {
     }
 }
 
+/// Outcome of a representation-preserving exchange poll
+/// ([`ExchangeSource::poll_data`]): like [`Poll`], but `Ready` carries
+/// whichever representation the producer shipped, so a columnar-aware
+/// consumer can route columns straight into vectorized kernels.
+pub enum ExchangePoll {
+    /// A batch was queued, in the representation it was shipped.
+    Ready(DataBatch),
+    /// Producer alive but quiet; look again at `next_ready_us`.
+    Pending {
+        /// Timeline µs of the next scheduled look.
+        next_ready_us: u64,
+    },
+    /// Producer finished and the queue drained.
+    Eof,
+}
+
 /// The consumer end of an exchange, adapted to the [`Source`] trait so a
 /// consumer fragment's driver loop polls it exactly like a base relation:
 /// `Ready` while batches are queued (respecting `max_tuples` via a carry
@@ -463,6 +482,47 @@ impl ExchangeSource {
     /// The exchange stream this source reads.
     pub fn exchange_id(&self) -> u32 {
         self.ex_id
+    }
+
+    /// Representation-preserving poll: columnar batches shipped by the
+    /// producer come back intact (one queue batch at a time — the
+    /// producer already bounded it to its batch size), row batches honor
+    /// `max_tuples` through the carry buffer exactly like
+    /// [`Source::poll`]. The row-level `poll` remains the fallback for
+    /// drivers that treat this source like any other relation.
+    pub fn poll_data(&mut self, now_us: u64, max_tuples: usize) -> ExchangePoll {
+        if !self.carry.is_empty() {
+            let cap = max_tuples.max(1).min(self.carry.len());
+            let rest = self.carry.split_off(cap);
+            let head = std::mem::replace(&mut self.carry, rest);
+            self.delivered += head.len() as u64;
+            return ExchangePoll::Ready(DataBatch::Rows(head));
+        }
+        if self.done {
+            return ExchangePoll::Eof;
+        }
+        let status = match &self.reader {
+            Some(r) => r.try_recv_data(),
+            None => TryRecvData::Closed,
+        };
+        match status {
+            TryRecvData::Batch(DataBatch::Columns(c)) => {
+                self.delivered += c.selected_rows() as u64;
+                ExchangePoll::Ready(DataBatch::Columns(c))
+            }
+            TryRecvData::Batch(DataBatch::Rows(b)) => match self.emit(b, max_tuples) {
+                Poll::Ready(head) => ExchangePoll::Ready(DataBatch::Rows(head)),
+                _ => unreachable!("emit always returns Ready"),
+            },
+            TryRecvData::Empty => ExchangePoll::Pending {
+                next_ready_us: now_us + self.poll_tick_us,
+            },
+            TryRecvData::Closed => {
+                self.done = true;
+                self.reader = None;
+                ExchangePoll::Eof
+            }
+        }
     }
 
     /// Take everything currently buffered on the consumer side of this
@@ -879,6 +939,10 @@ fn run_producer(
     let mut report = ExecReport::default();
     let mut finished = vec![false; sources.len()];
     let mut pending: Batch = Batch::new();
+    // Output already encoded for the wire (columns in columnar mode). A
+    // refused send hands the encoded batch back, so retry loops pay the
+    // transpose at most once per batch instead of once per attempt.
+    let mut staged: Option<DataBatch> = None;
     let mut error: Option<Error> = None;
     let mut completed = false;
     let mut depth_hw: u64 = 0;
@@ -908,14 +972,19 @@ fn run_producer(
         // Ship parked output, uncharged (backpressure wait is not CPU)
         // and non-blocking (a full queue defers to the next boundary, so
         // a pending quiesce is honored with the batch carried along).
-        if !pending.is_empty() {
-            match writer.try_send(std::mem::take(&mut pending)) {
+        // Encoding (the columnar transpose) happens exactly once here;
+        // the refused batch retries already encoded.
+        if staged.is_none() && !pending.is_empty() {
+            staged = Some(writer.encode(std::mem::take(&mut pending)));
+        }
+        if let Some(batch) = staged.take() {
+            match writer.try_send_data(batch) {
                 Ok(None) => {
                     depth_hw = depth_hw.max(writer.depth() as u64);
                     timeline.resync();
                 }
                 Ok(Some(back)) => {
-                    pending = back;
+                    staged = Some(back);
                     if !shared.wants_stop() {
                         let now = clock.now_us();
                         clock.sleep_toward(now.saturating_add(retry_tick_us.max(1)));
@@ -942,16 +1011,27 @@ fn run_producer(
                 continue;
             }
             all_done = false;
-            match sources[i]
-                .as_source_mut()
-                .poll(timeline.now_us(), batch_size)
-            {
-                Poll::Ready(batch) => {
+            // Upstream exchanges (multi-level producer chains) poll
+            // representation-preserving, so columnar batches shipped by
+            // the producer below ride into this pipeline's vectorized
+            // push without a row detour.
+            let polled = match &mut sources[i] {
+                ProducerSource::Exchange(ex) => ex.poll_data(timeline.now_us(), batch_size),
+                ProducerSource::Real { src, .. } => match src.poll(timeline.now_us(), batch_size) {
+                    Poll::Ready(b) => ExchangePoll::Ready(DataBatch::Rows(b)),
+                    Poll::Pending { next_ready_us } => ExchangePoll::Pending { next_ready_us },
+                    Poll::Eof => ExchangePoll::Eof,
+                },
+            };
+            match polled {
+                ExchangePoll::Ready(batch) => {
                     any_ready = true;
                     report.batches += 1;
+                    let n = batch.len();
                     let rel = sources[i].as_source_mut().rel_id();
-                    let pushed = charged_cost(cpu, &timeline, batch.len(), || {
-                        pipeline.push_source(rel, &batch, &mut pending)
+                    let pushed = charged_cost(cpu, &timeline, n, || match &batch {
+                        DataBatch::Rows(b) => pipeline.push_source(rel, b, &mut pending),
+                        DataBatch::Columns(c) => pipeline.push_source_columns(rel, c, &mut pending),
                     });
                     match pushed {
                         Ok(cost) => timeline.charge(cost),
@@ -961,16 +1041,16 @@ fn run_producer(
                         }
                     }
                     if let ProducerSource::Real { src, progress, .. } = &sources[i] {
-                        progress.refresh(batch.len() as u64, src.as_ref());
+                        progress.refresh(n as u64, src.as_ref());
                     }
                 }
-                Poll::Pending { next_ready_us } => {
+                ExchangePoll::Pending { next_ready_us } => {
                     next_ready = Some(match next_ready {
                         Some(n) => n.min(next_ready_us),
                         None => next_ready_us,
                     });
                 }
-                Poll::Eof => {
+                ExchangePoll::Eof => {
                     finished[i] = true;
                     let flushed = charged_cost(cpu, &timeline, 0, || {
                         let rel = sources[i].as_source_mut().rel_id();
@@ -1005,11 +1085,17 @@ fn run_producer(
     if completed {
         // Flush the tail and close the queue: the consumer drains every
         // buffered batch before reading Closed.
-        while !pending.is_empty() {
-            match writer.try_send(std::mem::take(&mut pending)) {
+        loop {
+            if staged.is_none() {
+                if pending.is_empty() {
+                    break;
+                }
+                staged = Some(writer.encode(std::mem::take(&mut pending)));
+            }
+            match writer.try_send_data(staged.take().expect("just filled")) {
                 Ok(None) => depth_hw = depth_hw.max(writer.depth() as u64),
                 Ok(Some(back)) => {
-                    pending = back;
+                    staged = Some(back);
                     if shared.wants_stop() {
                         break;
                     }
@@ -1024,9 +1110,17 @@ fn run_producer(
                 }
             }
         }
-        if pending.is_empty() {
+        if staged.is_none() && pending.is_empty() {
             let _ = writer.finish(&mut Batch::new());
         }
+    }
+    // Whatever is still staged re-materializes as rows *ahead of* any
+    // unencoded output, so the quiesce drain sees exactly the row stream
+    // the consumer would have — loss-free and order-preserving.
+    if let Some(s) = staged.take() {
+        let mut rows = s.into_rows();
+        rows.append(&mut pending);
+        pending = rows;
     }
     // Dropping the writer (on seal/error paths) closes the queue while
     // keeping buffered batches readable — the seal's drain step collects

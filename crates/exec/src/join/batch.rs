@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use tukwila_relation::column::{hash_keys_into, key_elem_eq};
-use tukwila_relation::{ColumnarBatch, Result, Tuple};
+use tukwila_relation::{ColumnarBatch, Key, Result, Tuple};
 use tukwila_storage::fx::FxHashMap;
 use tukwila_storage::{StateStructure, TupleHashTable};
 
@@ -128,6 +128,60 @@ pub fn hash_join_columnar(
     }
     stats.output += pairs.len();
     Ok(ColumnarBatch::gather_concat(&left, &right, &pairs))
+}
+
+/// Probe a sealed hash table with a columnar batch of probe rows — the
+/// stitch-up probe path (§3.4.3) in the staged columnar style of the
+/// dedup filter: keys are gathered from the probe key column in one
+/// column-dispatch pass, then each staged key probes the table, with
+/// residual equality (`joined[a] == joined[b]` over the virtual
+/// `probe ++ match` layout) checked against probe columns and match
+/// tuples *before* any joined tuple is materialized, so misses and
+/// residual rejects never allocate. Output content and order match the
+/// row-at-a-time probe exactly: probe rows in selection order, matches
+/// in table insertion order.
+pub fn probe_table_columnar(
+    probes: &ColumnarBatch,
+    probe_key: usize,
+    table: &TupleHashTable,
+    residual: &[(usize, usize)],
+    stats: &mut BatchJoinStats,
+    out: &mut Vec<Tuple>,
+) -> Result<()> {
+    if probes.selected_rows() == 0 {
+        // A rowless batch converted from tuples has no columns at all;
+        // don't touch the key column.
+        return Ok(());
+    }
+    let arity = probes.arity();
+    let rows = probes.selected_indices();
+    // Stage 1: gather the probe keys in one pass over the key column.
+    let key_col = probes.column(probe_key);
+    let keys: Vec<Key> = rows.iter().map(|&r| key_col.key(r)).collect();
+    // Stage 2: probe with the staged keys; materialize survivors only.
+    for (&r, k) in rows.iter().zip(&keys) {
+        stats.probes += 1;
+        for m in table.probe(k) {
+            let keep = residual.iter().all(|&(a, b)| {
+                let va = if a < arity {
+                    probes.value(r, a)
+                } else {
+                    m.get(a - arity).clone()
+                };
+                let vb = if b < arity {
+                    probes.value(r, b)
+                } else {
+                    m.get(b - arity).clone()
+                };
+                va.eq_total(&vb)
+            });
+            if keep {
+                out.push(probes.tuple_at(r).concat(m));
+                stats.output += 1;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Join a tuple slice against an existing state structure, reusing the
@@ -259,6 +313,55 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get(1).as_int().unwrap(), 20);
         assert_eq!(out[0].get(3).as_int().unwrap(), 2);
+    }
+
+    #[test]
+    fn columnar_table_probe_matches_row_probe() {
+        // Table keyed on col 0; probes carry nulls, dups and a residual
+        // predicate joining probe col 1 against table col 1.
+        let mut table = TupleHashTable::new(0);
+        for (k, v) in [(1, 10), (1, 20), (2, 10), (3, 30)] {
+            table.insert(t(k, v)).unwrap();
+        }
+        let probes = vec![
+            t(1, 10),
+            Tuple::new(vec![Value::Null, Value::Int(10)]),
+            t(2, 10),
+            t(1, 20),
+            t(9, 0),
+        ];
+        let residual = &[(1usize, 3usize)];
+
+        // Row reference: probe in order, residual on the joined tuple.
+        let mut row_out = Vec::new();
+        let mut row_stats = BatchJoinStats::default();
+        for p in &probes {
+            row_stats.probes += 1;
+            for m in table.probe(&p.key(0)) {
+                let joined = p.concat(m);
+                if residual
+                    .iter()
+                    .all(|&(a, b)| joined.get(a).eq_total(joined.get(b)))
+                {
+                    row_out.push(joined);
+                    row_stats.output += 1;
+                }
+            }
+        }
+
+        let pc = ColumnarBatch::from_tuples(&probes);
+        let mut col_out = Vec::new();
+        let mut col_stats = BatchJoinStats::default();
+        probe_table_columnar(&pc, 0, &table, residual, &mut col_stats, &mut col_out).unwrap();
+        assert_eq!(col_out, row_out);
+        assert_eq!(col_stats, row_stats);
+
+        // Empty probe batch: no panic, no output.
+        let empty = ColumnarBatch::from_tuples(&[]);
+        let mut out = Vec::new();
+        let mut stats = BatchJoinStats::default();
+        probe_table_columnar(&empty, 0, &table, residual, &mut stats, &mut out).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -133,11 +133,48 @@ impl QueueWriter {
         self.columnar = on;
     }
 
-    fn encode(&self, batch: Batch) -> DataBatch {
+    /// Whether this writer ships columns (see
+    /// [`QueueWriter::set_columnar`]).
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Encode an owned row batch into the representation this writer
+    /// ships ([`DataBatch::Columns`] when columnar mode is on). Producers
+    /// that retry refused sends encode once and carry the encoded batch
+    /// through [`QueueWriter::try_send_data`] instead of paying the
+    /// transpose on every attempt.
+    pub fn encode(&self, batch: Batch) -> DataBatch {
         if self.columnar {
             DataBatch::Columns(ColumnarBatch::from_tuples(&batch))
         } else {
             DataBatch::Rows(batch)
+        }
+    }
+
+    /// Ship an already-encoded batch without re-encoding: columnar
+    /// producer pipelines pass their [`DataBatch::Columns`] output
+    /// straight through (columns-on-the-wire), and a refused batch comes
+    /// back *encoded*, so retry loops transpose at most once. Non-blocking
+    /// like [`QueueWriter::try_send`]; a full queue counts as
+    /// backpressure.
+    pub fn try_send_data(&mut self, batch: DataBatch) -> Result<Option<DataBatch>> {
+        let n = batch.len() as u64;
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| Error::Exec("queue already closed".into()))?;
+        match tx.try_send(batch) {
+            Ok(()) => {
+                self.counters.add_in(n);
+                self.counters.add_out(n);
+                Ok(None)
+            }
+            Err(TrySendError::Full(b)) => {
+                self.blocked.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(b))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Error::Exec(CONSUMER_HANGUP.into())),
         }
     }
 
@@ -483,6 +520,28 @@ mod tests {
         let back = w2.try_send(vec![t(2)]).unwrap().unwrap();
         assert_eq!(back, vec![t(2)]);
         assert_eq!(r2.recv().unwrap(), vec![t(1)]);
+    }
+
+    #[test]
+    fn try_send_data_carries_encoding_across_retries() {
+        let (mut writer, reader) = queue_pair(schema(), 1);
+        writer.set_columnar(true);
+        assert!(writer.is_columnar());
+        let first = writer.encode(vec![t(1)]);
+        assert!(matches!(first, DataBatch::Columns(_)));
+        assert!(writer.try_send_data(first).unwrap().is_none());
+        // Queue full: the *encoded* batch comes back, no re-transpose
+        // needed on the retry.
+        let staged = writer.encode(vec![t(2), t(3)]);
+        let back = writer.try_send_data(staged).unwrap().unwrap();
+        assert!(matches!(back, DataBatch::Columns(_)));
+        assert_eq!(writer.blocked_sends(), 1);
+        assert_eq!(reader.recv().unwrap(), vec![t(1)]);
+        assert!(writer.try_send_data(back).unwrap().is_none());
+        assert_eq!(reader.recv().unwrap(), vec![t(2), t(3)]);
+        assert_eq!(writer.counters().tuples_out(), 3);
+        drop(reader);
+        assert!(writer.try_send_data(DataBatch::Rows(vec![t(4)])).is_err());
     }
 
     #[test]

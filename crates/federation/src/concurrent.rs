@@ -581,6 +581,10 @@ impl Source for ConcurrentFederatedSource {
         tukwila_stats::ArrivalSchedule::from_estimator(&self.fed_rate)
     }
 
+    fn recalibrate_delivery_costs(&mut self, costs: &tukwila_stats::DeliveryCosts) {
+        self.scheduler.set_hedge_costs(costs.clone());
+    }
+
     /// The consumer is about to stop polling through no fault of the
     /// mirrors (a corrective quiesce). The race itself keeps running:
     /// active lanes fill their bounded queues and block, gate-parked

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use tukwila_relation::column::{hash_keys_into, key_elem_eq, tuple_key_hash, value_key_eq};
 use tukwila_relation::value::{group_key, GroupKey};
-use tukwila_relation::{ColumnarBatch, Error, Result, Schema, Tuple};
+use tukwila_relation::{ColumnarBatch, Error, Key, Result, Schema, Tuple};
 use tukwila_source::{Poll, Source, SourceDescriptor, SourceProgressView};
 use tukwila_stats::clock::{Clock, VirtualClock};
 use tukwila_stats::{ArrivalSchedule, RateEstimator};
@@ -203,11 +203,39 @@ impl KeyDedup {
             }
         }
 
+        // Stage 3 prelude: arena-build the fresh rows' `GroupKey`s
+        // column-major (one column dispatch per key column instead of one
+        // per row × column) and reserve the seen-set growth once for the
+        // whole batch. Every non-duplicate row either inserts its key or
+        // panics on provenance — stage-3 bucket hits can only be entries
+        // this batch just inserted (`who == candidate`) or hash collisions
+        // — so the arena is consumed exactly in row order.
+        let fresh_rows: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| !dup[s])
+            .map(|(_, &r)| r)
+            .collect();
+        let k = self.key_cols.len();
+        let mut flat: Vec<Key> = vec![Key::Null; fresh_rows.len() * k];
+        for (ci, &c) in self.key_cols.iter().enumerate() {
+            let col = batch.column(c);
+            for (j, &r) in fresh_rows.iter().enumerate() {
+                flat[j * k + ci] = col.key(r);
+            }
+        }
+        let mut arena = (0..fresh_rows.len()).map(|j| {
+            let key: GroupKey = flat[j * k..(j + 1) * k].to_vec().into_boxed_slice();
+            key
+        });
+        self.entries.reserve(fresh_rows.len());
+        self.buckets.reserve(fresh_rows.len());
+
         // Stage 3: ordered probe-and-insert over the fresh candidates.
         // The re-probe is not redundant: an earlier row of *this* batch
         // may have inserted the key (same-candidate redelivery → panic),
         // and stage-1 misses may collide with stage-3 inserts.
-        let mut fresh = Vec::with_capacity(rows.len());
+        let mut fresh = Vec::with_capacity(fresh_rows.len());
         for (s, &r) in rows.iter().enumerate() {
             if dup[s] {
                 continue;
@@ -222,15 +250,11 @@ impl KeyDedup {
                         .then_some(*who)
                 })
             });
+            let key = arena.next().expect("arena covers every non-dup row");
             match seen_by {
                 Some(first) => self.assert_fresh_provenance(first, candidate, name),
                 None => {
                     let ei = self.entries.len() as u32;
-                    let key: GroupKey = self
-                        .key_cols
-                        .iter()
-                        .map(|&c| batch.column(c).key(r))
-                        .collect();
                     self.entries.push((key, candidate));
                     self.buckets.entry(h).or_default().push(ei);
                     fresh.push(batch.tuple_at(r));
@@ -594,6 +618,10 @@ impl Source for FederatedSource {
 
     fn observed_schedule(&self) -> Option<ArrivalSchedule> {
         ArrivalSchedule::from_estimator(&self.fed_rate)
+    }
+
+    fn recalibrate_delivery_costs(&mut self, costs: &tukwila_stats::DeliveryCosts) {
+        self.scheduler.set_hedge_costs(costs.clone());
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -264,6 +264,18 @@ impl PermutationScheduler {
         self.skipped_covered
     }
 
+    /// Replace the hedge gate's unit prices with engine-recalibrated ones
+    /// (the corrective warmup measured this host's actual cost-unit→µs
+    /// conversion and re-derived the delivery prices from it). Future
+    /// gate evaluations use the new prices; decisions already made stand.
+    /// A no-op in the deprecated stall-only mode (`hedge_costs: None`) —
+    /// recalibration must not silently enable the gate.
+    pub fn set_hedge_costs(&mut self, costs: tukwila_stats::DeliveryCosts) {
+        if self.config.hedge_costs.is_some() {
+            self.config.hedge_costs = Some(costs);
+        }
+    }
+
     /// The current permutation prefix: active, non-EOF candidates in the
     /// order they should be polled — best score first, candidate index as
     /// the deterministic tiebreak. Under `hedge = false`, candidates whose

@@ -76,6 +76,19 @@ impl FragmentationConfig {
         }
     }
 
+    /// Rescale the per-tuple exchange price for a host whose *measured*
+    /// cost-unit→µs conversion is `unit_us` (the corrective warmup
+    /// calibration). The configured price was chosen under the documented
+    /// fallback conversion; exchange shipping is engine work (transpose,
+    /// bounded-queue handoff, consumer re-read), so it scales with the
+    /// measured per-unit driver time. Scaling in place preserves caller
+    /// intent — an aggressive config's free exchanges stay free.
+    pub fn recalibrate(&mut self, unit_us: f64) {
+        let scale =
+            (unit_us / tukwila_stats::schedule::DeliveryCosts::DEFAULT_UNIT_US).clamp(0.05, 20.0);
+        self.exchange_tuple_us *= scale;
+    }
+
     fn core_budget(&self) -> usize {
         self.cores
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))

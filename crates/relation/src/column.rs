@@ -19,8 +19,10 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use crate::agg::{AggFunc, AggState};
 use crate::error::{Error, Result};
 use crate::expr::{CmpOp, Expr};
+use crate::sort::SortKey;
 use crate::tuple::Tuple;
 use crate::value::{GroupKey, Key, Value};
 
@@ -453,6 +455,20 @@ impl ColumnarBatch {
         ColumnarBatch {
             cols,
             rows: pairs.len(),
+            sel: None,
+        }
+    }
+
+    /// Gather the given physical rows (in order, duplicates allowed) into
+    /// a dense batch with no selection — the payload-permutation step of a
+    /// columnar sort. Row `i` of the output is physical row `idx[i]` of
+    /// `self`; the batch's own selection, if any, is ignored (callers pass
+    /// indices that already honor it, e.g. from [`sort_permutation`]).
+    pub fn gather(&self, idx: &[u32]) -> ColumnarBatch {
+        let idx: Vec<usize> = idx.iter().map(|&r| r as usize).collect();
+        ColumnarBatch {
+            cols: self.cols.iter().map(|c| gather_column(c, &idx)).collect(),
+            rows: idx.len(),
             sel: None,
         }
     }
@@ -1001,12 +1017,22 @@ pub fn hash_keys_into(batch: &ColumnarBatch, cols: &[usize], out: &mut Vec<u64>)
 /// calling [`Tuple::group_key`] on each row of
 /// [`ColumnarBatch::to_tuples`].
 pub fn group_keys(batch: &ColumnarBatch, cols: &[usize]) -> Vec<GroupKey> {
-    let idx = batch.selected_indices();
+    group_keys_at(batch, cols, &batch.selected_indices())
+}
+
+/// [`group_keys`] over an explicit list of physical rows (windowed
+/// consumers like pre-aggregation key one window of a batch at a time).
+pub fn group_keys_at(batch: &ColumnarBatch, cols: &[usize], idx: &[usize]) -> Vec<GroupKey> {
+    // A rowless batch built from zero tuples has no columns, so the column
+    // lookups below would be out of bounds; there are no keys to build.
+    if idx.is_empty() {
+        return Vec::new();
+    }
     let mut flat: Vec<Key> = Vec::with_capacity(idx.len() * cols.len());
     // Column-major fill...
     for &c in cols {
         let col = &batch.cols[c];
-        for &r in &idx {
+        for &r in idx {
             flat.push(col.key(r));
         }
     }
@@ -1061,6 +1087,172 @@ pub fn key_elem_eq(col: &Column, row: usize, k: &Key) -> bool {
         (ColumnData::Date(v), Key::Date(b)) => !col.is_null(row) && v[row] == *b,
         (ColumnData::Bool(v), Key::Bool(b)) => !col.is_null(row) && v[row] == *b,
         _ => col.key(row) == *k,
+    }
+}
+
+// --- sort and aggregate kernels ----------------------------------------
+
+/// Compare two physical rows of one column with [`Value::cmp_total`]
+/// semantics (SQL null sorts first), without materializing values.
+#[inline]
+fn cmp_col_rows(col: &Column, a: usize, b: usize) -> Ordering {
+    match (col.is_null(a), col.is_null(b)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        (false, false) => {}
+    }
+    match &col.data {
+        ColumnData::Bool(v) => v[a].cmp(&v[b]),
+        ColumnData::Int(v) => v[a].cmp(&v[b]),
+        ColumnData::Float(v) => v[a].total_cmp(&v[b]),
+        ColumnData::Date(v) => v[a].cmp(&v[b]),
+        ColumnData::Str { codes, dict } => {
+            if codes[a] == codes[b] {
+                Ordering::Equal
+            } else {
+                dict[codes[a] as usize]
+                    .as_ref()
+                    .cmp(dict[codes[b] as usize].as_ref())
+            }
+        }
+        ColumnData::Mixed(v) => v[a].cmp_total(&v[b]),
+    }
+}
+
+/// Stable sort permutation of the *selected* physical rows under `keys`.
+/// The returned indices visit rows in the order
+/// [`crate::sort::sort_tuples`] would produce over
+/// [`ColumnarBatch::to_tuples`], ties staying in batch order. Feed the
+/// result to [`ColumnarBatch::gather`] to materialize sorted columns.
+pub fn sort_permutation(batch: &ColumnarBatch, keys: &[SortKey]) -> Vec<u32> {
+    let mut idx: Vec<u32> = match batch.selection() {
+        Some(s) => s.iter_ones().map(|r| r as u32).collect(),
+        None => (0..batch.num_rows() as u32).collect(),
+    };
+    // A rowless batch built from zero tuples has no columns at all, so the
+    // key lookups below would be out of bounds; the permutation is empty.
+    if idx.is_empty() {
+        return idx;
+    }
+    // Single ascending key over non-null ints: sort by the raw i64.
+    if let [k] = keys {
+        if !k.descending {
+            let col = batch.column(k.col);
+            if let (ColumnData::Int(v), None) = (&col.data, &col.nulls) {
+                idx.sort_by_key(|&r| v[r as usize]);
+                return idx;
+            }
+        }
+    }
+    let cols: Vec<&Column> = keys.iter().map(|k| batch.column(k.col)).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, col) in keys.iter().zip(&cols) {
+            let mut ord = cmp_col_rows(col, a as usize, b as usize);
+            if k.descending {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    idx
+}
+
+/// Fold the values of `col` at `rows` into per-group accumulators: row
+/// `rows[i]` updates `states[slots[i]]`. All states must carry the same
+/// aggregate function (one kernel call per aggregate column).
+/// Value-identical to calling [`AggState::update`] with `col.value(r)`
+/// row by row, including `count`'s null-counting and the numeric-type
+/// errors of `sum`/`avg`.
+pub fn accumulate_column(
+    col: &Column,
+    rows: &[usize],
+    slots: &[u32],
+    states: &mut [AggState],
+) -> Result<()> {
+    debug_assert_eq!(rows.len(), slots.len());
+    let func = match states.first() {
+        Some(s) => s.func(),
+        None => return Ok(()),
+    };
+    match func {
+        // Count never reads the column: every row counts, null or not.
+        AggFunc::Count => {
+            for &slot in slots {
+                if let AggState::Count(n) = &mut states[slot as usize] {
+                    *n += 1;
+                }
+            }
+            Ok(())
+        }
+        AggFunc::Sum | AggFunc::Avg => accumulate_numeric(col, rows, slots, states),
+        // Min/max need cmp_total against the running value; the scalar
+        // update is already allocation-free for non-string types.
+        AggFunc::Min | AggFunc::Max => {
+            for (i, &r) in rows.iter().enumerate() {
+                states[slots[i] as usize].update(&col.value(r))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn accumulate_numeric(
+    col: &Column,
+    rows: &[usize],
+    slots: &[u32],
+    states: &mut [AggState],
+) -> Result<()> {
+    // Typed fast paths add straight from the vector, skipping null rows
+    // (SQL semantics). Bool/Str/Mixed go through the scalar update so
+    // `as_float`'s type errors surface exactly as on the row path.
+    macro_rules! add {
+        ($v:expr, $cast:expr) => {{
+            match &col.nulls {
+                None => {
+                    for (i, &r) in rows.iter().enumerate() {
+                        add_numeric(&mut states[slots[i] as usize], $cast($v[r]));
+                    }
+                }
+                Some(b) => {
+                    for (i, &r) in rows.iter().enumerate() {
+                        if b.get(r) {
+                            add_numeric(&mut states[slots[i] as usize], $cast($v[r]));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }};
+    }
+    match &col.data {
+        ColumnData::Int(v) => add!(v, |x: i64| x as f64),
+        ColumnData::Float(v) => add!(v, |x: f64| x),
+        ColumnData::Date(v) => add!(v, |x: i32| x as f64),
+        _ => {
+            for (i, &r) in rows.iter().enumerate() {
+                states[slots[i] as usize].update(&col.value(r))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[inline]
+fn add_numeric(state: &mut AggState, x: f64) {
+    match state {
+        AggState::Sum(s, seen) => {
+            *s += x;
+            *seen = true;
+        }
+        AggState::Avg(s, n) => {
+            *s += x;
+            *n += 1;
+        }
+        _ => unreachable!("numeric accumulate on non-sum/avg state"),
     }
 }
 
@@ -1256,6 +1448,91 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sort_permutation_matches_row_sort() {
+        use crate::sort::sort_tuples;
+        let rows = tuples();
+        let cb = ColumnarBatch::from_tuples(&rows);
+        for keys in [
+            vec![SortKey::asc(0)],
+            vec![SortKey::desc(0)],
+            vec![SortKey::asc(1)], // strings with a null
+            vec![SortKey::asc(2)], // floats with a null
+            vec![SortKey::asc(1), SortKey::desc(0)],
+            vec![SortKey::desc(2), SortKey::asc(0)],
+        ] {
+            let perm = sort_permutation(&cb, &keys);
+            let got = cb.gather(&perm).to_tuples();
+            let mut want = rows.clone();
+            sort_tuples(&keys, &mut want);
+            assert_eq!(got, want, "keys {keys:?}");
+        }
+    }
+
+    #[test]
+    fn sort_permutation_honors_selection_and_stability() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(2), Value::Int(0)]),
+            Tuple::new(vec![Value::Int(1), Value::Int(1)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(2)]),
+            Tuple::new(vec![Value::Int(1), Value::Int(3)]),
+        ];
+        let mut cb = ColumnarBatch::from_tuples(&rows);
+        let mut sel = Bitmap::ones(4);
+        sel.set(1, false);
+        cb.select(sel);
+        let perm = sort_permutation(&cb, &[SortKey::asc(0)]);
+        // Row 1 is deselected; ties keep batch order (row 0 before 2).
+        assert_eq!(perm, vec![3, 0, 2]);
+        let sorted = cb.gather(&perm).to_tuples();
+        assert_eq!(
+            sorted,
+            vec![rows[3].clone(), rows[0].clone(), rows[2].clone()]
+        );
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_update() {
+        let rows = tuples();
+        let cb = ColumnarBatch::from_tuples(&rows);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        // Two groups: rows 0/2 -> slot 0, rows 1/3 -> slot 1.
+        let slots: Vec<u32> = vec![0, 1, 0, 1];
+        for func in [
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            for c in 0..3 {
+                let mut vec_states = vec![AggState::new(func); 2];
+                let vec_res = accumulate_column(cb.column(c), &idx, &slots, &mut vec_states);
+                let mut row_states = vec![AggState::new(func); 2];
+                let mut row_res = Ok(());
+                for (t, &s) in rows.iter().zip(&slots) {
+                    row_res = row_states[s as usize].update(t.get(c));
+                    if row_res.is_err() {
+                        break;
+                    }
+                }
+                // Sum/avg over the string column error on both paths.
+                assert_eq!(vec_res.is_err(), row_res.is_err(), "func {func} col {c}");
+                if vec_res.is_ok() {
+                    assert_eq!(vec_states, row_states, "func {func} col {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_preserves_type_errors() {
+        let cb = ColumnarBatch::from_tuples(&tuples());
+        let mut states = vec![AggState::new(AggFunc::Sum)];
+        // Column 1 is strings: sum must fail like the row path does.
+        assert!(accumulate_column(cb.column(1), &[0], &[0], &mut states).is_err());
     }
 
     #[test]

@@ -98,6 +98,16 @@ pub trait Source: Send {
         let _ = now_us;
     }
 
+    /// The engine measured its actual cost-unit→µs conversion (the
+    /// corrective warmup calibration) and re-derived the delivery unit
+    /// prices from it. Sources that price their own delivery decisions
+    /// (the federation adapter's hedge gate) adopt the new prices for
+    /// future decisions; already-made decisions stand. Default: nothing
+    /// to do.
+    fn recalibrate_delivery_costs(&mut self, costs: &tukwila_stats::schedule::DeliveryCosts) {
+        let _ = costs;
+    }
+
     /// Observed delivery rate in tuples per virtual second, for sources
     /// that profile themselves (the federated adapter does). Feeds the
     /// re-optimizer's delivery-bound costing; `None` means unprofiled.

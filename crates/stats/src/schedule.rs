@@ -264,6 +264,30 @@ impl Default for DeliveryCosts {
     }
 }
 
+impl DeliveryCosts {
+    /// The documented cost-unit→µs conversion the default prices above
+    /// were derived under (the optimizer `CostModel::unit_us` fallback).
+    pub const DEFAULT_UNIT_US: f64 = 0.1;
+
+    /// Unit prices re-derived for a host whose *measured* cost-unit→µs
+    /// conversion is `unit_us` (the corrective warmup calibration runs
+    /// the engine's actual kernels — columnar dedup, exchange shipping —
+    /// and measures driver µs per cost unit). The dup-dedup and
+    /// backpressure terms are engine work and scale with that measured
+    /// per-unit time; the busy-core term prices scheduler contention,
+    /// not kernel speed, and stays put. The scale is clamped so one wild
+    /// calibration cannot push the hedge gate into a corner.
+    pub fn from_unit_us(unit_us: f64) -> DeliveryCosts {
+        let base = DeliveryCosts::default();
+        let scale = (unit_us / Self::DEFAULT_UNIT_US).clamp(0.05, 20.0);
+        DeliveryCosts {
+            dup_tuple_us: base.dup_tuple_us * scale,
+            blocked_send_us: base.blocked_send_us * scale,
+            busy_core_us: base.busy_core_us,
+        }
+    }
+}
+
 /// Everything the race question needs to know about the current state of
 /// one federated relation. Pure data, so decisions are replayable.
 #[derive(Debug, Clone, PartialEq)]

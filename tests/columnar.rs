@@ -1,9 +1,9 @@
-//! Columnar execution equivalence: the vectorized filter / join / dedup
-//! paths must be indistinguishable from the row-at-a-time code on any
-//! input — randomized schemas with nulls, strings, and composite keys,
-//! plus the empty-batch and selection-all/none edges — and shipping
-//! columns across fragment exchanges must be logically invisible under
-//! both clocks.
+//! Columnar execution equivalence: the vectorized filter / join / dedup /
+//! aggregation / sort / stitch-up paths must be indistinguishable from the
+//! row-at-a-time code on any input — randomized schemas with nulls,
+//! strings, and composite keys, plus the empty-batch and
+//! selection-all/none edges — and shipping columns across fragment
+//! exchanges (the default) must be logically invisible under both clocks.
 
 use std::sync::Arc;
 
@@ -255,6 +255,162 @@ proptest! {
         prop_assert_eq!(d_row.seen_keys(), d_col.seen_keys());
         prop_assert_eq!(d_row.seen_keys(), d_mix.seen_keys());
     }
+
+    /// `HashAggOp::push_columns` equals `push` and the reference executor
+    /// for every aggregate mix over nullable int/float/string group keys,
+    /// including accumulation across batch boundaries.
+    #[test]
+    fn agg_columnar_equals_row_and_reference(
+        rows in prop::collection::vec(((0u8..=8), -4i64..4, -8i64..8), 0..50),
+        funcs in prop::collection::vec(0u8..=4, 1..4),
+    ) {
+        use tukwila::exec::agg::{AggSpec, GroupSpec, HashAggOp};
+        use tukwila::exec::reference::{canonicalize_approx, RefCol};
+        use tukwila::relation::agg::AggFunc;
+
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(c, k, v)| Tuple::new(vec![value(c, k), Value::Int(v)]))
+            .collect();
+        let schema = int_schema(2);
+        let aggs: Vec<AggSpec> = funcs
+            .iter()
+            .map(|&f| AggSpec {
+                func: match f {
+                    0 => AggFunc::Count,
+                    1 => AggFunc::Sum,
+                    2 => AggFunc::Avg,
+                    3 => AggFunc::Min,
+                    _ => AggFunc::Max,
+                },
+                col: 1,
+            })
+            .collect();
+        let spec = || GroupSpec::new(vec![0], aggs.clone());
+
+        let mut op = HashAggOp::new(spec(), &schema);
+        let mut row_out = Vec::new();
+        op.push(0, &tuples, &mut row_out).unwrap();
+        op.finish(&mut row_out).unwrap();
+
+        let mut op = HashAggOp::new(spec(), &schema);
+        let mut col_out = Vec::new();
+        let mid = tuples.len() / 2;
+        op.push_columns(0, &ColumnarBatch::from_tuples(&tuples[..mid]), &mut col_out).unwrap();
+        op.push_columns(0, &ColumnarBatch::from_tuples(&tuples[mid..]), &mut col_out).unwrap();
+        op.finish(&mut col_out).unwrap();
+
+        prop_assert_eq!(canonicalize_approx(&row_out), canonicalize_approx(&col_out));
+
+        let mut q = RefQuery::new(vec![RefRelation { schema, tuples: tuples.clone() }]);
+        q.group_cols.push(RefCol { rel: 0, col: 0 });
+        for a in &aggs {
+            q.aggs.push((a.func, RefCol { rel: 0, col: a.col }));
+        }
+        prop_assert_eq!(
+            canonicalize_approx(&q.run().unwrap()),
+            canonicalize_approx(&row_out)
+        );
+    }
+
+    /// `sort_permutation` + `gather` equals a stable row sort under
+    /// `cmp_tuples` — same output order, including nulls, dictionary
+    /// strings, mixed-type columns, descending keys, and tie rows.
+    #[test]
+    fn sort_columnar_equals_row_sort(
+        rows in prop::collection::vec(((0u8..=8), -4i64..4, -3i64..3), 0..50),
+        descending in any::<bool>(),
+        second_key in any::<bool>(),
+    ) {
+        use tukwila::relation::column::sort_permutation;
+        use tukwila::relation::{cmp_tuples, SortKey};
+
+        // Narrow key ranges force ties so stability is actually tested.
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, k, k2))| {
+                Tuple::new(vec![value(c, k), Value::Int(k2), Value::Int(i as i64)])
+            })
+            .collect();
+        let mut keys = vec![SortKey { col: 0, descending }];
+        if second_key {
+            keys.push(SortKey::asc(1));
+        }
+
+        let mut row_sorted = tuples.clone();
+        row_sorted.sort_by(|a, b| cmp_tuples(&keys, a, b));
+
+        let batch = ColumnarBatch::from_tuples(&tuples);
+        let perm = sort_permutation(&batch, &keys);
+        let col_sorted = batch.gather(&perm).to_tuples();
+
+        prop_assert_eq!(row_sorted.len(), col_sorted.len());
+        for (a, b) in row_sorted.iter().zip(&col_sorted) {
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    /// The stitch-up columnar table probe equals the row-at-a-time probe
+    /// tuple-for-tuple (same order, same stats), with residual equality
+    /// predicates spanning both sides of the virtual joined layout.
+    #[test]
+    fn stitchup_probe_columnar_equals_row(
+        table_rows in prop::collection::vec(((0u8..=8), -4i64..4, -2i64..2), 0..40),
+        probe_rows in prop::collection::vec(((0u8..=8), -4i64..4, -2i64..2), 0..40),
+        with_residual in any::<bool>(),
+    ) {
+        use tukwila::exec::join::batch::probe_table_columnar;
+        use tukwila::storage::TupleHashTable;
+
+        let mk = |rows: &[(u8, i64, i64)]| -> Vec<Tuple> {
+            rows.iter()
+                .map(|&(c, k, v)| Tuple::new(vec![value(c, k), Value::Int(v)]))
+                .collect()
+        };
+        let table_tuples = mk(&table_rows);
+        let probes = mk(&probe_rows);
+        let mut table = TupleHashTable::new(0);
+        for t in &table_tuples {
+            table.insert(t.clone()).unwrap();
+        }
+        // Residual over the joined layout: probe col 1 vs table col 1.
+        let residual: &[(usize, usize)] = if with_residual { &[(1, 3)] } else { &[] };
+
+        let mut row_out = Vec::new();
+        let mut row_stats = BatchJoinStats::default();
+        for p in &probes {
+            row_stats.probes += 1;
+            for m in table.probe(&p.key(0)) {
+                let joined = p.concat(m);
+                if residual
+                    .iter()
+                    .all(|&(a, b)| joined.get(a).eq_total(joined.get(b)))
+                {
+                    row_out.push(joined);
+                    row_stats.output += 1;
+                }
+            }
+        }
+
+        let mut col_out = Vec::new();
+        let mut col_stats = BatchJoinStats::default();
+        probe_table_columnar(
+            &ColumnarBatch::from_tuples(&probes),
+            0,
+            &table,
+            residual,
+            &mut col_stats,
+            &mut col_out,
+        )
+        .unwrap();
+
+        prop_assert_eq!(row_out.len(), col_out.len());
+        for (a, b) in row_out.iter().zip(&col_out) {
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        prop_assert_eq!(row_stats, col_stats);
+    }
 }
 
 /// Selection edges: all-selected, none-selected, and empty batches flow
@@ -354,4 +510,88 @@ fn dual_clock_equivalence_with_columnar_exchanges() {
         expected,
         "columnar exchanges changed the fragmented answer"
     );
+}
+
+/// The full corrective executor with fragmentation on and *default*
+/// fragment options — columns on the wire is the default now — must
+/// answer identically under the sequential virtual-clock driver and the
+/// threaded wall-clock driver, and both runs must journal phase spans
+/// into the adaptivity trace.
+#[test]
+fn corrective_dual_clock_with_default_columnar_exchange() {
+    use tukwila::core::{CorrectiveConfig, CorrectiveExec};
+    use tukwila::datagen::flights;
+    use tukwila::exec::reference::canonicalize_approx;
+    use tukwila::optimizer::FragmentationConfig;
+    use tukwila::source::MemSource;
+    use tukwila::stats::{TraceEvent, TraceSink, VirtualClock};
+
+    assert!(
+        FragmentOptions::default().columnar_exchange,
+        "columns on the wire must be the exchange default"
+    );
+
+    let d = flights::generate(200, 1200, 1, 59);
+    let q = flights::query();
+    let expected = mem_answer(&d, &q);
+
+    let mk_sources = || -> Vec<Box<dyn tukwila::source::Source>> {
+        tables(&d)
+            .into_iter()
+            .map(|(rel, name, schema, rows)| {
+                Box::new(MemSource::new(rel, name, schema, rows.clone()))
+                    as Box<dyn tukwila::source::Source>
+            })
+            .collect()
+    };
+    let run = |clock: Option<Arc<dyn Clock>>, trace: TraceSink| {
+        let exec = CorrectiveExec::new(
+            q.clone(),
+            CorrectiveConfig {
+                batch_size: 256,
+                cpu: CpuCostModel::Measured,
+                poll_every_batches: 3,
+                warmup_batches: 2,
+                min_remaining_fraction: 0.0,
+                clock,
+                fragments: Some(FragmentationConfig::aggressive()),
+                trace,
+                ..Default::default()
+            },
+        );
+        let mut s = mk_sources();
+        exec.run(&mut s).unwrap()
+    };
+
+    // Sequential virtual-clock anchor.
+    let vtrace = TraceSink::unbounded(Arc::new(VirtualClock::new()));
+    let report_v = run(None, vtrace.clone());
+    assert_eq!(canonicalize_approx(&report_v.rows), expected);
+
+    // Threaded wall-clock run: producers ship columns over every exchange
+    // by default, quiesce drains re-materialize rows losslessly.
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::accelerated(200.0));
+    let wtrace = TraceSink::unbounded(clock.clone());
+    let report_w = run(Some(clock), wtrace.clone());
+    assert_eq!(
+        canonicalize_approx(&report_w.rows),
+        expected,
+        "threaded corrective with default columnar exchanges diverged"
+    );
+
+    // Both drivers journaled the run under identical span vocabulary.
+    for (name, sink) in [("virtual", &vtrace), ("threaded", &wtrace)] {
+        let spans: Vec<String> = sink
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::SpanBegin { kind, .. } => Some(format!("{kind:?}")),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            spans.iter().any(|k| k.contains("Phase")),
+            "{name}: corrective run journaled no phase spans: {spans:?}"
+        );
+    }
 }
